@@ -1,0 +1,32 @@
+"""Ablation — refinement-limit sweep (§7.4's conclusion).
+
+"Usually, only a small number of refinements are required... even
+refinement limits of five or fewer are feasible."  Sweeping the limit
+over precedence-trap queries shows solved counts saturating at a small
+limit.
+"""
+
+from repro.eval import format_ablation, run_refinement_ablation
+
+
+def test_refinement_limit_ablation(benchmark, record_table):
+    points = benchmark.pedantic(
+        run_refinement_ablation,
+        kwargs={"limits": (0, 1, 2, 5, 10, 20)},
+        rounds=1,
+        iterations=1,
+    )
+    table = format_ablation(points)
+    record_table(
+        "ablation_refinement_limit.txt",
+        "Ablation — refinement limit sweep\n" + table,
+    )
+
+    by_limit = {p.limit: p for p in points}
+    # Limit 0 (no refinement) cannot validate precedence traps.
+    assert by_limit[0].solved < by_limit[20].solved
+    # A small limit already saturates (the paper's ≤5 claim).
+    assert by_limit[5].solved == by_limit[20].solved
+    # Solved counts are monotone in the limit.
+    ordered = [by_limit[l].solved for l in (0, 1, 2, 5, 10, 20)]
+    assert ordered == sorted(ordered)

@@ -1,0 +1,60 @@
+"""Micro-benchmarks for the substrate layers (supporting data).
+
+Not a paper table: keeps the substrate honest by timing the hot paths
+the tables depend on — concrete matching, automata compilation, simple
+and capture-group queries — so performance regressions are visible.
+"""
+
+from repro.automata import clear_caches, dfa_for_pattern
+from repro.constraints import StrVar
+from repro.model.api import SymbolicRegExp
+from repro.model.cegar import CegarSolver
+from repro.regex import RegExp
+from repro.solver import Solver
+
+
+def test_concrete_matcher_throughput(benchmark):
+    regexp = RegExp(r"<(\w+)>([0-9]*)<\/\1>")
+
+    def match_batch():
+        hits = 0
+        for subject in (
+            "<timeout>500</timeout>",
+            "<a>1</a> trailing",
+            "no match here",
+            "<x></y>",
+        ) * 25:
+            if regexp.exec(subject) is not None:
+                hits += 1
+        return hits
+
+    assert benchmark(match_batch) == 50
+
+
+def test_automata_compilation(benchmark):
+    def compile_fresh():
+        clear_caches()
+        dfa = dfa_for_pattern(r"(?:[a-z0-9]+[-._])*[a-z0-9]+@[a-z]+\.[a-z]{2,3}")
+        return dfa.n_states
+
+    assert benchmark(compile_fresh) > 0
+
+
+def test_simple_membership_query(benchmark):
+    def solve_one():
+        regexp = SymbolicRegExp(r"^[a-z]+=[0-9]+$")
+        model = regexp.exec_model(StrVar("s"))
+        result = Solver().solve(model.match_formula)
+        return result.status
+
+    assert benchmark(solve_one) == "sat"
+
+
+def test_capture_query_with_refinement(benchmark):
+    def solve_one():
+        regexp = SymbolicRegExp(r"^a*(a)?$")
+        model = regexp.exec_model(StrVar("s"))
+        result = CegarSolver().solve(model.match_formula, [model.constraint])
+        return result.status
+
+    assert benchmark(solve_one) == "sat"

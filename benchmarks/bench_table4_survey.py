@@ -1,0 +1,37 @@
+"""Table 4 — regex usage by NPM package (§7.1).
+
+Regenerates the package-level survey over the synthetic corpus: how many
+packages have source files, regexes, capture groups, backreferences and
+quantified backreferences.  The reproduction target is the *shape*:
+roughly a third of packages use regexes, captures are common, quantified
+backreferences are vanishingly rare.
+"""
+
+from repro.corpus import (
+    CorpusConfig,
+    format_table4,
+    generate_corpus,
+    survey_packages,
+)
+
+
+def _run_survey(n_packages: int):
+    corpus = generate_corpus(CorpusConfig(n_packages=n_packages, seed=1909))
+    return survey_packages(corpus)
+
+
+def test_table4_survey(benchmark, record_table):
+    result = benchmark.pedantic(
+        _run_survey, args=(4000,), rounds=1, iterations=1
+    )
+    table = format_table4(result)
+    record_table("table4.txt", "Table 4 — Regex usage by package\n" + table)
+
+    # Shape assertions mirroring the paper's Table 4 ordering.
+    assert result.with_source < result.n_packages
+    assert result.with_regex < result.with_source
+    assert result.with_captures < result.with_regex
+    assert result.with_backrefs < result.with_captures
+    assert result.with_quantified_backrefs <= result.with_backrefs
+    assert 0.25 < result.with_regex / result.n_packages < 0.45
+    assert result.with_quantified_backrefs / result.n_packages < 0.005

@@ -1,0 +1,47 @@
+"""Table 8 — solver times per query class, plus §7.4 refinement stats.
+
+Aggregates the solver statistics collected during a Table 7-style run:
+query counts and times for all queries, queries with capture groups,
+queries needing refinement, and queries hitting the refinement limit.
+Reproduction targets: capture queries are slower than average, refined
+queries slower still; refinement succeeds for the overwhelming majority
+of queries that need it, with a small mean number of refinements
+(the paper: 97.2% solved, mean 2.9 refinements).
+"""
+
+from repro.eval import (
+    format_table8,
+    generate_population,
+    run_breakdown,
+    summarize_solver_stats,
+)
+
+
+def _run(n_packages: int):
+    population = generate_population(n_packages=n_packages, seed=1909)
+    rows, runs = run_breakdown(population, max_tests=8, time_budget=4.0)
+    stats = [run.stats["+ Refinement"] for run in runs]
+    return summarize_solver_stats(stats)
+
+
+def test_table8_solver_times(benchmark, record_table):
+    summary = benchmark.pedantic(_run, args=(20,), rounds=1, iterations=1)
+    table = format_table8(summary)
+    record_table(
+        "table8.txt", "Table 8 — Solver time per query class\n" + table
+    )
+
+    per_query = summary.per_query
+    assert per_query["all"]["count"] > 0
+    # Queries modelling captures exist and are no faster than the mean.
+    assert per_query["with_captures"]["count"] > 0
+    assert (
+        per_query["with_captures"]["mean"]
+        >= 0.5 * per_query["all"]["mean"]
+    )
+    refinement = summary.refinement
+    # Refinement is rare relative to all queries but succeeds when used
+    # (the paper: 1.1% of queries model captures, 0.1% need refinement).
+    assert refinement["refined_queries"] <= refinement["capture_queries"]
+    assert refinement["refined_queries"] > 0
+    assert refinement["mean_refinements"] < 10.0

@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harnesses.
+
+Each ``bench_tableN`` module regenerates one table of the paper; results
+are printed (visible with ``pytest benchmarks/ --benchmark-only -s``) and
+written to ``benchmarks/out/`` so EXPERIMENTS.md can quote them.
+"""
+
+import os
+
+import pytest
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+def write_result(name: str, content: str) -> None:
+    os.makedirs(OUT_DIR, exist_ok=True)
+    path = os.path.join(OUT_DIR, name)
+    with open(path, "w") as f:
+        f.write(content + "\n")
+
+
+@pytest.fixture
+def record_table():
+    def _record(name: str, content: str) -> None:
+        print()
+        print(content)
+        write_result(name, content)
+
+    return _record

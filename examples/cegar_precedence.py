@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Matching-precedence refinement, step by step (§3.4 / §5).
+
+Shows the CEGAR loop in action on ``/^a*(a)?$/``: the raw model admits
+the spurious tuple ("aa", "aa", "a"); the concrete matcher refutes it;
+one refinement constraint later the solver returns the spec-correct
+assignment.
+
+Run:  python examples/cegar_precedence.py
+"""
+
+from repro.constraints import Eq, StrConst, StrVar, conj
+from repro.model.api import SymbolicRegExp
+from repro.model.cegar import CegarSolver
+from repro.regex import RegExp
+from repro.solver import SAT, Solver
+
+
+def main() -> None:
+    source = r"^a*(a)?$"
+    regexp = SymbolicRegExp(source)
+    inp = StrVar("w")
+    model = regexp.exec_model(inp)
+
+    # Pin the word to "aa" and ask the *raw* model for captures.
+    problem = conj([model.match_formula, Eq(inp, StrConst("aa"))])
+    raw = Solver().solve(problem)
+    c1 = raw.model[model.captures[1]]
+    print(f"raw model for w='aa':   C1 = {c1!r}   <- may be spurious")
+
+    # What does the real engine say?
+    concrete = RegExp(source).exec("aa")
+    print(f"concrete matcher says:  C1 = {concrete[1]!r}")
+
+    # Algorithm 1: solve, validate, refine, repeat.
+    cegar = CegarSolver()
+    refined = cegar.solve(problem, [model.constraint])
+    assert refined.status == SAT
+    c1 = refined.model[model.captures[1]]
+    print(
+        f"after {refined.refinements} refinement(s):  C1 = {c1!r}   "
+        "<- validated against the matcher"
+    )
+
+    # The spurious tuple is now unreachable: pinning C1="a" is UNSAT.
+    spurious = conj(
+        [
+            model.match_formula,
+            Eq(inp, StrConst("aa")),
+            Eq(model.captures[1], StrConst("a")),
+        ]
+    )
+    result = cegar.solve(spurious, [model.constraint])
+    print(f"forcing the spurious C1='a': {result.status}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Exploring a library with the automatic harness (§7.3's setup).
+
+Takes a mini-JS library exporting functions, synthesises a driver that
+calls each export with symbolic strings, and runs the DSE engine at two
+support levels to show the coverage difference regex modelling makes.
+
+Run:  python examples/dse_library_exploration.py
+"""
+
+from repro.dse import RegexSupportLevel, analyze, build_harness
+
+LIBRARY = r"""
+function parseHexColor(s) {
+    var m = /^#([0-9a-f]{2})([0-9a-f]{2})([0-9a-f]{2})$/i.exec(s);
+    if (!m) { return null; }
+    return {r: m[1], g: m[2], b: m[3]};
+}
+
+function isIsoDate(s) {
+    var m = /^(\d{4})-(\d{2})-(\d{2})$/.exec(s);
+    if (!m) { return false; }
+    if (m[2] === "00") { return false; }
+    if (m[3] === "00") { return false; }
+    return true;
+}
+
+function stripComments(line) {
+    if (/^\s*\/\//.test(line)) { return ""; }
+    return line;
+}
+
+module.exports = {
+    parseHexColor: parseHexColor,
+    isIsoDate: isIsoDate,
+    stripComments: stripComments
+};
+"""
+
+
+def main() -> None:
+    harnessed = build_harness(LIBRARY)
+    print("Generated driver (appended to the library):")
+    for line in harnessed.strip().splitlines()[-3:]:
+        print("   ", line)
+    print()
+
+    for label, level in [
+        ("concrete regexes ", RegexSupportLevel.CONCRETE),
+        ("full regex support", RegexSupportLevel.REFINED),
+    ]:
+        result = analyze(
+            harnessed, level=level, max_tests=40, time_budget=30
+        )
+        print(
+            f"{label}: coverage {result.coverage:6.1%}   "
+            f"tests {result.tests_run:3}   regex ops {result.regex_ops}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""The §7.1 survey: regex feature usage across an NPM-like corpus.
+
+Generates a synthetic package corpus (calibrated to the paper's
+population shape), extracts every regex literal with the static scanner,
+classifies features, and prints Tables 4 and 5.
+
+Run:  python examples/survey_corpus.py [n_packages]
+"""
+
+import sys
+
+from repro.corpus import (
+    CorpusConfig,
+    format_table4,
+    format_table5,
+    generate_corpus,
+    survey_packages,
+)
+
+
+def main() -> None:
+    n_packages = int(sys.argv[1]) if len(sys.argv) > 1 else 4000
+    print(f"Generating corpus of {n_packages} packages ...")
+    corpus = generate_corpus(CorpusConfig(n_packages=n_packages))
+    result = survey_packages(corpus)
+
+    print()
+    print("Table 4 — Regex usage by package")
+    print(format_table4(result))
+    print()
+    print("Table 5 — Feature usage by regex (total vs unique)")
+    print(format_table5(result))
+    print()
+    non_classical = sum(
+        result.feature_totals[f]
+        for f in ("capture_groups", "backreferences", "lookaheads",
+                  "word_boundary")
+    )
+    print(
+        f"Non-classical feature occurrences: {non_classical} "
+        f"across {result.total_regexes} regexes — the features prior "
+        "DSE tools ignored or approximated (RQ1)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Reproduction of *Sound Regular Expression Semantics for Dynamic
+Symbolic Execution of JavaScript* (Loring, Mitchell, Kinder — PLDI 2019).
+
+The package is organised as one subpackage per subsystem:
+
+- :mod:`repro.regex` — ES6 regex front end and a spec-compliant concrete
+  backtracking matcher (the CEGAR oracle).
+- :mod:`repro.automata` — classical regular-language engine (NFA/DFA,
+  boolean operations, word enumeration).
+- :mod:`repro.constraints` — the string-constraint language emitted by the
+  capturing-language model.
+- :mod:`repro.solver` — a from-scratch string constraint solver for that
+  language (stands in for Z3, which is unavailable offline).
+- :mod:`repro.model` — the paper's core: capturing-language models
+  (§4, Tables 1–3), CEGAR refinement (§5, Algorithm 1) and the symbolic
+  RegExp API (§6.1, Algorithm 2).
+- :mod:`repro.dse` — a dynamic symbolic execution engine for a
+  JavaScript-like language (stands in for ExpoSE/Jalangi2).
+- :mod:`repro.corpus` — the NPM regex survey pipeline (§7.1).
+- :mod:`repro.eval` — harnesses regenerating the paper's Tables 4–8.
+"""
+
+import sys
+
+# The concrete matcher and the translation are recursive over both the AST
+# and the subject string; the default CPython limit is too small for
+# spec-style continuation-passing matching of even modest strings.
+if sys.getrecursionlimit() < 100_000:
+    sys.setrecursionlimit(100_000)
+
+__version__ = "1.0.0"
+
+_LAZY_EXPORTS = {
+    "RegExp": ("repro.regex", "RegExp"),
+    "parse_regex": ("repro.regex", "parse_regex"),
+    "SymbolicRegExp": ("repro.model.api", "SymbolicRegExp"),
+    "CegarSolver": ("repro.model.cegar", "CegarSolver"),
+    "CegarResult": ("repro.model.cegar", "CegarResult"),
+    "Solver": ("repro.solver", "Solver"),
+}
+
+__all__ = sorted(_LAZY_EXPORTS) + ["__version__"]
+
+
+def __getattr__(name: str):
+    """Lazily resolve the public API to avoid import cycles at startup."""
+    try:
+        module_name, attr = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(module_name)
+    return getattr(module, attr)

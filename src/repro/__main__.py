@@ -1,0 +1,180 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``solve PATTERN [-f FLAGS] [--negate]`` — generate an input the regex
+  matches (CEGAR-validated captures) or rejects;
+- ``exec PATTERN SUBJECT [-f FLAGS]`` — run the concrete ES6 matcher;
+- ``analyze FILE`` — dynamic symbolic execution of a mini-JS program;
+- ``survey [-n N]`` — regenerate the §7.1 survey tables;
+- ``smtlib PATTERN [-f FLAGS]`` — print the membership model as SMT-LIB;
+- ``dot PATTERN`` — print the DFA of a classical regex as Graphviz DOT.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    from repro.model import find_matching_input, find_non_matching_input
+
+    if args.negate:
+        word = find_non_matching_input(args.pattern, args.flags)
+        if word is None:
+            print("no non-matching input found (pattern may match Σ*)")
+            return 1
+        print(f"input:  {word!r}")
+        return 0
+    result = find_matching_input(args.pattern, args.flags)
+    if result is None:
+        print("unsatisfiable (or solver budget exhausted)")
+        return 1
+    word, captures = result
+    print(f"input:  {word!r}")
+    for index in sorted(captures):
+        value = captures[index]
+        shown = "undefined" if value is None else repr(value)
+        print(f"  C{index} = {shown}")
+    return 0
+
+
+def _cmd_exec(args: argparse.Namespace) -> int:
+    from repro.regex import RegExp
+
+    result = RegExp(args.pattern, args.flags).exec(args.subject)
+    if result is None:
+        print("no match")
+        return 1
+    print(f"match at {result.index}:")
+    for index, value in enumerate(result):
+        shown = "undefined" if value is None else repr(value)
+        print(f"  [{index}] = {shown}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.dse import RegexSupportLevel, analyze
+
+    with open(args.file) as handle:
+        source = handle.read()
+    level = RegexSupportLevel[args.level.upper()]
+    result = analyze(
+        source,
+        level=level,
+        max_tests=args.max_tests,
+        time_budget=args.time_budget,
+    )
+    print(f"tests run:   {result.tests_run}")
+    print(f"coverage:    {result.coverage:.1%} "
+          f"({len(result.covered)}/{result.statement_count} statements)")
+    print(f"queries:     {result.queries} ({result.sat_queries} SAT)")
+    print(f"regex ops:   {result.regex_ops}")
+    if result.failures:
+        print("failures:")
+        for failure in result.failures:
+            print(f"  - {failure}")
+    return 0 if not result.failures else 2
+
+
+def _cmd_survey(args: argparse.Namespace) -> int:
+    from repro.corpus import (
+        CorpusConfig,
+        format_table4,
+        format_table5,
+        generate_corpus,
+        survey_packages,
+    )
+
+    corpus = generate_corpus(
+        CorpusConfig(n_packages=args.packages, seed=args.seed)
+    )
+    result = survey_packages(corpus)
+    print(format_table4(result))
+    print()
+    print(format_table5(result))
+    return 0
+
+
+def _cmd_smtlib(args: argparse.Namespace) -> int:
+    from repro.constraints import StrVar
+    from repro.constraints.printer import to_smtlib
+    from repro.model.api import SymbolicRegExp
+
+    regexp = SymbolicRegExp(args.pattern, args.flags)
+    model = regexp.exec_model(StrVar("input"))
+    formula = model.no_match_formula if args.negate else model.match_formula
+    print(to_smtlib(formula))
+    return 0
+
+
+def _cmd_dot(args: argparse.Namespace) -> int:
+    from repro.automata import dfa_for, to_dot
+    from repro.automata.build import erase_captures
+    from repro.regex import parse_regex
+
+    node = erase_captures(parse_regex(args.pattern, args.flags).body)
+    print(to_dot(dfa_for(node)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Sound ES6 regex semantics for dynamic symbolic execution "
+            "(PLDI 2019 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    solve = sub.add_parser("solve", help="find a (non-)matching input")
+    solve.add_argument("pattern")
+    solve.add_argument("-f", "--flags", default="")
+    solve.add_argument("--negate", action="store_true")
+    solve.set_defaults(fn=_cmd_solve)
+
+    exec_ = sub.add_parser("exec", help="concrete ES6 exec")
+    exec_.add_argument("pattern")
+    exec_.add_argument("subject")
+    exec_.add_argument("-f", "--flags", default="")
+    exec_.set_defaults(fn=_cmd_exec)
+
+    analyze = sub.add_parser("analyze", help="DSE of a mini-JS file")
+    analyze.add_argument("file")
+    analyze.add_argument(
+        "--level",
+        default="refined",
+        choices=["concrete", "model", "captures", "refined"],
+    )
+    analyze.add_argument("--max-tests", type=int, default=50)
+    analyze.add_argument("--time-budget", type=float, default=30.0)
+    analyze.set_defaults(fn=_cmd_analyze)
+
+    survey = sub.add_parser("survey", help="regenerate Tables 4/5")
+    survey.add_argument("-n", "--packages", type=int, default=4000)
+    survey.add_argument("--seed", type=int, default=1909)
+    survey.set_defaults(fn=_cmd_survey)
+
+    smtlib = sub.add_parser("smtlib", help="print the model as SMT-LIB")
+    smtlib.add_argument("pattern")
+    smtlib.add_argument("-f", "--flags", default="")
+    smtlib.add_argument("--negate", action="store_true")
+    smtlib.set_defaults(fn=_cmd_smtlib)
+
+    dot = sub.add_parser("dot", help="print a classical regex's DFA")
+    dot.add_argument("pattern")
+    dot.add_argument("-f", "--flags", default="")
+    dot.set_defaults(fn=_cmd_dot)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,109 @@
+"""Thompson construction: purely regular regex ASTs → ε-NFA.
+
+Only the classical fragment is accepted (no captures, backreferences,
+lookarounds, boundaries or anchors) — richer constructs are decomposed by
+the model translation (§4) *before* automata are built.  Capture groups
+that survive in an otherwise-regular subtree can be erased first with
+:func:`erase_captures` (the paper's ``t̂`` operation from the
+backreference-free quantification rule of Table 2).
+"""
+
+from __future__ import annotations
+
+from repro.regex import ast
+from repro.automata.nfa import Nfa
+
+
+class NotRegularError(TypeError):
+    """Raised when a non-classical construct reaches the automata layer."""
+
+
+def erase_captures(node: ast.Node) -> ast.Node:
+    """Rewrite capture groups to non-capturing groups (the ``t̂`` of §4.2)."""
+    if isinstance(node, ast.Group):
+        return ast.NonCapGroup(erase_captures(node.child))
+    if isinstance(node, ast.NonCapGroup):
+        return ast.NonCapGroup(erase_captures(node.child))
+    if isinstance(node, ast.Quantifier):
+        return ast.Quantifier(
+            erase_captures(node.child), node.min, node.max, node.lazy
+        )
+    if isinstance(node, ast.Concat):
+        return ast.Concat(tuple(erase_captures(p) for p in node.parts))
+    if isinstance(node, ast.Alternation):
+        return ast.Alternation(tuple(erase_captures(o) for o in node.options))
+    if isinstance(node, ast.Lookahead):
+        return ast.Lookahead(erase_captures(node.child), node.negative)
+    return node
+
+
+def to_nfa(node: ast.Node) -> Nfa:
+    """Compile a purely regular AST to an ε-NFA (Thompson construction)."""
+    nfa = Nfa()
+    start = nfa.new_state()
+    accept = nfa.new_state()
+    _compile(node, nfa, start, accept)
+    nfa.start = start
+    nfa.accepts = {accept}
+    return nfa
+
+
+def _compile(node: ast.Node, nfa: Nfa, entry: int, exit_: int) -> None:
+    if isinstance(node, ast.Empty):
+        nfa.add_epsilon(entry, exit_)
+    elif isinstance(node, ast.CharMatch):
+        nfa.add_move(entry, node.charset, exit_)
+    elif isinstance(node, ast.Concat):
+        current = entry
+        for part in node.parts[:-1]:
+            nxt = nfa.new_state()
+            _compile(part, nfa, current, nxt)
+            current = nxt
+        _compile(node.parts[-1], nfa, current, exit_)
+    elif isinstance(node, ast.Alternation):
+        for option in node.options:
+            o_in, o_out = nfa.new_state(), nfa.new_state()
+            nfa.add_epsilon(entry, o_in)
+            nfa.add_epsilon(o_out, exit_)
+            _compile(option, nfa, o_in, o_out)
+    elif isinstance(node, ast.Quantifier):
+        _compile_quantifier(node, nfa, entry, exit_)
+    elif isinstance(node, (ast.NonCapGroup,)):
+        _compile(node.child, nfa, entry, exit_)
+    elif isinstance(node, ast.Group):
+        raise NotRegularError(
+            "capture group reached the automata layer; erase_captures first"
+        )
+    else:
+        raise NotRegularError(
+            f"{type(node).__name__} is not a classical regular construct"
+        )
+
+
+def _compile_quantifier(
+    node: ast.Quantifier, nfa: Nfa, entry: int, exit_: int
+) -> None:
+    # Language-wise greediness is irrelevant; matching precedence is
+    # handled by the CEGAR loop, so ``lazy`` is ignored here (§4.1).
+    low, high = node.min, node.max
+    current = entry
+    for _ in range(low):
+        nxt = nfa.new_state()
+        _compile(node.child, nfa, current, nxt)
+        current = nxt
+    if high is None:
+        # Kleene closure of the remainder.
+        hub = nfa.new_state()
+        nfa.add_epsilon(current, hub)
+        body_in, body_out = nfa.new_state(), nfa.new_state()
+        nfa.add_epsilon(hub, body_in)
+        nfa.add_epsilon(body_out, hub)
+        _compile(node.child, nfa, body_in, body_out)
+        nfa.add_epsilon(hub, exit_)
+    else:
+        nfa.add_epsilon(current, exit_)
+        for _ in range(high - low):
+            nxt = nfa.new_state()
+            _compile(node.child, nfa, current, nxt)
+            nfa.add_epsilon(nxt, exit_)
+            current = nxt

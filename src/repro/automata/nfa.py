@@ -1,0 +1,77 @@
+"""Nondeterministic finite automata with interval-labelled transitions.
+
+NFAs are produced from *purely regular* regex AST subtrees (the base case
+of the paper's Table 2) by Thompson construction in
+:mod:`repro.automata.build`.  Transition labels are
+:class:`~repro.regex.charclass.CharSet` values, so the alphabet is the
+full code-point universe without blow-up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.regex.charclass import CharSet
+
+
+@dataclass
+class Nfa:
+    """An ε-NFA. States are dense integers ``0 .. n_states-1``."""
+
+    n_states: int = 0
+    start: int = 0
+    accepts: Set[int] = field(default_factory=set)
+    #: state -> list of (label, target)
+    moves: Dict[int, List[Tuple[CharSet, int]]] = field(default_factory=dict)
+    #: state -> set of ε-successors
+    epsilon: Dict[int, Set[int]] = field(default_factory=dict)
+
+    def new_state(self) -> int:
+        state = self.n_states
+        self.n_states += 1
+        return state
+
+    def add_move(self, src: int, label: CharSet, dst: int) -> None:
+        if label.is_empty():
+            return
+        self.moves.setdefault(src, []).append((label, dst))
+
+    def add_epsilon(self, src: int, dst: int) -> None:
+        self.epsilon.setdefault(src, set()).add(dst)
+
+    # -- simulation ----------------------------------------------------------
+
+    def epsilon_closure(self, states: Set[int]) -> frozenset[int]:
+        closure = set(states)
+        stack = list(states)
+        while stack:
+            state = stack.pop()
+            for succ in self.epsilon.get(state, ()):
+                if succ not in closure:
+                    closure.add(succ)
+                    stack.append(succ)
+        return frozenset(closure)
+
+    def accepts_word(self, word: str) -> bool:
+        """Direct NFA simulation — used to cross-check the DFA pipeline."""
+        current = self.epsilon_closure({self.start})
+        for ch in word:
+            nxt: Set[int] = set()
+            for state in current:
+                for label, dst in self.moves.get(state, ()):
+                    if ch in label:
+                        nxt.add(dst)
+            if not nxt:
+                return False
+            current = self.epsilon_closure(nxt)
+        return bool(current & self.accepts)
+
+    def alphabet_labels(self) -> List[CharSet]:
+        """All distinct transition labels (for minterm computation)."""
+        seen: list[CharSet] = []
+        for edges in self.moves.values():
+            for label, _ in edges:
+                if label not in seen:
+                    seen.append(label)
+        return seen

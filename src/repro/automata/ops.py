@@ -1,0 +1,71 @@
+"""High-level automata operations used by the model and the solver.
+
+The central entry point is :func:`dfa_for`, which compiles a purely
+regular AST node to a (cached, minimized) DFA.  Caching matters: DSE
+re-solves path conditions containing the same regexes thousands of times.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.regex import ast
+from repro.regex.parser import parse_pattern
+from repro.automata.build import NotRegularError, erase_captures, to_nfa
+from repro.automata.dfa import Dfa, determinize
+from repro.automata.nfa import Nfa
+
+_DFA_CACHE: Dict[ast.Node, Dfa] = {}
+_COMPLEMENT_CACHE: Dict[ast.Node, Dfa] = {}
+
+
+def clear_caches() -> None:
+    """Drop memoized DFAs (used by benchmarks measuring cold compilation)."""
+    _DFA_CACHE.clear()
+    _COMPLEMENT_CACHE.clear()
+
+
+def nfa_for(node: ast.Node) -> Nfa:
+    """Thompson NFA for a purely regular node (captures erased first)."""
+    return to_nfa(erase_captures(node))
+
+
+def dfa_for(node: ast.Node, minimize: bool = True) -> Dfa:
+    """Compile ``node`` (purely regular, captures allowed and erased) to a DFA."""
+    cached = _DFA_CACHE.get(node)
+    if cached is not None:
+        return cached
+    dfa = determinize(nfa_for(node))
+    if minimize and dfa.n_states <= 512:
+        dfa = dfa.minimize()
+    _DFA_CACHE[node] = dfa
+    return dfa
+
+
+def complement_dfa_for(node: ast.Node) -> Dfa:
+    """The complement automaton (drives ``∉ L(r)`` constraints of §4.4)."""
+    cached = _COMPLEMENT_CACHE.get(node)
+    if cached is not None:
+        return cached
+    dfa = dfa_for(node).complement()
+    _COMPLEMENT_CACHE[node] = dfa
+    return dfa
+
+
+def dfa_for_pattern(source: str, flags: str = "") -> Dfa:
+    """Parse classical regex text and compile it — convenience for tests."""
+    pattern = parse_pattern(source, flags if flags else "")
+    return dfa_for(pattern.body)
+
+
+def intersect_all(dfas: Iterable[Dfa]) -> Optional[Dfa]:
+    """Intersection of a collection of DFAs (``None`` for an empty input)."""
+    result: Optional[Dfa] = None
+    for dfa in dfas:
+        result = dfa if result is None else result.intersect(dfa)
+    return result
+
+
+def membership_witness(node: ast.Node) -> Optional[str]:
+    """A shortest word in ``L(node)``, or ``None`` if the language is empty."""
+    return dfa_for(node).shortest_word()

@@ -1,0 +1,72 @@
+"""Graphviz DOT export for automata (debugging/teaching aid).
+
+``to_dot(dfa)`` renders any NFA/DFA with interval labels compressed to
+readable class syntax; useful when investigating why a model constraint
+admits or rejects a word.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.regex.charclass import CharSet
+from repro.automata.dfa import Dfa
+from repro.automata.nfa import Nfa
+
+
+def label_of(charset: CharSet, max_parts: int = 4) -> str:
+    """A compact, printable label for an interval set."""
+    if charset == CharSet.any():
+        return "Σ"
+    parts = []
+    for lo, hi in charset.intervals[:max_parts]:
+        parts.append(_show(lo) if lo == hi else f"{_show(lo)}-{_show(hi)}")
+    if len(charset.intervals) > max_parts:
+        parts.append("…")
+    return "[" + " ".join(parts) + "]"
+
+
+def _show(cp: int) -> str:
+    ch = chr(cp)
+    if ch.isprintable() and ch not in '\\"[]':
+        return ch
+    if cp == 0x0A:
+        return "\\\\n"
+    return f"u{cp:04x}"
+
+
+def to_dot(automaton: Union[Dfa, Nfa], name: str = "automaton") -> str:
+    """Render as a Graphviz digraph."""
+    lines = [
+        f"digraph {name} {{",
+        "  rankdir=LR;",
+        '  node [shape=circle, fontname="monospace"];',
+        '  __start [shape=point, label=""];',
+    ]
+    if isinstance(automaton, Dfa):
+        accepts = automaton.accepts
+        lines.append(f"  __start -> s{automaton.start};")
+        for state in range(automaton.n_states):
+            shape = "doublecircle" if state in accepts else "circle"
+            lines.append(f"  s{state} [shape={shape}];")
+        for src, edges in sorted(automaton.transitions.items()):
+            for charset, dst in edges:
+                lines.append(
+                    f'  s{src} -> s{dst} [label="{label_of(charset)}"];'
+                )
+    else:
+        accepts = automaton.accepts
+        lines.append(f"  __start -> s{automaton.start};")
+        for state in range(automaton.n_states):
+            shape = "doublecircle" if state in accepts else "circle"
+            lines.append(f"  s{state} [shape={shape}];")
+        for src, edges in sorted(automaton.moves.items()):
+            for charset, dst in edges:
+                lines.append(
+                    f'  s{src} -> s{dst} [label="{label_of(charset)}"];'
+                )
+        for src, targets in sorted(automaton.epsilon.items()):
+            for dst in sorted(targets):
+                lines.append(f'  s{src} -> s{dst} [label="ε", style=dashed];')
+    lines.append("}")
+    return "\n".join(lines)

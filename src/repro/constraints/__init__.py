@@ -1,0 +1,42 @@
+"""String-constraint language emitted by the capturing-language model."""
+
+from repro.constraints.formulas import (
+    And,
+    BoolLit,
+    Eq,
+    FALSE,
+    Formula,
+    Implies,
+    InRe,
+    Not,
+    Or,
+    TRUE,
+    conj,
+    disj,
+    eq_str,
+    formula_size,
+    implies,
+    is_defined,
+    is_undef,
+    neg,
+    to_nnf,
+)
+from repro.constraints.terms import (
+    Concat,
+    StrConst,
+    StrVar,
+    Term,
+    UNDEF,
+    Undef,
+    concat,
+    flatten,
+    fresh_var,
+    variables_of,
+)
+
+__all__ = [
+    "And", "BoolLit", "Concat", "Eq", "FALSE", "Formula", "Implies", "InRe",
+    "Not", "Or", "StrConst", "StrVar", "TRUE", "Term", "UNDEF", "Undef",
+    "concat", "conj", "disj", "eq_str", "flatten", "formula_size", "fresh_var",
+    "implies", "is_defined", "is_undef", "neg", "to_nnf", "variables_of",
+]

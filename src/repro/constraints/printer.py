@@ -1,0 +1,190 @@
+"""SMT-LIB 2.6-style rendering of constraint formulas.
+
+The paper's pipeline hands Z3 problems in the SMT-LIB string theory;
+this printer renders our formulas in that concrete syntax (``str.++``,
+``str.in_re``, ``re.union``...) so users can inspect queries, diff them
+against other solvers, or export them.  ⊥-valued capture variables are
+encoded with the standard option pattern: a Boolean ``|v.def|`` guard
+plus a String ``v``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.regex import ast as regex_ast
+from repro.constraints.formulas import (
+    And,
+    BoolLit,
+    Eq,
+    Formula,
+    Implies,
+    InRe,
+    Not,
+    Or,
+)
+from repro.constraints.terms import Concat, StrConst, StrVar, Term, Undef
+
+
+def to_smtlib(formula: Formula, declare: bool = True) -> str:
+    """Render ``formula`` as an SMT-LIB script (declarations + assert)."""
+    body = _formula(formula)
+    if not declare:
+        return body
+    variables = sorted(_variables(formula), key=lambda v: v.name)
+    lines: List[str] = ["(set-logic QF_S)"]
+    for var in variables:
+        lines.append(f"(declare-const {_symbol(var.name)} String)")
+        lines.append(f"(declare-const {_symbol(var.name + '.def')} Bool)")
+    lines.append(f"(assert {body})")
+    lines.append("(check-sat)")
+    return "\n".join(lines)
+
+
+def _formula(formula: Formula) -> str:
+    if isinstance(formula, BoolLit):
+        return "true" if formula.value else "false"
+    if isinstance(formula, Not):
+        return f"(not {_formula(formula.operand)})"
+    if isinstance(formula, And):
+        return "(and " + " ".join(map(_formula, formula.operands)) + ")"
+    if isinstance(formula, Or):
+        return "(or " + " ".join(map(_formula, formula.operands)) + ")"
+    if isinstance(formula, Implies):
+        return (
+            f"(=> {_formula(formula.antecedent)} "
+            f"{_formula(formula.consequent)})"
+        )
+    if isinstance(formula, Eq):
+        return _equality(formula.left, formula.right)
+    if isinstance(formula, InRe):
+        return f"(str.in_re {_term(formula.term)} {_regex(formula.regex)})"
+    raise TypeError(f"cannot print {formula!r}")
+
+
+def _equality(left: Term, right: Term) -> str:
+    # ⊥-aware equality: x = ⊥ becomes (not |x.def|); x = y over possibly-⊥
+    # variables compares both the definedness guards and the payloads.
+    if isinstance(right, Undef):
+        left, right = right, left
+    if isinstance(left, Undef):
+        if isinstance(right, StrVar):
+            return f"(not {_symbol(right.name + '.def')})"
+        if isinstance(right, Undef):
+            return "true"
+        return "false"  # a constant/concat is never ⊥
+    if isinstance(left, StrVar) and isinstance(right, StrVar):
+        ldef = _symbol(left.name + ".def")
+        rdef = _symbol(right.name + ".def")
+        return (
+            f"(and (= {ldef} {rdef}) (= {_term(left)} {_term(right)}))"
+        )
+    return f"(= {_term(left)} {_term(right)})"
+
+
+def _term(term: Term) -> str:
+    if isinstance(term, StrVar):
+        return _symbol(term.name)
+    if isinstance(term, StrConst):
+        return _string_literal(term.value)
+    if isinstance(term, Concat):
+        return "(str.++ " + " ".join(_term(p) for p in term.parts) + ")"
+    if isinstance(term, Undef):
+        raise TypeError("⊥ can only appear in equalities")
+    raise TypeError(f"cannot print term {term!r}")
+
+
+def _regex(node: regex_ast.Node) -> str:
+    if isinstance(node, regex_ast.Empty):
+        return '(str.to_re "")'
+    if isinstance(node, regex_ast.CharMatch):
+        return _charset_regex(node)
+    if isinstance(node, regex_ast.Concat):
+        return "(re.++ " + " ".join(_regex(p) for p in node.parts) + ")"
+    if isinstance(node, regex_ast.Alternation):
+        return "(re.union " + " ".join(_regex(o) for o in node.options) + ")"
+    if isinstance(node, regex_ast.Quantifier):
+        inner = _regex(node.child)
+        low, high = node.min, node.max
+        if (low, high) == (0, None):
+            return f"(re.* {inner})"
+        if (low, high) == (1, None):
+            return f"(re.+ {inner})"
+        if (low, high) == (0, 1):
+            return f"(re.opt {inner})"
+        if high is None:
+            return f"(re.++ ((_ re.loop {low} {low}) {inner}) (re.* {inner}))"
+        return f"((_ re.loop {low} {high}) {inner})"
+    if isinstance(node, (regex_ast.Group, regex_ast.NonCapGroup)):
+        return _regex(node.child)
+    raise TypeError(
+        f"{type(node).__name__} has no classical SMT-LIB regex form"
+    )
+
+
+def _charset_regex(node: regex_ast.CharMatch) -> str:
+    intervals = node.charset.intervals
+    if not intervals:
+        return "re.none"
+    if len(intervals) == 1 and intervals[0] == (0, 0x10FFFF):
+        return "re.allchar"
+    parts = []
+    for lo, hi in intervals:
+        if lo == hi:
+            parts.append(f"(str.to_re {_string_literal(chr(lo))})")
+        else:
+            parts.append(
+                f"(re.range {_string_literal(chr(lo))} "
+                f"{_string_literal(chr(hi))})"
+            )
+    if len(parts) == 1:
+        return parts[0]
+    return "(re.union " + " ".join(parts) + ")"
+
+
+def _string_literal(value: str) -> str:
+    out = ['"']
+    for ch in value:
+        if ch == '"':
+            out.append('""')
+        elif 0x20 <= ord(ch) < 0x7F:
+            out.append(ch)
+        else:
+            out.append(f"\\u{{{ord(ch):x}}}")
+    out.append('"')
+    return "".join(out)
+
+
+def _symbol(name: str) -> str:
+    if all(c.isalnum() or c in "_.$" for c in name):
+        return name
+    return "|" + name.replace("|", "_") + "|"
+
+
+def _variables(formula: Formula) -> Set[StrVar]:
+    out: Set[StrVar] = set()
+
+    def visit_term(term: Term) -> None:
+        if isinstance(term, StrVar):
+            out.add(term)
+        elif isinstance(term, Concat):
+            for part in term.parts:
+                visit_term(part)
+
+    def visit(f: Formula) -> None:
+        if isinstance(f, Not):
+            visit(f.operand)
+        elif isinstance(f, (And, Or)):
+            for op in f.operands:
+                visit(op)
+        elif isinstance(f, Implies):
+            visit(f.antecedent)
+            visit(f.consequent)
+        elif isinstance(f, Eq):
+            visit_term(f.left)
+            visit_term(f.right)
+        elif isinstance(f, InRe):
+            visit_term(f.term)
+
+    visit(formula)
+    return out

@@ -1,0 +1,33 @@
+"""The NPM regex survey pipeline (§7.1): extraction, classification,
+corpus generation and aggregation into Tables 4/5."""
+
+from repro.corpus.extract import RegexLiteral, extract_regex_literals
+from repro.corpus.features import RegexFeatures, TABLE5_ROWS, classify
+from repro.corpus.generator import (
+    CorpusConfig,
+    SyntheticPackage,
+    TEMPLATE_POOL,
+    generate_corpus,
+)
+from repro.corpus.survey import (
+    SurveyResult,
+    format_table4,
+    format_table5,
+    survey_packages,
+)
+
+__all__ = [
+    "CorpusConfig",
+    "RegexFeatures",
+    "RegexLiteral",
+    "SurveyResult",
+    "SyntheticPackage",
+    "TABLE5_ROWS",
+    "TEMPLATE_POOL",
+    "classify",
+    "extract_regex_literals",
+    "format_table4",
+    "format_table5",
+    "generate_corpus",
+    "survey_packages",
+]

@@ -1,0 +1,270 @@
+"""A catalog of real-world JavaScript regexes for validation.
+
+Patterns collected from widely-used open-source JavaScript idioms
+(semver/URL/email validation, parsers, sanitizers, syntax highlighting,
+framework internals).  The catalog drives validation tests: every entry
+must parse, classify, match its positive examples, reject its negative
+examples, and — where marked solvable — yield a CEGAR-validated input
+from the model.
+
+Each entry: (pattern, flags, positives, negatives, tags).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    pattern: str
+    flags: str
+    positives: Tuple[str, ...]
+    negatives: Tuple[str, ...]
+    tags: Tuple[str, ...] = ()
+
+    @property
+    def display(self) -> str:
+        return f"/{self.pattern}/{self.flags}"
+
+
+def _entry(pattern, flags, positives, negatives, tags=()):
+    return CatalogEntry(
+        pattern, flags, tuple(positives), tuple(negatives), tuple(tags)
+    )
+
+
+CATALOG: List[CatalogEntry] = [
+    # -- validators -----------------------------------------------------------
+    _entry(r"^\d+$", "", ["0", "42", "007"], ["", "4a", "-1"], ["anchor"]),
+    _entry(
+        r"^[a-f0-9]{8}$", "i",
+        ["deadbeef", "DEADBEEF", "01234567"],
+        ["xyz", "deadbee", "deadbeef9"],
+        ["class", "ignorecase"],
+    ),
+    _entry(
+        r"^v?(\d+)\.(\d+)\.(\d+)$", "",
+        ["1.2.3", "v0.0.1", "10.20.30"],
+        ["1.2", "v1.2.3.4", "a.b.c"],
+        ["captures", "semver"],
+    ),
+    _entry(
+        r"^(\w+)@(\w+)\.([a-z]{2,3})$", "",
+        ["bob@host.com", "a@b.io"],
+        ["bob@host", "@host.com", "bob@host.company"],
+        ["captures", "email"],
+    ),
+    _entry(
+        r"^#?([a-f0-9]{6}|[a-f0-9]{3})$", "",
+        ["#fff", "a1b2c3", "#a1b2c3"],
+        ["#ffff", "xyzxyz", "#"],
+        ["captures", "alternation", "color"],
+    ),
+    _entry(
+        r"^[+-]?\d+(\.\d+)?$", "",
+        ["1", "-1", "+3.25", "0.5"],
+        ["1.", ".5", "1.2.3", "e5"],
+        ["captures", "number"],
+    ),
+    _entry(
+        r"^(?:y|yes|true|1|on)$", "i",
+        ["y", "YES", "True", "on", "1"],
+        ["no", "yessir", ""],
+        ["alternation", "yn"],
+    ),
+    # -- parsers ---------------------------------------------------------------
+    _entry(
+        r"^(\w+)=(.*)$", "",
+        ["key=value", "a=", "x=1=2"],
+        ["=value", "novalue"],
+        ["captures", "kv"],
+    ),
+    _entry(
+        r"<(\w+)>([0-9]*)<\/\1>", "",
+        ["<t>42</t>", "<timeout></timeout>"],
+        ["<a>1</b>", "<a>x</a>"],
+        ["captures", "backreference", "listing1"],
+    ),
+    _entry(
+        r"^([^:]+):(\d+)$", "",
+        ["localhost:8080", "a:1"],
+        ["nocolon", ":80", "host:"],
+        ["captures", "hostport"],
+    ),
+    _entry(
+        r"^\s*([\w.-]+)\s*:\s*(.*?)\s*$", "",
+        ["key: value", "  a.b-c :x  "],
+        [": value", ""],
+        ["captures", "lazy", "header"],
+    ),
+    _entry(
+        r"(['\"])((?:\\.|[^\\])*?)\1", "",
+        ["'abc'", '"x"', "say 'it' now"],
+        ["'unterminated", "plain"],
+        ["captures", "backreference", "lazy", "strings"],
+    ),
+    _entry(
+        r"^(\d{4})-(\d{2})-(\d{2})T(\d{2}):(\d{2})$", "",
+        ["2019-06-22T09:30"],
+        ["2019-6-22T09:30", "2019-06-22 09:30"],
+        ["captures", "repetition", "date"],
+    ),
+    # -- sanitizers / rewriting --------------------------------------------------
+    _entry(
+        r"[.*+?^${}()|[\]\\]", "g",
+        ["a.b", "x*", "(y)"],
+        ["abc", ""],
+        ["class", "escape"],
+    ),
+    _entry(
+        r"^\s+|\s+$", "g",
+        ["  padded  ", "x "],
+        ["tight"],
+        ["alternation", "trim"],
+    ),
+    _entry(
+        r"([A-Z])", "g",
+        ["camelCase", "X"],
+        ["lower_only", "123"],
+        ["captures", "case-conversion"],
+    ),
+    _entry(
+        r"(?:\r\n|\r|\n)", "g",
+        ["a\nb", "a\r\nb", "\r"],
+        ["oneline"],
+        ["noncapturing", "newlines"],
+    ),
+    # -- boundaries / lookaheads ---------------------------------------------------
+    _entry(
+        r"\bclass\b", "",
+        ["a class here", "class"],
+        ["classes", "subclass"],
+        ["boundary", "keyword"],
+    ),
+    _entry(
+        r"\B_\B", "",
+        ["snake_case"],
+        ["_lead", "trail_"],
+        ["boundary"],
+    ),
+    _entry(
+        r"^(?=.*[0-9])(?=.*[a-z])[a-z0-9]{6,}$", "",
+        ["abc123", "p4ssw0rd"],
+        ["abcdef", "123456", "ab1"],
+        ["lookahead", "password"],
+    ),
+    _entry(
+        r"\d+(?=px)", "",
+        ["10px", "1px"],
+        ["10em", "px"],
+        ["lookahead", "css"],
+    ),
+    _entry(
+        r"^(?!-)[a-z-]+$", "",
+        ["abc", "a-b"],
+        ["-abc", "a_b", ""],
+        ["lookahead", "negative"],
+    ),
+    # -- backreferences --------------------------------------------------------------
+    _entry(
+        r"(\w)\1", "",
+        ["aa", "bookkeeper"],
+        ["abc", "aba"],
+        ["backreference"],
+    ),
+    _entry(
+        r"\b(\w+)\s+\1\b", "",
+        ["the the end", "go go"],
+        ["the them", "nothing doubled"],
+        ["backreference", "boundary", "doubled-word"],
+    ),
+    # -- sticky / global state -------------------------------------------------------
+    _entry(
+        r"goo+d", "y",
+        ["goood"],
+        ["so goood"],  # sticky: must match at lastIndex 0
+        ["sticky", "paper"],
+    ),
+    _entry(
+        r"[^\x00-\x7F]", "",
+        ["café", "naïve"],
+        ["ascii only"],
+        ["class", "non-ascii"],
+    ),
+    # -- framework / build-tool idioms ---------------------------------------------
+    _entry(
+        r"^\.\.?(\/|$)", "",
+        ["./x", "../up", ".."],
+        ["path/to", ".hidden"],
+        ["alternation", "relative-path"],
+    ),
+    _entry(
+        r"\{\{(\w+)\}\}", "g",
+        ["hello {{name}}", "{{a}}{{b}}"],
+        ["{ name }", "{{}}"],
+        ["captures", "template"],
+    ),
+    _entry(
+        r"^--?(\w[\w-]*)$", "",
+        ["--verbose", "-v", "--dry-run"],
+        ["---x", "plain", "--"],
+        ["captures", "cli-flag"],
+    ),
+    _entry(
+        r"^(Mon|Tue|Wed|Thu|Fri|Sat|Sun)$", "",
+        ["Mon", "Sun"],
+        ["Monday", "mon", ""],
+        ["captures", "alternation", "weekday"],
+    ),
+    _entry(
+        r"([?&])(\w+)=([^&]*)", "",
+        ["?q=x", "&page=2", "url?a=1&b=2"],
+        ["no query", "?=x"],
+        ["captures", "querystring"],
+    ),
+    _entry(
+        r"^(0|[1-9]\d*)$", "",
+        ["0", "7", "1900"],
+        ["007", "-1", ""],
+        ["captures", "alternation", "canonical-int"],
+    ),
+    _entry(
+        r"\s*,\s*", "g",
+        ["a, b", "a ,b", "x,y"],
+        ["ab"],
+        ["split-separator"],
+    ),
+    _entry(
+        r"^[a-z][a-z0-9]*(?:_[a-z0-9]+)*$", "",
+        ["snake_case", "a1", "x_y_z"],
+        ["_lead", "Upper", "double__under"],
+        ["noncapturing", "identifier"],
+    ),
+    _entry(
+        r"(\d+)\s*(px|em|rem|%)", "",
+        ["10px", "2 em", "50%"],
+        ["px", "ten px"],
+        ["captures", "alternation", "css-unit"],
+    ),
+    _entry(
+        r"^\[(\w+)\]\s*(.*)$", "",
+        ["[info] started", "[err]"],
+        ["info: started", "(info) x"],
+        ["captures", "log-line"],
+    ),
+]
+
+#: Entries whose membership models are comfortably solvable (used by the
+#: end-to-end catalog validation; a handful are excluded for solver cost,
+#: not correctness — they still pass parse/classify/concrete tests).
+SOLVABLE_TAGS_EXCLUDED = frozenset({"password"})
+
+
+def solvable_entries() -> List[CatalogEntry]:
+    return [
+        entry
+        for entry in CATALOG
+        if not (set(entry.tags) & SOLVABLE_TAGS_EXCLUDED)
+    ]

@@ -1,0 +1,158 @@
+"""Regex-literal extraction from JavaScript source (§7.1 methodology).
+
+The paper's survey uses "a lightweight static analysis that parses all
+source files in a package and identifies regex literals and function
+calls", explicitly *not* resolving ``new RegExp(...)`` construction (so
+the numbers are a lower bound).  This module reproduces that analysis:
+a scanner that walks JS source, skips strings/comments, resolves the
+division-vs-regex ambiguity, and returns the literals with their flags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class RegexLiteral:
+    source: str
+    flags: str
+    line: int
+
+
+_EXPRESSION_ENDERS = set(")]}")
+
+
+def extract_regex_literals(source: str) -> List[RegexLiteral]:
+    """All regex literals appearing in a JS source file."""
+    literals: List[RegexLiteral] = []
+    i = 0
+    line = 1
+    n = len(source)
+    last_significant = ""
+
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                break
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        if ch in "'\"`":
+            i, line = _skip_string(source, i, line)
+            last_significant = "str"
+            continue
+        if ch == "/" and _starts_regex(last_significant):
+            literal, i = _read_regex_literal(source, i, line)
+            if literal is not None:
+                literals.append(literal)
+                last_significant = "regex"
+                continue
+            # not a regex after all: treat as division
+            i += 1
+            last_significant = "/"
+            continue
+        if ch.isalnum() or ch in "_$":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] in "_$"):
+                i += 1
+            last_significant = source[start:i]
+            continue
+        last_significant = ch
+        i += 1
+    return literals
+
+
+def _starts_regex(last: str) -> bool:
+    if not last:
+        return True
+    if last in ("str", "regex"):
+        return False
+    if last[-1] in _EXPRESSION_ENDERS:
+        return False
+    if last[0].isalnum() or last[0] in "_$":
+        # identifiers and literals end expressions, keywords do not
+        return last in (
+            "return", "typeof", "case", "in", "of", "new", "delete",
+            "void", "instanceof", "do", "else", "yield",
+        )
+    return True
+
+
+def _skip_string(source: str, i: int, line: int):
+    quote = source[i]
+    i += 1
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\\":
+            i += 2
+            continue
+        if ch == quote:
+            return i + 1, line
+        if ch == "\n":
+            if quote != "`":
+                return i, line  # unterminated; bail gracefully
+            line += 1
+        i += 1
+    return i, line
+
+
+def _read_regex_literal(source: str, i: int, line: int):
+    start = i
+    i += 1
+    n = len(source)
+    in_class = False
+    body_chars = 0
+    while i < n:
+        ch = source[i]
+        if ch == "\\":
+            i += 2
+            body_chars += 2
+            continue
+        if ch == "\n":
+            return None, start  # not a regex literal
+        if in_class:
+            if ch == "]":
+                in_class = False
+        elif ch == "[":
+            in_class = True
+        elif ch == "/":
+            break
+        i += 1
+        body_chars += 1
+    else:
+        return None, start
+    if body_chars == 0:
+        return None, start  # "//" is a comment, not an empty regex
+    body = source[start + 1:i]
+    i += 1
+    flag_start = i
+    while i < n and (source[i].isalpha()):
+        i += 1
+    flags = source[flag_start:i]
+    if any(f not in "gimsuy" for f in flags):
+        return None, start
+    return RegexLiteral(body, flags, line), i
+
+
+def extract_from_package(files: Iterator[str]) -> List[RegexLiteral]:
+    """Extract from every source file of a package."""
+    literals: List[RegexLiteral] = []
+    for content in files:
+        literals.extend(extract_regex_literals(content))
+    return literals

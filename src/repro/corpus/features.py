@@ -1,0 +1,145 @@
+"""Regex feature classification — the feature taxonomy of Table 5.
+
+Each extracted regex is parsed with the ES6 front end and classified
+against the 19 feature rows the paper reports (capture groups, flags,
+classes, quantifier variants, boundaries, lookaheads, backreferences,
+quantified backreferences, ...).
+"""
+
+from __future__ import annotations
+
+import re as _stdlib_re
+from dataclasses import dataclass, field, fields
+from typing import Optional
+
+from repro.regex import ast, parse_pattern
+from repro.regex.errors import RegexError
+from repro.regex.flags import Flags
+from repro.model.backrefs import has_quantified_backref
+
+
+@dataclass
+class RegexFeatures:
+    """Feature flags for one regex (one row contribution to Table 5)."""
+
+    capture_groups: bool = False
+    global_flag: bool = False
+    character_class: bool = False
+    kleene_plus: bool = False
+    kleene_star: bool = False
+    ignore_case_flag: bool = False
+    ranges: bool = False
+    non_capturing: bool = False
+    repetition: bool = False
+    kleene_star_lazy: bool = False
+    multiline_flag: bool = False
+    word_boundary: bool = False
+    kleene_plus_lazy: bool = False
+    lookaheads: bool = False
+    backreferences: bool = False
+    repetition_lazy: bool = False
+    quantified_backrefs: bool = False
+    sticky_flag: bool = False
+    unicode_flag: bool = False
+
+    @staticmethod
+    def feature_names() -> list:
+        return [f.name for f in fields(RegexFeatures)]
+
+    def any_non_classical(self) -> bool:
+        return (
+            self.capture_groups
+            or self.backreferences
+            or self.lookaheads
+            or self.word_boundary
+        )
+
+
+_RANGE_RE = _stdlib_re.compile(r"[^\\\[]-[^\]]")
+
+
+def classify(source: str, flags: str = "") -> Optional[RegexFeatures]:
+    """Classify one regex; ``None`` if it fails to parse as ES6."""
+    try:
+        parsed_flags = Flags.parse(flags)
+        pattern = parse_pattern(source, parsed_flags)
+    except (RegexError, RecursionError):
+        return None
+
+    features = RegexFeatures(
+        global_flag=parsed_flags.global_,
+        ignore_case_flag=parsed_flags.ignore_case,
+        multiline_flag=parsed_flags.multiline,
+        sticky_flag=parsed_flags.sticky,
+        unicode_flag=parsed_flags.unicode,
+    )
+
+    for node in ast.walk(pattern.body):
+        if isinstance(node, ast.Group):
+            features.capture_groups = True
+        elif isinstance(node, ast.NonCapGroup):
+            features.non_capturing = True
+        elif isinstance(node, ast.Lookahead):
+            features.lookaheads = True
+        elif isinstance(node, ast.WordBoundary):
+            features.word_boundary = True
+        elif isinstance(node, ast.Backreference):
+            features.backreferences = True
+        elif isinstance(node, ast.CharMatch):
+            if node.source.startswith("["):
+                features.character_class = True
+                if _RANGE_RE.search(node.source):
+                    features.ranges = True
+        elif isinstance(node, ast.Quantifier):
+            _classify_quantifier(node, features)
+
+    if features.backreferences and has_quantified_backref(pattern):
+        features.quantified_backrefs = True
+    return features
+
+
+def _classify_quantifier(
+    node: ast.Quantifier, features: RegexFeatures
+) -> None:
+    low, high = node.min, node.max
+    if (low, high) == (0, None):
+        if node.lazy:
+            features.kleene_star_lazy = True
+        else:
+            features.kleene_star = True
+    elif (low, high) == (1, None):
+        if node.lazy:
+            features.kleene_plus_lazy = True
+        else:
+            features.kleene_plus = True
+    elif (low, high) == (0, 1):
+        pass  # optionals are not a Table 5 row
+    else:
+        if node.lazy:
+            features.repetition_lazy = True
+        else:
+            features.repetition = True
+
+
+#: Display names used by the Table 5 harness, in the paper's row order.
+TABLE5_ROWS = [
+    ("capture_groups", "Capture Groups"),
+    ("global_flag", "Global Flag"),
+    ("character_class", "Character Class"),
+    ("kleene_plus", "Kleene+"),
+    ("kleene_star", "Kleene*"),
+    ("ignore_case_flag", "Ignore Case Flag"),
+    ("ranges", "Ranges"),
+    ("non_capturing", "Non-capturing"),
+    ("repetition", "Repetition"),
+    ("kleene_star_lazy", "Kleene* (Lazy)"),
+    ("multiline_flag", "Multiline Flag"),
+    ("word_boundary", "Word Boundary"),
+    ("kleene_plus_lazy", "Kleene+ (Lazy)"),
+    ("lookaheads", "Lookaheads"),
+    ("backreferences", "Backreferences"),
+    ("repetition_lazy", "Repetition (Lazy)"),
+    ("quantified_backrefs", "Quantified BRefs"),
+    ("sticky_flag", "Sticky Flag"),
+    ("unicode_flag", "Unicode Flag"),
+]

@@ -1,0 +1,158 @@
+"""The §7.1 survey pipeline: extraction → classification → Tables 4/5."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.corpus.extract import RegexLiteral, extract_regex_literals
+from repro.corpus.features import RegexFeatures, TABLE5_ROWS, classify
+from repro.corpus.generator import SyntheticPackage
+
+
+@dataclass
+class Table4Row:
+    label: str
+    count: int
+    percent: float
+
+
+@dataclass
+class Table5Row:
+    label: str
+    total: int
+    total_percent: float
+    unique: int
+    unique_percent: float
+
+
+@dataclass
+class SurveyResult:
+    """Aggregated survey output (the paper's Tables 4 and 5)."""
+
+    n_packages: int = 0
+    with_source: int = 0
+    with_regex: int = 0
+    with_captures: int = 0
+    with_backrefs: int = 0
+    with_quantified_backrefs: int = 0
+    total_regexes: int = 0
+    unique_regexes: int = 0
+    feature_totals: Dict[str, int] = field(default_factory=dict)
+    feature_uniques: Dict[str, int] = field(default_factory=dict)
+    unparsable: int = 0
+
+    def table4(self) -> List[Table4Row]:
+        def row(label: str, count: int) -> Table4Row:
+            pct = 100.0 * count / self.n_packages if self.n_packages else 0.0
+            return Table4Row(label, count, pct)
+
+        return [
+            row("Packages", self.n_packages),
+            row("... with source files", self.with_source),
+            row("... with regular expressions", self.with_regex),
+            row("... with capture groups", self.with_captures),
+            row("... with backreferences", self.with_backrefs),
+            row("... with quantified backreferences",
+                self.with_quantified_backrefs),
+        ]
+
+    def table5(self) -> List[Table5Row]:
+        rows = [
+            Table5Row(
+                "Total Regex",
+                self.total_regexes,
+                100.0,
+                self.unique_regexes,
+                100.0,
+            )
+        ]
+        for feature, label in TABLE5_ROWS:
+            total = self.feature_totals.get(feature, 0)
+            unique = self.feature_uniques.get(feature, 0)
+            rows.append(
+                Table5Row(
+                    label,
+                    total,
+                    100.0 * total / self.total_regexes
+                    if self.total_regexes
+                    else 0.0,
+                    unique,
+                    100.0 * unique / self.unique_regexes
+                    if self.unique_regexes
+                    else 0.0,
+                )
+            )
+        return rows
+
+
+def survey_packages(packages: Sequence[SyntheticPackage]) -> SurveyResult:
+    """Run the full survey over a corpus of packages."""
+    result = SurveyResult(n_packages=len(packages))
+    unique_seen: Dict[Tuple[str, str], RegexFeatures] = {}
+    feature_names = RegexFeatures.feature_names()
+    result.feature_totals = {name: 0 for name in feature_names}
+    result.feature_uniques = {name: 0 for name in feature_names}
+
+    for package in packages:
+        if not package.has_source:
+            continue
+        result.with_source += 1
+        literals: List[RegexLiteral] = []
+        for content in package.files:
+            literals.extend(extract_regex_literals(content))
+        if not literals:
+            continue
+        result.with_regex += 1
+        package_flags = {"captures": False, "backrefs": False, "qbr": False}
+        for literal in literals:
+            features = classify(literal.source, literal.flags)
+            if features is None:
+                result.unparsable += 1
+                continue
+            result.total_regexes += 1
+            key = (literal.source, literal.flags)
+            is_new = key not in unique_seen
+            if is_new:
+                unique_seen[key] = features
+            for name in feature_names:
+                if getattr(features, name):
+                    result.feature_totals[name] += 1
+                    if is_new:
+                        result.feature_uniques[name] += 1
+            if features.capture_groups:
+                package_flags["captures"] = True
+            if features.backreferences:
+                package_flags["backrefs"] = True
+            if features.quantified_backrefs:
+                package_flags["qbr"] = True
+        if package_flags["captures"]:
+            result.with_captures += 1
+        if package_flags["backrefs"]:
+            result.with_backrefs += 1
+        if package_flags["qbr"]:
+            result.with_quantified_backrefs += 1
+
+    result.unique_regexes = len(unique_seen)
+    return result
+
+
+def format_table4(result: SurveyResult) -> str:
+    lines = ["Feature                                    Count        %"]
+    for row in result.table4():
+        lines.append(
+            f"{row.label:<40} {row.count:>8} {row.percent:>7.1f}%"
+        )
+    return "\n".join(lines)
+
+
+def format_table5(result: SurveyResult) -> str:
+    lines = [
+        "Feature               Total      %     Unique     %",
+    ]
+    for row in result.table5():
+        lines.append(
+            f"{row.label:<20} {row.total:>7} {row.total_percent:>6.2f}% "
+            f"{row.unique:>7} {row.unique_percent:>6.2f}%"
+        )
+    return "\n".join(lines)

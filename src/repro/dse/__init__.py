@@ -1,0 +1,33 @@
+"""Mini-JS dynamic symbolic execution engine (the ExpoSE stand-in).
+
+- :mod:`repro.dse.lexer` / :mod:`repro.dse.parser` — the JS-subset front
+  end (with regex-literal handling);
+- :mod:`repro.dse.interpreter` — concolic execution with symbolic
+  strings and Algorithm 2 regex fork points;
+- :mod:`repro.dse.engine` — generational search with clause flipping and
+  CEGAR-backed query solving;
+- :mod:`repro.dse.strategy` — the CUPA-style scheduler (§6.2);
+- :mod:`repro.dse.harness` — the automatic library harness (§7.3).
+"""
+
+from repro.dse.engine import DseEngine, EngineConfig, EngineResult, analyze
+from repro.dse.harness import build_harness, discover_exports
+from repro.dse.interpreter import Interpreter, RegexSupportLevel, Trace
+from repro.dse.parser import parse_program
+from repro.dse.replay import replay, replay_failures, export_test_suite
+
+__all__ = [
+    "DseEngine",
+    "EngineConfig",
+    "EngineResult",
+    "Interpreter",
+    "RegexSupportLevel",
+    "Trace",
+    "analyze",
+    "build_harness",
+    "discover_exports",
+    "export_test_suite",
+    "parse_program",
+    "replay",
+    "replay_failures",
+]

@@ -1,0 +1,255 @@
+"""AST for mini-JS — the JavaScript subset executed by the DSE engine.
+
+The subset covers what the paper's benchmark packages exercise: functions
+(with closures), ``var``/``let``/``const``, control flow (``if``,
+``while``, ``for``), strings/numbers/booleans/``null``/``undefined``,
+arrays and object literals, property/index access, the string methods the
+regex API interacts with, regex literals, and an ``assert`` builtin for
+Listing 1-style runtime checks.
+
+Every statement carries a stable integer ``sid`` assigned at parse time;
+statement coverage (§7's metric) is measured over these ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+class Node:
+    __slots__ = ()
+
+
+# -- expressions -------------------------------------------------------------
+
+
+@dataclass
+class Literal(Node):
+    value: object  # str | float | bool | None
+
+
+@dataclass
+class Undefined(Node):
+    pass
+
+
+@dataclass
+class RegexLiteral(Node):
+    source: str
+    flags: str
+
+
+@dataclass
+class Identifier(Node):
+    name: str
+
+
+@dataclass
+class ArrayLiteral(Node):
+    elements: List[Node]
+
+
+@dataclass
+class ObjectLiteral(Node):
+    entries: List[Tuple[str, Node]]
+
+
+@dataclass
+class FunctionExpr(Node):
+    params: List[str]
+    body: "Block"
+    name: Optional[str] = None
+
+
+@dataclass
+class Unary(Node):
+    op: str  # ! - typeof
+    operand: Node
+
+
+@dataclass
+class Binary(Node):
+    op: str  # + - * / % === !== == != < <= > >= && ||
+    left: Node
+    right: Node
+
+
+@dataclass
+class Conditional(Node):
+    test: Node
+    then: Node
+    otherwise: Node
+
+
+@dataclass
+class Assign(Node):
+    target: Node  # Identifier | Member | Index
+    value: Node
+    op: str = "="  # = += -=
+
+
+@dataclass
+class Call(Node):
+    callee: Node
+    args: List[Node]
+
+
+@dataclass
+class New(Node):
+    callee: Node
+    args: List[Node]
+
+
+@dataclass
+class Member(Node):
+    obj: Node
+    name: str
+
+
+@dataclass
+class Index(Node):
+    obj: Node
+    index: Node
+
+
+# -- statements ----------------------------------------------------------------
+
+
+@dataclass
+class Statement(Node):
+    sid: int = field(default=-1, init=False)
+
+
+@dataclass
+class ExprStatement(Statement):
+    expr: Node
+
+
+@dataclass
+class VarDecl(Statement):
+    kind: str  # var let const
+    name: str
+    init: Optional[Node]
+
+
+@dataclass
+class Block(Statement):
+    body: List[Statement]
+
+
+@dataclass
+class If(Statement):
+    test: Node
+    then: Statement
+    otherwise: Optional[Statement]
+
+
+@dataclass
+class While(Statement):
+    test: Node
+    body: Statement
+
+
+@dataclass
+class For(Statement):
+    init: Optional[Statement]
+    test: Optional[Node]
+    update: Optional[Node]
+    body: Statement
+
+
+@dataclass
+class Return(Statement):
+    value: Optional[Node]
+
+
+@dataclass
+class Break(Statement):
+    pass
+
+
+@dataclass
+class Continue(Statement):
+    pass
+
+
+@dataclass
+class FunctionDecl(Statement):
+    name: str
+    params: List[str]
+    body: Block
+
+
+@dataclass
+class Throw(Statement):
+    value: Node
+
+
+@dataclass
+class Program(Node):
+    body: List[Statement]
+    statement_count: int = 0
+
+
+def iter_statements(node):
+    """Yield every Statement in a program/subtree (for coverage totals)."""
+    if isinstance(node, Program):
+        for stmt in node.body:
+            yield from iter_statements(stmt)
+        return
+    if isinstance(node, Statement):
+        yield node
+    if isinstance(node, Block):
+        for stmt in node.body:
+            yield from iter_statements(stmt)
+    elif isinstance(node, If):
+        yield from iter_statements(node.then)
+        if node.otherwise is not None:
+            yield from iter_statements(node.otherwise)
+    elif isinstance(node, (While,)):
+        yield from iter_statements(node.body)
+    elif isinstance(node, For):
+        if node.init is not None:
+            yield from iter_statements(node.init)
+        yield from iter_statements(node.body)
+    elif isinstance(node, FunctionDecl):
+        yield from iter_statements(node.body)
+    elif isinstance(node, ExprStatement):
+        yield from _iter_function_bodies(node.expr)
+    elif isinstance(node, (VarDecl, Return)):
+        init = node.init if isinstance(node, VarDecl) else node.value
+        if init is not None:
+            yield from _iter_function_bodies(init)
+
+
+def _iter_function_bodies(expr):
+    """Find statements inside function expressions nested in expressions."""
+    if isinstance(expr, FunctionExpr):
+        yield from iter_statements(expr.body)
+    elif isinstance(expr, (Unary,)):
+        yield from _iter_function_bodies(expr.operand)
+    elif isinstance(expr, Binary):
+        yield from _iter_function_bodies(expr.left)
+        yield from _iter_function_bodies(expr.right)
+    elif isinstance(expr, Conditional):
+        yield from _iter_function_bodies(expr.test)
+        yield from _iter_function_bodies(expr.then)
+        yield from _iter_function_bodies(expr.otherwise)
+    elif isinstance(expr, Assign):
+        yield from _iter_function_bodies(expr.value)
+    elif isinstance(expr, (Call, New)):
+        yield from _iter_function_bodies(expr.callee)
+        for arg in expr.args:
+            yield from _iter_function_bodies(arg)
+    elif isinstance(expr, Member):
+        yield from _iter_function_bodies(expr.obj)
+    elif isinstance(expr, Index):
+        yield from _iter_function_bodies(expr.obj)
+        yield from _iter_function_bodies(expr.index)
+    elif isinstance(expr, ArrayLiteral):
+        for el in expr.elements:
+            yield from _iter_function_bodies(el)
+    elif isinstance(expr, ObjectLiteral):
+        for _, val in expr.entries:
+            yield from _iter_function_bodies(val)

@@ -1,0 +1,236 @@
+"""The DSE driver: generational search over mini-JS programs (§6.2).
+
+One :class:`DseEngine` run plays the role of ExpoSE analysing one
+package: execute a test case concretely, collect the path condition,
+flip each clause, solve (through CEGAR at the full support level), and
+enqueue the discovered inputs via the CUPA scheduler.  Coverage is
+statement coverage over parse-time statement ids, the paper's metric.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.constraints import Formula, StrVar, conj
+from repro.dse.astnodes import Program
+from repro.dse.interpreter import (
+    BranchRecord,
+    Interpreter,
+    RegexSupportLevel,
+    Trace,
+)
+from repro.dse.parser import parse_program
+from repro.dse.strategy import CupaScheduler, QueuedTest
+from repro.model.cegar import CegarSolver
+from repro.solver import SAT, Solver, SolverStats
+from repro.solver.stats import QueryRecord
+
+
+@dataclass
+class EngineConfig:
+    level: RegexSupportLevel = RegexSupportLevel.REFINED
+    max_tests: int = 60
+    time_budget: float = 30.0  # seconds
+    refinement_limit: int = 20
+    solver_timeout: float = 3.0
+    max_flips_per_trace: int = 24
+    seed: int = 1909
+
+
+@dataclass
+class EngineResult:
+    """Aggregated outcome of one analysis run (one 'package')."""
+
+    covered: Set[int] = field(default_factory=set)
+    statement_count: int = 0
+    tests_run: int = 0
+    queries: int = 0
+    sat_queries: int = 0
+    failures: List[str] = field(default_factory=list)
+    stats: SolverStats = field(default_factory=SolverStats)
+    regex_ops: int = 0
+    concretizations: int = 0
+    wall_time: float = 0.0
+
+    @property
+    def coverage(self) -> float:
+        if self.statement_count == 0:
+            return 0.0
+        return len(self.covered) / self.statement_count
+
+    @property
+    def tests_per_minute(self) -> float:
+        if self.wall_time <= 0:
+            return 0.0
+        return self.tests_run * 60.0 / self.wall_time
+
+
+class DseEngine:
+    """Dynamic symbolic execution of one mini-JS program."""
+
+    def __init__(
+        self,
+        source: str | Program,
+        config: Optional[EngineConfig] = None,
+    ):
+        self.program = (
+            source if isinstance(source, Program) else parse_program(source)
+        )
+        self.config = config or EngineConfig()
+        self.result = EngineResult(
+            statement_count=self.program.statement_count,
+            stats=SolverStats(),
+        )
+        self._scheduler = CupaScheduler(self.config.seed)
+        self._explored: Set[Tuple] = set()
+        self._seen_inputs: Set[Tuple] = set()
+
+    # -- main loop ---------------------------------------------------------
+
+    def run(self) -> EngineResult:
+        deadline = time.monotonic() + self.config.time_budget
+        self._enqueue(QueuedTest(inputs={}, origin_site=-1))
+        while (
+            self._scheduler
+            and self.result.tests_run < self.config.max_tests
+            and time.monotonic() < deadline
+        ):
+            test = self._scheduler.pop()
+            trace = self._execute(test.inputs)
+            self._expand(trace, test, deadline)
+        self.result.wall_time = (
+            self.config.time_budget - max(0.0, deadline - time.monotonic())
+        )
+        return self.result
+
+    def _execute(self, inputs: Dict[str, str]) -> Trace:
+        interpreter = Interpreter(
+            self.program, inputs, level=self.config.level
+        )
+        trace = interpreter.run()
+        self.result.tests_run += 1
+        self.result.covered |= trace.covered
+        self.result.regex_ops += trace.regex_ops
+        self.result.concretizations += trace.concretizations
+        for failure in trace.failures:
+            message = f"{failure} (inputs: {inputs!r})"
+            if message not in self.result.failures:
+                self.result.failures.append(message)
+        return trace
+
+    # -- clause flipping -----------------------------------------------------
+
+    def _expand(
+        self, trace: Trace, origin: QueuedTest, deadline: float
+    ) -> None:
+        branches = trace.branches[: self.config.max_flips_per_trace]
+        for i, branch in enumerate(branches):
+            if time.monotonic() > deadline:
+                return
+            signature = self._signature(branches, i)
+            if signature in self._explored:
+                continue
+            self._explored.add(signature)
+            model = self._solve_flip(branches, i)
+            if model is None:
+                continue
+            inputs = self._extract_inputs(model, origin.inputs, trace)
+            key = tuple(sorted(inputs.items()))
+            if key in self._seen_inputs:
+                continue
+            self._seen_inputs.add(key)
+            self._enqueue(
+                QueuedTest(
+                    inputs=inputs,
+                    origin_site=branch.site,
+                    generation=origin.generation + 1,
+                )
+            )
+
+    def _signature(
+        self, branches: Sequence[BranchRecord], flip_index: int
+    ) -> Tuple:
+        prefix = tuple(
+            (b.site, b.polarity) for b in branches[:flip_index]
+        )
+        flip = branches[flip_index]
+        return (prefix, flip.site, not flip.polarity)
+
+    def _solve_flip(
+        self, branches: Sequence[BranchRecord], flip_index: int
+    ):
+        clauses: List[Formula] = [
+            b.taken for b in branches[:flip_index]
+        ]
+        clauses.append(branches[flip_index].flipped)
+        constraints = []
+        for b in branches[:flip_index]:
+            constraints.extend(b.taken_constraints)
+        constraints.extend(branches[flip_index].flipped_constraints)
+
+        problem = conj(clauses)
+        self.result.queries += 1
+        base_solver = Solver(
+            timeout=self.config.solver_timeout, stats=None
+        )
+        if self.config.level == RegexSupportLevel.REFINED:
+            cegar = CegarSolver(
+                solver=base_solver,
+                refinement_limit=self.config.refinement_limit,
+                stats=self.result.stats,
+            )
+            solved = cegar.solve(problem, constraints)
+            if solved.status != SAT:
+                return None
+            self.result.sat_queries += 1
+            return solved.model
+        # Lower support levels: raw solve, models taken at face value
+        # (the paper's pre-refinement behaviour — spurious capture
+        # assignments may produce inputs that do not flip the branch).
+        started = time.perf_counter()
+        raw = base_solver.solve(problem)
+        self.result.stats.record(
+            QueryRecord(
+                seconds=time.perf_counter() - started,
+                status=raw.status,
+                had_regex=bool(constraints),
+                had_captures=any(len(c.captures) > 1 for c in constraints),
+            )
+        )
+        if raw.status != SAT:
+            return None
+        self.result.sat_queries += 1
+        return raw.model
+
+    def _extract_inputs(
+        self, model, base_inputs: Dict[str, str], trace: Trace
+    ) -> Dict[str, str]:
+        inputs = dict(base_inputs)
+        for var in model.assignment:
+            if var.name.startswith("in$"):
+                value = model.assignment[var]
+                if isinstance(value, str):
+                    inputs[var.name[3:]] = value
+        return inputs
+
+    def _enqueue(self, test: QueuedTest) -> None:
+        self._scheduler.add(test)
+
+
+def analyze(
+    source: str,
+    level: RegexSupportLevel = RegexSupportLevel.REFINED,
+    max_tests: int = 60,
+    time_budget: float = 30.0,
+    seed: int = 1909,
+) -> EngineResult:
+    """One-call analysis of a mini-JS program — the library entry point."""
+    config = EngineConfig(
+        level=level,
+        max_tests=max_tests,
+        time_budget=time_budget,
+        seed=seed,
+    )
+    return DseEngine(source, config).run()

@@ -1,0 +1,50 @@
+"""Automatic library harness (§7.3).
+
+ExpoSE explores libraries "fully automatically by executing all exported
+methods with symbolic arguments".  This module reproduces that: given a
+mini-JS library that assigns to ``module.exports``, it discovers the
+exported functions (and their arities) with one concrete run, then
+synthesises a driver that invokes each export with fresh symbolic string
+arguments.  The combined program (library + driver) is what the engine
+analyses.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.dse.interpreter import Interpreter
+from repro.dse.parser import parse_program
+from repro.dse.values import JSFunction, JSObject
+
+
+def discover_exports(source: str) -> List[Tuple[str, int]]:
+    """Run the library once; return [(export name, arity)] for function
+    exports (non-function exports are ignored, as the paper's harness
+    recurses only into callables)."""
+    program = parse_program(source)
+    trace = Interpreter(program, inputs={}).run()
+    exports = trace.exports
+    found: List[Tuple[str, int]] = []
+    if isinstance(exports, JSFunction):
+        found.append(("", len(exports.params)))
+    elif isinstance(exports, JSObject):
+        for name, value in exports.properties.items():
+            if isinstance(value, JSFunction):
+                found.append((name, len(value.params)))
+    return found
+
+
+def build_harness(source: str) -> str:
+    """Library source + generated driver calling every export with
+    symbolic strings."""
+    driver_lines: List[str] = []
+    for name, arity in discover_exports(source):
+        args = ", ".join(
+            f'symbol("{name or "fn"}_arg{i}", "")' for i in range(max(arity, 1))
+        )
+        target = f"module.exports.{name}" if name else "module.exports"
+        driver_lines.append(f"{target}({args});")
+    if not driver_lines:
+        return source
+    return source + "\n" + "\n".join(driver_lines) + "\n"

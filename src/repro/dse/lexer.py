@@ -1,0 +1,185 @@
+"""Tokenizer for mini-JS.
+
+Handles the usual JavaScript lexical grammar subset, including the
+regex-literal/division ambiguity (resolved the way real engines do: a
+``/`` starts a regex literal when the previous significant token cannot
+end an expression).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+class MiniJsSyntaxError(SyntaxError):
+    """Lexing/parsing error in a mini-JS program."""
+
+
+KEYWORDS = {
+    "var", "let", "const", "function", "return", "if", "else", "while",
+    "for", "break", "continue", "true", "false", "null", "undefined",
+    "new", "typeof", "throw",
+}
+
+PUNCTUATION = [
+    "===", "!==", "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "++",
+    "--", "=>", "{", "}", "(", ")", "[", "]", ";", ",", ".", "?", ":",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # ident keyword number string regex punct eof
+    value: str
+    line: int
+    flags: str = ""  # for regex tokens
+
+
+def tokenize(source: str) -> List[Token]:
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    n = len(source)
+
+    def prev_significant() -> Optional[Token]:
+        return tokens[-1] if tokens else None
+
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise MiniJsSyntaxError(f"unterminated comment at line {line}")
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        if ch == "/" and _regex_can_start(prev_significant()):
+            token, i = _read_regex(source, i, line)
+            tokens.append(token)
+            continue
+        if ch.isdigit() or (
+            ch == "." and i + 1 < n and source[i + 1].isdigit()
+        ):
+            start = i
+            while i < n and (source[i].isdigit() or source[i] == "."):
+                i += 1
+            tokens.append(Token("number", source[start:i], line))
+            continue
+        if ch in "'\"":
+            value, i, line = _read_string(source, i, line)
+            tokens.append(Token("string", value, line))
+            continue
+        if ch.isalpha() or ch in "_$":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] in "_$"):
+                i += 1
+            word = source[start:i]
+            kind = "keyword" if word in KEYWORDS else "ident"
+            tokens.append(Token(kind, word, line))
+            continue
+        for punct in PUNCTUATION:
+            if source.startswith(punct, i):
+                tokens.append(Token("punct", punct, line))
+                i += len(punct)
+                break
+        else:
+            raise MiniJsSyntaxError(
+                f"unexpected character {ch!r} at line {line}"
+            )
+    tokens.append(Token("eof", "", line))
+    return tokens
+
+
+def _regex_can_start(prev: Optional[Token]) -> bool:
+    """A '/' begins a regex literal unless the previous token can end an
+    expression (identifier, literal, ')', ']', or a postfix operator)."""
+    if prev is None:
+        return True
+    if prev.kind in ("number", "string", "regex"):
+        return False
+    if prev.kind == "ident":
+        return False
+    if prev.kind == "keyword":
+        return prev.value not in ("true", "false", "null", "undefined")
+    return prev.value not in (")", "]", "++", "--")
+
+
+def _read_regex(source: str, i: int, line: int):
+    start = i
+    i += 1  # skip '/'
+    in_class = False
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\\":
+            i += 2
+            continue
+        if ch == "\n":
+            raise MiniJsSyntaxError(f"unterminated regex at line {line}")
+        if in_class:
+            if ch == "]":
+                in_class = False
+        elif ch == "[":
+            in_class = True
+        elif ch == "/":
+            break
+        i += 1
+    if i >= n:
+        raise MiniJsSyntaxError(f"unterminated regex at line {line}")
+    body = source[start + 1:i]
+    i += 1  # skip closing '/'
+    flag_start = i
+    while i < n and source[i].isalpha():
+        i += 1
+    flags = source[flag_start:i]
+    return Token("regex", body, line, flags=flags), i
+
+
+_STRING_ESCAPES = {
+    "n": "\n", "t": "\t", "r": "\r", "b": "\b", "f": "\f", "v": "\v",
+    "0": "\0", "'": "'", '"': '"', "\\": "\\", "/": "/",
+}
+
+
+def _read_string(source: str, i: int, line: int):
+    quote = source[i]
+    i += 1
+    out: List[str] = []
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == quote:
+            return "".join(out), i + 1, line
+        if ch == "\n":
+            raise MiniJsSyntaxError(f"unterminated string at line {line}")
+        if ch == "\\":
+            if i + 1 >= n:
+                break
+            esc = source[i + 1]
+            if esc == "u" and i + 5 < n:
+                out.append(chr(int(source[i + 2:i + 6], 16)))
+                i += 6
+                continue
+            if esc == "x" and i + 3 < n:
+                out.append(chr(int(source[i + 2:i + 4], 16)))
+                i += 4
+                continue
+            out.append(_STRING_ESCAPES.get(esc, esc))
+            i += 2
+            continue
+        out.append(ch)
+        i += 1
+    raise MiniJsSyntaxError(f"unterminated string at line {line}")

@@ -1,0 +1,346 @@
+"""Recursive-descent parser for mini-JS.
+
+Produces the AST of :mod:`repro.dse.astnodes` and assigns each statement
+a stable ``sid`` used by statement-coverage measurement.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.dse import astnodes as js
+from repro.dse.lexer import MiniJsSyntaxError, Token, tokenize
+
+# Binary operator precedence (higher binds tighter).
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "===": 3, "!==": 3, "==": 3, "!=": 3,
+    "<": 4, "<=": 4, ">": 4, ">=": 4,
+    "+": 5, "-": 5,
+    "*": 6, "/": 6, "%": 6,
+}
+
+
+class _Parser:
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.pos = 0
+        self.next_sid = 0
+
+    # -- cursor -----------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        idx = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[idx]
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def _eat(self, value: str) -> bool:
+        token = self._peek()
+        if token.kind in ("punct", "keyword") and token.value == value:
+            self.pos += 1
+            return True
+        return False
+
+    def _expect(self, value: str) -> Token:
+        token = self._peek()
+        if not self._eat(value):
+            raise MiniJsSyntaxError(
+                f"expected {value!r} but found {token.value!r} "
+                f"at line {token.line}"
+            )
+        return token
+
+    def _stamp(self, stmt: js.Statement) -> js.Statement:
+        stmt.sid = self.next_sid
+        self.next_sid += 1
+        return stmt
+
+    # -- program ------------------------------------------------------------
+
+    def parse_program(self) -> js.Program:
+        body: List[js.Statement] = []
+        while self._peek().kind != "eof":
+            body.append(self._statement())
+        return js.Program(body, statement_count=self.next_sid)
+
+    # -- statements -----------------------------------------------------------
+
+    def _statement(self) -> js.Statement:
+        token = self._peek()
+        if token.kind == "punct" and token.value == "{":
+            return self._block()
+        if token.kind == "keyword":
+            if token.value in ("var", "let", "const"):
+                stmt = self._var_decl()
+                self._eat(";")
+                return stmt
+            if token.value == "function":
+                return self._function_decl()
+            if token.value == "if":
+                return self._if()
+            if token.value == "while":
+                return self._while()
+            if token.value == "for":
+                return self._for()
+            if token.value == "return":
+                self._next()
+                value = None
+                if not self._peek().value == ";" and self._peek().kind != "eof" \
+                        and self._peek().value != "}":
+                    value = self._expression()
+                self._eat(";")
+                return self._stamp(js.Return(value))
+            if token.value == "break":
+                self._next()
+                self._eat(";")
+                return self._stamp(js.Break())
+            if token.value == "continue":
+                self._next()
+                self._eat(";")
+                return self._stamp(js.Continue())
+            if token.value == "throw":
+                self._next()
+                value = self._expression()
+                self._eat(";")
+                return self._stamp(js.Throw(value))
+        expr = self._expression()
+        self._eat(";")
+        return self._stamp(js.ExprStatement(expr))
+
+    def _block(self) -> js.Block:
+        self._expect("{")
+        body: List[js.Statement] = []
+        while not self._eat("}"):
+            if self._peek().kind == "eof":
+                raise MiniJsSyntaxError("unterminated block")
+            body.append(self._statement())
+        return self._stamp(js.Block(body))
+
+    def _var_decl(self) -> js.Statement:
+        kind = self._next().value
+        name = self._ident_name()
+        init = self._expression() if self._eat("=") else None
+        decls = [self._stamp(js.VarDecl(kind, name, init))]
+        while self._eat(","):
+            name = self._ident_name()
+            init = self._expression() if self._eat("=") else None
+            decls.append(self._stamp(js.VarDecl(kind, name, init)))
+        if len(decls) == 1:
+            return decls[0]
+        return self._stamp(js.Block(decls))
+
+    def _function_decl(self) -> js.Statement:
+        self._expect("function")
+        name = self._ident_name()
+        params = self._params()
+        body = self._block()
+        return self._stamp(js.FunctionDecl(name, params, body))
+
+    def _params(self) -> List[str]:
+        self._expect("(")
+        params: List[str] = []
+        while not self._eat(")"):
+            if params:
+                self._expect(",")
+            params.append(self._ident_name())
+        return params
+
+    def _ident_name(self) -> str:
+        token = self._next()
+        if token.kind != "ident":
+            raise MiniJsSyntaxError(
+                f"expected identifier, found {token.value!r} "
+                f"at line {token.line}"
+            )
+        return token.value
+
+    def _if(self) -> js.Statement:
+        self._expect("if")
+        self._expect("(")
+        test = self._expression()
+        self._expect(")")
+        then = self._statement()
+        otherwise = self._statement() if self._eat("else") else None
+        return self._stamp(js.If(test, then, otherwise))
+
+    def _while(self) -> js.Statement:
+        self._expect("while")
+        self._expect("(")
+        test = self._expression()
+        self._expect(")")
+        body = self._statement()
+        return self._stamp(js.While(test, body))
+
+    def _for(self) -> js.Statement:
+        self._expect("for")
+        self._expect("(")
+        init: Optional[js.Statement] = None
+        if not self._eat(";"):
+            if self._peek().value in ("var", "let", "const"):
+                init = self._var_decl()
+            else:
+                init = self._stamp(js.ExprStatement(self._expression()))
+            self._expect(";")
+        test = None if self._peek().value == ";" else self._expression()
+        self._expect(";")
+        update = None if self._peek().value == ")" else self._expression()
+        self._expect(")")
+        body = self._statement()
+        return self._stamp(js.For(init, test, update, body))
+
+    # -- expressions -------------------------------------------------------------
+
+    def _expression(self) -> js.Node:
+        return self._assignment()
+
+    def _assignment(self) -> js.Node:
+        left = self._conditional()
+        token = self._peek()
+        if token.kind == "punct" and token.value in ("=", "+=", "-="):
+            if not isinstance(left, (js.Identifier, js.Member, js.Index)):
+                raise MiniJsSyntaxError(
+                    f"invalid assignment target at line {token.line}"
+                )
+            op = self._next().value
+            value = self._assignment()
+            return js.Assign(left, value, op)
+        return left
+
+    def _conditional(self) -> js.Node:
+        test = self._binary(1)
+        if self._eat("?"):
+            then = self._assignment()
+            self._expect(":")
+            otherwise = self._assignment()
+            return js.Conditional(test, then, otherwise)
+        return test
+
+    def _binary(self, min_precedence: int) -> js.Node:
+        left = self._unary()
+        while True:
+            token = self._peek()
+            precedence = _PRECEDENCE.get(token.value, 0) \
+                if token.kind == "punct" else 0
+            if precedence < min_precedence:
+                return left
+            op = self._next().value
+            right = self._binary(precedence + 1)
+            left = js.Binary(op, left, right)
+
+    def _unary(self) -> js.Node:
+        token = self._peek()
+        if token.kind == "punct" and token.value in ("!", "-", "+"):
+            self._next()
+            operand = self._unary()
+            if token.value == "+":
+                return operand
+            return js.Unary(token.value, operand)
+        if token.kind == "keyword" and token.value == "typeof":
+            self._next()
+            return js.Unary("typeof", self._unary())
+        if token.kind == "keyword" and token.value == "new":
+            self._next()
+            callee = self._postfix(self._primary(), allow_call=False)
+            args: List[js.Node] = []
+            if self._eat("("):
+                while not self._eat(")"):
+                    if args:
+                        self._expect(",")
+                    args.append(self._assignment())
+            return self._postfix(js.New(callee, args))
+        return self._postfix(self._primary())
+
+    def _postfix(self, expr: js.Node, allow_call: bool = True) -> js.Node:
+        while True:
+            if self._eat("."):
+                expr = js.Member(expr, self._member_name())
+            elif self._eat("["):
+                index = self._expression()
+                self._expect("]")
+                expr = js.Index(expr, index)
+            elif allow_call and self._peek().value == "(" \
+                    and self._peek().kind == "punct":
+                self._next()
+                args: List[js.Node] = []
+                while not self._eat(")"):
+                    if args:
+                        self._expect(",")
+                    args.append(self._assignment())
+                expr = js.Call(expr, args)
+            else:
+                return expr
+
+    def _member_name(self) -> str:
+        token = self._next()
+        if token.kind not in ("ident", "keyword"):
+            raise MiniJsSyntaxError(
+                f"expected property name at line {token.line}"
+            )
+        return token.value
+
+    def _primary(self) -> js.Node:
+        token = self._next()
+        if token.kind == "number":
+            value = float(token.value)
+            return js.Literal(int(value) if value.is_integer() else value)
+        if token.kind == "string":
+            return js.Literal(token.value)
+        if token.kind == "regex":
+            return js.RegexLiteral(token.value, token.flags)
+        if token.kind == "ident":
+            return js.Identifier(token.value)
+        if token.kind == "keyword":
+            if token.value == "true":
+                return js.Literal(True)
+            if token.value == "false":
+                return js.Literal(False)
+            if token.value == "null":
+                return js.Literal(None)
+            if token.value == "undefined":
+                return js.Undefined()
+            if token.value == "function":
+                name = None
+                if self._peek().kind == "ident":
+                    name = self._next().value
+                params = self._params()
+                body = self._block()
+                return js.FunctionExpr(params, body, name)
+        if token.kind == "punct":
+            if token.value == "(":
+                expr = self._expression()
+                self._expect(")")
+                return expr
+            if token.value == "[":
+                elements: List[js.Node] = []
+                while not self._eat("]"):
+                    if elements:
+                        self._expect(",")
+                    elements.append(self._assignment())
+                return js.ArrayLiteral(elements)
+            if token.value == "{":
+                entries = []
+                while not self._eat("}"):
+                    if entries:
+                        self._expect(",")
+                    key_token = self._next()
+                    if key_token.kind not in ("ident", "string", "keyword"):
+                        raise MiniJsSyntaxError(
+                            f"bad object key at line {key_token.line}"
+                        )
+                    self._expect(":")
+                    entries.append((key_token.value, self._assignment()))
+                return js.ObjectLiteral(entries)
+        raise MiniJsSyntaxError(
+            f"unexpected token {token.value!r} at line {token.line}"
+        )
+
+
+def parse_program(source: str) -> js.Program:
+    """Parse mini-JS source text into a Program."""
+    return _Parser(source).parse_program()

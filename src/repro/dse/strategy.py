@@ -1,0 +1,58 @@
+"""Test-case scheduling — the CUPA-style strategy of §6.2.
+
+Queued test cases are sorted into buckets keyed by the program point
+(branch site) whose flipping created them; the scheduler draws from the
+least-recently-accessed bucket and picks a (seeded-)random element inside
+it.  This prioritises inputs born at rarely-explored expressions, exactly
+as the paper describes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class QueuedTest:
+    """A generated input assignment waiting to be executed."""
+
+    inputs: Dict[str, str]
+    origin_site: int
+    generation: int = 0
+
+
+class CupaScheduler:
+    """Bucketed scheduler: least-accessed bucket first, random within."""
+
+    def __init__(self, seed: int = 1909):
+        self._buckets: Dict[int, List[QueuedTest]] = {}
+        self._access_counts: Dict[int, int] = {}
+        self._rng = random.Random(seed)
+        self._size = 0
+
+    def add(self, test: QueuedTest) -> None:
+        self._buckets.setdefault(test.origin_site, []).append(test)
+        self._access_counts.setdefault(test.origin_site, 0)
+        self._size += 1
+
+    def pop(self) -> Optional[QueuedTest]:
+        candidates = [
+            site for site, bucket in self._buckets.items() if bucket
+        ]
+        if not candidates:
+            return None
+        site = min(candidates, key=lambda s: (self._access_counts[s], s))
+        self._access_counts[site] += 1
+        bucket = self._buckets[site]
+        index = self._rng.randrange(len(bucket))
+        test = bucket.pop(index)
+        self._size -= 1
+        return test
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0

@@ -1,0 +1,170 @@
+"""Runtime values for the concolic mini-JS interpreter.
+
+Values follow the *concolic* discipline (Sen et al.'s Jalangi, which
+ExpoSE builds on): every value has a concrete JavaScript value, and may
+carry a symbolic shadow — a string :class:`~repro.constraints.terms.Term`
+for strings, a :class:`~repro.constraints.formulas.Formula` for booleans
+derived from string predicates.  Numbers and other types stay concrete
+(the paper's evaluation is about string/regex constraints; ExpoSE's
+numeric theory is orthogonal).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.constraints import Formula, StrVar, Term
+
+
+class JSUndefined:
+    """The JavaScript ``undefined`` value (singleton)."""
+
+    _instance: Optional["JSUndefined"] = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "undefined"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+UNDEFINED = JSUndefined()
+
+
+@dataclass
+class Concolic:
+    """A concrete value paired with an optional symbolic shadow.
+
+    ``term`` shadows string values; ``formula`` shadows boolean values.
+    A value with neither is simply concrete.
+    """
+
+    concrete: object
+    term: Optional[Term] = None
+    formula: Optional[Formula] = None
+
+    @property
+    def is_symbolic(self) -> bool:
+        return self.term is not None or self.formula is not None
+
+
+def concrete_of(value: object) -> object:
+    return value.concrete if isinstance(value, Concolic) else value
+
+
+def term_of(value: object) -> Optional[Term]:
+    return value.term if isinstance(value, Concolic) else None
+
+
+def formula_of(value: object) -> Optional[Formula]:
+    return value.formula if isinstance(value, Concolic) else None
+
+
+class JSObject:
+    """A mutable property map (mini-JS object)."""
+
+    def __init__(self, properties: Optional[Dict[str, object]] = None):
+        self.properties: Dict[str, object] = dict(properties or {})
+
+    def get(self, name: str) -> object:
+        return self.properties.get(name, UNDEFINED)
+
+    def set(self, name: str, value: object) -> None:
+        self.properties[name] = value
+
+    def __repr__(self) -> str:
+        return f"JSObject({self.properties!r})"
+
+
+class JSArray(JSObject):
+    """A JavaScript array: indexed elements plus a length property."""
+
+    def __init__(self, elements: Optional[List[object]] = None):
+        super().__init__()
+        self.elements: List[object] = list(elements or [])
+
+    def get(self, name: str) -> object:
+        if name == "length":
+            return len(self.elements)
+        return super().get(name)
+
+    def get_index(self, index: int) -> object:
+        if 0 <= index < len(self.elements):
+            return self.elements[index]
+        return UNDEFINED
+
+    def set_index(self, index: int, value: object) -> None:
+        while len(self.elements) <= index:
+            self.elements.append(UNDEFINED)
+        self.elements[index] = value
+
+    def __repr__(self) -> str:
+        return f"JSArray({self.elements!r})"
+
+
+@dataclass
+class JSFunction:
+    """A mini-JS closure."""
+
+    name: str
+    params: List[str]
+    body: object  # js.Block
+    env: object  # Environment
+
+    def __repr__(self) -> str:
+        return f"function {self.name or '(anonymous)'}({', '.join(self.params)})"
+
+
+@dataclass
+class NativeFunction:
+    """A builtin implemented in Python."""
+
+    name: str
+    fn: Callable
+
+    def __repr__(self) -> str:
+        return f"native {self.name}"
+
+
+class Environment:
+    """Lexical scope chain."""
+
+    def __init__(self, parent: Optional["Environment"] = None):
+        self.parent = parent
+        self.bindings: Dict[str, object] = {}
+
+    def declare(self, name: str, value: object) -> None:
+        self.bindings[name] = value
+
+    def lookup(self, name: str) -> object:
+        scope = self
+        while scope is not None:
+            if name in scope.bindings:
+                return scope.bindings[name]
+            scope = scope.parent
+        raise NameError(f"{name} is not defined")
+
+    def assign(self, name: str, value: object) -> None:
+        scope = self
+        while scope is not None:
+            if name in scope.bindings:
+                scope.bindings[name] = value
+                return
+            scope = scope.parent
+        # Implicit global, like non-strict JS.
+        self.bindings[name] = value
+
+
+_symbol_ids = itertools.count()
+
+
+def fresh_symbol(name: str) -> StrVar:
+    """A fresh solver variable for one symbolic program input."""
+    return StrVar(f"{name}#{next(_symbol_ids)}")

@@ -1,0 +1,51 @@
+"""Experiment harnesses regenerating the paper's Tables 4–8 (+ablations)."""
+
+from repro.eval.ablation import (
+    AblationPoint,
+    REFINEMENT_BANK,
+    format_ablation,
+    run_refinement_ablation,
+)
+from repro.eval.breakdown import (
+    LEVELS,
+    PackageRun,
+    Table7Row,
+    format_table7,
+    full_vs_concrete,
+    generate_dse_package,
+    generate_population,
+    run_breakdown,
+)
+from repro.eval.packages import BenchPackage, TABLE6_PACKAGES, package_by_name
+from repro.eval.tables import (
+    Table6Row,
+    Table8Summary,
+    format_table6,
+    format_table8,
+    run_table6,
+    summarize_solver_stats,
+)
+
+__all__ = [
+    "AblationPoint",
+    "BenchPackage",
+    "LEVELS",
+    "PackageRun",
+    "REFINEMENT_BANK",
+    "TABLE6_PACKAGES",
+    "Table6Row",
+    "Table7Row",
+    "Table8Summary",
+    "format_ablation",
+    "format_table6",
+    "format_table7",
+    "format_table8",
+    "full_vs_concrete",
+    "generate_dse_package",
+    "generate_population",
+    "package_by_name",
+    "run_breakdown",
+    "run_refinement_ablation",
+    "run_table6",
+    "summarize_solver_stats",
+]

@@ -1,0 +1,157 @@
+"""Ablation: the refinement limit (§7.4's closing observation).
+
+The paper concludes that "even refinement limits of five or fewer are
+feasible".  This harness sweeps the limit on a bank of refinement-heavy
+queries — matching-precedence traps like ``/^a*(a)?$/`` with pinned
+captures — and reports, per limit, how many queries get a validated
+answer and how long they take.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.constraints import Eq, StrConst, StrVar, conj
+from repro.model.api import SymbolicRegExp
+from repro.model.cegar import CegarSolver
+from repro.solver import SAT, Solver
+
+#: (regex, flags, extra pin) — each needs at least one refinement because
+#: the raw model admits a precedence-infeasible capture assignment.
+REFINEMENT_BANK: List[Tuple[str, str, str]] = [
+    (r"^a*(a)?$", "", "aa"),
+    (r"^(a*)(a*)$", "", "aa"),
+    (r"(a+)(a*)b", "", "aab"),
+    (r"^(x*)(x?)$", "", "xx"),
+    (r"^(\d*)(\d?)$", "", "12"),
+    (r"(b*)(b*)", "", "bb"),
+]
+
+
+@dataclass
+class AblationPoint:
+    limit: int
+    solved: int
+    unknown: int
+    total_refinements: int
+    seconds: float
+
+
+def run_refinement_ablation(
+    limits: Sequence[int] = (0, 1, 2, 5, 10, 20),
+    bank: Sequence[Tuple[str, str, str]] = tuple(REFINEMENT_BANK),
+) -> List[AblationPoint]:
+    points: List[AblationPoint] = []
+    for limit in limits:
+        solved = unknown = refinements = 0
+        start = time.perf_counter()
+        for source, flags, word in bank:
+            regexp = SymbolicRegExp(source, flags)
+            inp = StrVar("inp")
+            model = regexp.exec_model(inp)
+            problem = conj(
+                [model.match_formula, Eq(inp, StrConst(word))]
+            )
+            result = CegarSolver(
+                solver=Solver(timeout=5.0), refinement_limit=limit
+            ).solve(problem, [model.constraint])
+            refinements += result.refinements
+            if result.status == SAT:
+                solved += 1
+            else:
+                unknown += 1
+        points.append(
+            AblationPoint(
+                limit=limit,
+                solved=solved,
+                unknown=unknown,
+                total_refinements=refinements,
+                seconds=time.perf_counter() - start,
+            )
+        )
+    return points
+
+
+def format_ablation(points: Sequence[AblationPoint]) -> str:
+    lines = ["Limit   Solved   Unknown   Refinements   Time(s)"]
+    for p in points:
+        lines.append(
+            f"{p.limit:>5} {p.solved:>8} {p.unknown:>9} "
+            f"{p.total_refinements:>13} {p.seconds:>9.2f}"
+        )
+    return "\n".join(lines)
+
+
+# -- solver budget ablation ----------------------------------------------------
+
+
+@dataclass
+class BudgetPoint:
+    label: str
+    solved: int
+    total: int
+    seconds: float
+
+
+#: Mixed query bank: memberships, captures, backrefs, anchors.
+BUDGET_BANK: List[Tuple[str, str]] = [
+    (r"^(a+)(b+)$", ""),
+    (r"<(\w+)>([0-9]*)<\/\1>", ""),
+    (r"^v?(\d+)\.(\d+)\.(\d+)$", ""),
+    (r"\bcat\b", ""),
+    (r"(?:a|(b))\1x", ""),
+    (r"^(?:y|yes|true)$", "i"),
+    (r"(\w+)@(\w+)", ""),
+    (r"^a*(a)?$", ""),
+]
+
+#: (label, round_limits, combo_budget) configurations swept.
+BUDGET_CONFIGS = [
+    ("tiny", (2,), 50),
+    ("small", (6, 20), 2_000),
+    ("default", (12, 80, 600), 60_000),
+    ("large", (24, 160, 1200), 240_000),
+]
+
+
+def run_budget_ablation(
+    configs=tuple(BUDGET_CONFIGS),
+    bank: Sequence[Tuple[str, str]] = tuple(BUDGET_BANK),
+) -> List[BudgetPoint]:
+    """Sweep solver budgets over a mixed query bank: how much search does
+    the model fragment actually need?  (Design-choice data for the
+    round_limits defaults; not a paper table.)"""
+    from repro.constraints import StrVar
+    from repro.model.api import SymbolicRegExp
+
+    points: List[BudgetPoint] = []
+    for label, rounds, combos in configs:
+        solved = 0
+        start = time.perf_counter()
+        for source, flags in bank:
+            regexp = SymbolicRegExp(source, flags)
+            model = regexp.exec_model(StrVar("inp"))
+            result = CegarSolver(
+                solver=Solver(
+                    round_limits=rounds, combo_budget=combos, timeout=5.0
+                )
+            ).solve(model.match_formula, [model.constraint])
+            if result.status == SAT:
+                solved += 1
+        points.append(
+            BudgetPoint(
+                label, solved, len(bank), time.perf_counter() - start
+            )
+        )
+    return points
+
+
+def format_budget_ablation(points: Sequence[BudgetPoint]) -> str:
+    lines = ["Budget     Solved     Time(s)"]
+    for p in points:
+        lines.append(
+            f"{p.label:<10} {p.solved:>3}/{p.total:<3} {p.seconds:>9.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,261 @@
+"""The Table 6 library suite.
+
+Eleven mini-JS libraries, one per row of the paper's Table 6, each
+capturing the regex-processing essence of the real NPM package (semver's
+version parsing, minimist's flag parsing, yn's yes/no detection, ...).
+Each program drives itself with symbolic inputs (the equivalent of the
+paper's automated harness) and contains capture-dependent branching so
+the support levels separate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class BenchPackage:
+    """One benchmark library: name, paper row, mini-JS source."""
+
+    name: str
+    weekly_downloads: str
+    source: str
+
+
+SEMVER = BenchPackage(
+    "semver",
+    "1,800k",
+    r"""
+var v = symbol("version", "1.2.3");
+var m = /^v?(\d+)\.(\d+)\.(\d+)(?:-([0-9A-Za-z-]+))?$/.exec(v);
+var valid = false;
+var major = "";
+if (m) {
+    valid = true;
+    major = m[1];
+    if (m[4]) {
+        if (m[4] === "alpha") {
+            valid = true;
+        } else {
+            if (m[4] === "beta") { valid = true; }
+        }
+    }
+    if (major === "0") {
+        assert(m[2] !== undefined, "minor required");
+    }
+}
+var range = symbol("range", "^1.0.0");
+var rm = /^([\^~]?)(\d+)\.(\d+)\.(\d+)$/.exec(range);
+if (rm) {
+    if (rm[1] === "^") { 1; } else { if (rm[1] === "~") { 2; } else { 3; } }
+}
+""",
+)
+
+MINIMIST = BenchPackage(
+    "minimist",
+    "20,000k",
+    r"""
+var arg = symbol("arg", "--x");
+var flags = {};
+var m = /^--(\w+)=(\w*)$/.exec(arg);
+if (m) {
+    flags[m[1]] = m[2];
+    if (m[1] === "verbose") { 1; }
+    if (m[2] === "") { 2; }
+} else {
+    var s = /^-(\w)$/.exec(arg);
+    if (s) {
+        flags[s[1]] = true;
+    } else {
+        if (/^--no-(\w+)$/.test(arg)) { 3; }
+    }
+}
+""",
+)
+
+VALIDATOR = BenchPackage(
+    "validator",
+    "1,400k",
+    r"""
+var s = symbol("input", "x");
+var isEmail = /^(\w+)@(\w+)\.([a-z]{2,3})$/.test(s);
+var isInt = /^-?\d+$/.test(s);
+var isHex = /^[0-9a-fA-F]+$/.test(s);
+var isSlug = /^[a-z0-9]+(?:-[a-z0-9]+)*$/.test(s);
+if (isEmail) { assert(!isInt, "email is not an int"); }
+if (isInt) { if (isHex) { 1; } }
+if (isSlug) { if (isHex) { 2; } }
+""",
+)
+
+URL_PARSE = BenchPackage(
+    "url-parse",
+    "1,400k",
+    r"""
+var url = symbol("url", "x");
+var m = /^(?:([a-z]+):\/\/)?([\w.-]+)(?::(\d+))?(\/[^?#]*)?$/.exec(url);
+if (m) {
+    var protocol = m[1];
+    var host = m[2];
+    var port = m[3];
+    if (protocol === "https") { 1; } else {
+        if (protocol === "http") { 2; }
+    }
+    if (port) {
+        if (port === "80") { 3; }
+        assert(/^\d+$/.test(port) === true, "port numeric");
+    }
+    if (host === "localhost") { 4; }
+}
+""",
+)
+
+QUERY_STRING = BenchPackage(
+    "query-string",
+    "3,000k",
+    r"""
+var qs = symbol("qs", "a=b");
+var m = /^(\w+)=(\w*)$/.exec(qs);
+if (m) {
+    if (m[1] === "q") { 1; }
+    if (m[2] === "") { 2; } else { 3; }
+} else {
+    if (/^(\w+)$/.test(qs)) { 4; }
+}
+""",
+)
+
+YN = BenchPackage(
+    "yn",
+    "700k",
+    r"""
+var v = symbol("value", "x");
+var yes = /^(?:y|yes|true|1|on)$/i.test(v);
+var no = /^(?:n|no|false|0|off)$/i.test(v);
+if (yes) {
+    assert(!no, "cannot be both");
+    1;
+} else {
+    if (no) { 2; } else { 3; }
+}
+""",
+)
+
+MOMENT = BenchPackage(
+    "moment",
+    "4,500k",
+    r"""
+var d = symbol("date", "x");
+var iso = /^(\d{4})-(\d{2})-(\d{2})$/.exec(d);
+if (iso) {
+    if (iso[2] === "00") { assert(false, "invalid month"); }
+    if (iso[1] === "2020") { 1; }
+} else {
+    var time = /^(\d{2}):(\d{2})$/.exec(d);
+    if (time) {
+        if (time[1] === "24") { 2; }
+    }
+}
+""",
+)
+
+XML = BenchPackage(
+    "xml",
+    "500k",
+    r"""
+var doc = symbol("doc", "x");
+var m = /<(\w+)>([^<]*)<\/\1>/.exec(doc);
+if (m) {
+    var tag = m[1];
+    var body = m[2];
+    if (tag === "id") {
+        assert(/^[0-9]*$/.test(body) === true, "id numeric");
+        1;
+    }
+    if (body === "") { 2; }
+}
+""",
+)
+
+FAST_XML_PARSER = BenchPackage(
+    "fast-xml-parser",
+    "20k",
+    r"""
+var xml = symbol("xml", "x");
+var attr = /<(\w+)\s+(\w+)="(\w*)"\s*\/>/.exec(xml);
+if (attr) {
+    if (attr[2] === "id") { 1; }
+    if (attr[3] === "") { 2; }
+} else {
+    if (/<!--/.test(xml)) { 3; } else {
+        if (/^\s*</.test(xml)) { 4; }
+    }
+}
+""",
+)
+
+JS_YAML = BenchPackage(
+    "js-yaml",
+    "8,000k",
+    r"""
+var line = symbol("line", "x");
+var kv = /^(\w+):\s*(\w*)$/.exec(line);
+if (kv) {
+    if (kv[2] === "true") { 1; } else {
+        if (kv[2] === "null") { 2; } else {
+            if (/^\d+$/.test(kv[2])) { 3; } else { 4; }
+        }
+    }
+} else {
+    if (/^\s*#/.test(line)) { 5; }
+    if (/^\s*-\s/.test(line)) { 6; }
+}
+""",
+)
+
+BABEL_ESLINT = BenchPackage(
+    "babel-eslint",
+    "2,500k",
+    r"""
+var tok = symbol("token", "x");
+var ident = /^[A-Za-z_$][A-Za-z0-9_$]*$/.test(tok);
+var num = /^(\d+)(?:\.(\d+))?$/.exec(tok);
+var str = /^"([^"]*)"$/.exec(tok);
+if (ident) {
+    if (tok === "function") { 1; } else {
+        if (tok === "var") { 2; } else { 3; }
+    }
+} else {
+    if (num) {
+        if (num[2]) { 4; } else { 5; }
+    } else {
+        if (str) {
+            if (str[1] === "") { 6; }
+        }
+    }
+}
+""",
+)
+
+TABLE6_PACKAGES: List[BenchPackage] = [
+    BABEL_ESLINT,
+    FAST_XML_PARSER,
+    JS_YAML,
+    MINIMIST,
+    MOMENT,
+    QUERY_STRING,
+    SEMVER,
+    URL_PARSE,
+    VALIDATOR,
+    XML,
+    YN,
+]
+
+
+def package_by_name(name: str) -> BenchPackage:
+    for package in TABLE6_PACKAGES:
+        if package.name == name:
+            return package
+    raise KeyError(name)

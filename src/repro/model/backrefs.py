@@ -1,0 +1,142 @@
+"""Backreference typing (§4.3, Definition 2).
+
+Each backreference *occurrence* ``\\k`` in a pattern is classified as:
+
+- **empty** — ``k`` exceeds the pattern's group count, or the occurrence
+  precedes group ``k`` in a post-order traversal of the AST (forward
+  references, and references from inside the referenced group itself,
+  e.g. ``/(a\\1)*/``);
+- **mutable** — not empty, and both group ``k`` and the occurrence are
+  subterms of a common quantified term (the value can change across
+  iterations, e.g. the first ``\\2`` in ``/((a|b)\\2)+\\1\\2/``);
+- **immutable** — everything else (a single value at matching time).
+
+Occurrences are identified by their *path* — the tuple of child indices
+from the root — because structurally equal AST nodes (two ``\\1`` leaves)
+compare equal as dataclasses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.regex import ast
+
+Path = Tuple[int, ...]
+
+
+class BackrefType(Enum):
+    EMPTY = "empty"
+    MUTABLE = "mutable"
+    IMMUTABLE = "immutable"
+
+
+@dataclass(frozen=True)
+class BackrefInfo:
+    path: Path
+    index: int
+    type: BackrefType
+    #: For mutable refs: path of the innermost quantifier enclosing both
+    #: the occurrence and the referenced group.
+    common_quantifier: Optional[Path] = None
+
+
+def _walk_paths(node: ast.Node, path: Path = ()) -> Iterator[Tuple[Path, ast.Node]]:
+    yield path, node
+    for i, child in enumerate(ast.children(node)):
+        yield from _walk_paths(child, path + (i,))
+
+
+def _postorder_positions(root: ast.Node) -> Dict[Path, int]:
+    positions: Dict[Path, int] = {}
+    counter = 0
+
+    def visit(node: ast.Node, path: Path) -> None:
+        nonlocal counter
+        for i, child in enumerate(ast.children(node)):
+            visit(child, path + (i,))
+        positions[path] = counter
+        counter += 1
+
+    visit(root, ())
+    return positions
+
+
+def _quantifier_ancestors(path: Path, root: ast.Node) -> Tuple[Path, ...]:
+    """Paths of all Quantifier nodes strictly above ``path`` (outer→inner)."""
+    ancestors = []
+    node = root
+    for depth, step in enumerate(path):
+        if isinstance(node, ast.Quantifier):
+            ancestors.append(path[:depth])
+        node = ast.children(node)[step]
+    return tuple(ancestors)
+
+
+def classify_backrefs(pattern: ast.Pattern) -> Dict[Path, BackrefInfo]:
+    """Classify every backreference occurrence per Definition 2."""
+    root = pattern.body
+    positions = _postorder_positions(root)
+    group_paths: Dict[int, Path] = {}
+    backref_paths: list[Tuple[Path, int]] = []
+    for path, node in _walk_paths(root):
+        if isinstance(node, ast.Group):
+            # First (leftmost) occurrence of the index wins; duplicated
+            # indices only arise from Table 1 expansion, where the last
+            # copy is the canonical one — but those are capture-erased.
+            group_paths.setdefault(node.index, path)
+        elif isinstance(node, ast.Backreference):
+            backref_paths.append((path, node.index))
+
+    result: Dict[Path, BackrefInfo] = {}
+    for path, index in backref_paths:
+        group_path = group_paths.get(index)
+        if group_path is None or index > pattern.group_count:
+            result[path] = BackrefInfo(path, index, BackrefType.EMPTY)
+            continue
+        if positions[path] < positions[group_path]:
+            # Occurrence precedes the group in post-order: forward
+            # reference, or a reference from within the group itself.
+            result[path] = BackrefInfo(path, index, BackrefType.EMPTY)
+            continue
+        shared = _innermost_common_quantifier(path, group_path, root)
+        if shared is not None:
+            result[path] = BackrefInfo(
+                path, index, BackrefType.MUTABLE, common_quantifier=shared
+            )
+        else:
+            result[path] = BackrefInfo(path, index, BackrefType.IMMUTABLE)
+    return result
+
+
+def _innermost_common_quantifier(
+    a: Path, b: Path, root: ast.Node
+) -> Optional[Path]:
+    qa = set(_quantifier_ancestors(a, root))
+    qb = _quantifier_ancestors(b, root)
+    shared = [q for q in qb if q in qa]
+    return shared[-1] if shared else None
+
+
+def groups_inside_quantifiers(pattern: ast.Pattern) -> frozenset[int]:
+    """Indices of groups that sit under some quantifier (their backrefs
+    from inside the same quantifier are the mutable ones)."""
+    out = set()
+    for path, node in _walk_paths(pattern.body):
+        if isinstance(node, ast.Group) and _quantifier_ancestors(
+            path, pattern.body
+        ):
+            out.add(node.index)
+    return frozenset(out)
+
+
+def has_quantified_backref(pattern: ast.Pattern) -> bool:
+    """§7.1's 'quantified backreferences' — a backref under a quantifier."""
+    for path, node in _walk_paths(pattern.body):
+        if isinstance(node, ast.Backreference) and _quantifier_ancestors(
+            path, pattern.body
+        ):
+            return True
+    return False

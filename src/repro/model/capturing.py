@@ -1,0 +1,62 @@
+"""Capturing languages (Definition 1) — reference enumeration.
+
+``Lc(R)`` is the set of tuples ``(w, C0, ..., Cn)`` of a word together
+with the capture assignment an ES6 engine produces.  This module builds
+(finite slices of) capturing languages *from the concrete matcher*, which
+gives tests an independent ground truth to validate the constraint model
+against: every tuple the model+CEGAR pipeline produces must be in the
+enumerated set, and vice versa for small bounds.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Optional, Sequence, Tuple
+
+from repro.regex.matcher import RegExp
+
+CaptureTuple = Tuple[Optional[str], ...]
+
+
+def words_over(alphabet: str, max_length: int) -> Iterator[str]:
+    """All words over ``alphabet`` up to ``max_length``, in length order."""
+    for length in range(max_length + 1):
+        for letters in itertools.product(alphabet, repeat=length):
+            yield "".join(letters)
+
+
+def capturing_tuples(
+    source: str,
+    flags: str = "",
+    alphabet: str = "ab",
+    max_length: int = 4,
+) -> Iterator[Tuple[str, CaptureTuple]]:
+    """Enumerate ``(w, (C0..Cn))`` for every matching word up to a bound.
+
+    The tuple layout matches Definition 1: ``C0`` is the whole match and
+    ``Ci`` the last value of capture group ``i`` (``None`` for ⊥).
+    """
+    for word in words_over(alphabet, max_length):
+        result = RegExp(source, flags).exec(word)
+        if result is not None:
+            yield word, tuple(result)
+
+
+def language_slice(
+    source: str,
+    flags: str = "",
+    alphabet: str = "ab",
+    max_length: int = 4,
+) -> frozenset:
+    """The set of matching words up to a bound (capture-free view)."""
+    return frozenset(
+        word for word, _ in capturing_tuples(source, flags, alphabet, max_length)
+    )
+
+
+def is_member(
+    source: str, word: str, flags: str = ""
+) -> Optional[CaptureTuple]:
+    """Concrete membership check: captures if ``word`` matches, else None."""
+    result = RegExp(source, flags).exec(word)
+    return None if result is None else tuple(result)

@@ -1,0 +1,187 @@
+"""Matching-precedence refinement — Algorithm 1 (§5).
+
+The models of §4 ignore greediness, so a satisfying assignment may give
+capture groups values no real ES6 engine would produce (§3.4's
+``("aa", "aa", "a") ∈ Lc(/^a*(a)?$/)`` example).  Algorithm 1 repairs
+this with counterexample-guided abstraction refinement:
+
+1. solve the constraint problem ``P``;
+2. for every capturing-language constraint, run the *concrete matcher*
+   on the word from the model;
+3. if the concrete capture assignment disagrees (or the word's
+   (non-)membership itself disagrees), add a refinement constraint and
+   re-solve;
+4. stop when the model validates, the problem becomes unsatisfiable, or
+   the refinement limit is hit (→ ``unknown``, §5.3).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.constraints import (
+    Eq,
+    Formula,
+    StrConst,
+    StrVar,
+    Term,
+    Undef,
+    conj,
+    implies,
+    neg,
+)
+from repro.regex.matcher import RegExp
+from repro.solver import Model, SAT, Solver, SolverStats, UNKNOWN, UNSAT
+from repro.solver.stats import QueryRecord
+
+
+@dataclass
+class CapturingConstraint:
+    """One ``(w_j, C_0,j .. C_n,j) ⊡_j Lc(R_j)`` from the path condition.
+
+    Stores what Algorithm 1 needs to validate a model against the
+    concrete matcher: the regex source/flags, the input term, the capture
+    variables of the model, the polarity, and the concrete ``lastIndex``
+    in effect when the call was made (sticky/global matching)."""
+
+    source: str
+    flags: str
+    word: Term
+    captures: Dict[int, StrVar]
+    positive: bool = True
+    last_index: int = 0
+    sticky: bool = False
+
+    def concrete_match(self, subject: str):
+        """``ConcreteMatch`` of Algorithm 1 — an ES6-compliant exec."""
+        regexp = RegExp(self.source, self.flags)
+        regexp.last_index = self.last_index
+        return regexp.exec(subject)
+
+
+@dataclass
+class CegarResult:
+    """Outcome of the refinement loop (Algorithm 1's return value)."""
+
+    status: str  # sat / unsat / unknown
+    model: Optional[Model] = None
+    refinements: int = 0
+    hit_limit: bool = False
+
+    def __bool__(self) -> bool:
+        return self.status == SAT
+
+
+@dataclass
+class CegarSolver:
+    """Algorithm 1: a satisfiability checker for problems containing
+    capturing-language constraints, built on the base string solver and
+    the concrete matcher."""
+
+    solver: Solver = field(default_factory=Solver)
+    refinement_limit: int = 20
+    stats: Optional[SolverStats] = None
+
+    def solve(
+        self,
+        problem: Formula,
+        constraints: Sequence[CapturingConstraint] = (),
+    ) -> CegarResult:
+        start = time.perf_counter()
+        refinements = 0
+        had_captures = any(len(c.captures) > 1 for c in constraints)
+        result = CegarResult(UNKNOWN)
+
+        while True:
+            solved = self.solver.solve(problem)
+            if solved.status != SAT:
+                result = CegarResult(
+                    solved.status, None, refinements, False
+                )
+                break
+
+            model = solved.model
+            failed = False
+            for constraint in constraints:
+                refinement = self._validate(constraint, model)
+                if refinement is not None:
+                    # Prepend: refinements must branch *before* the model's
+                    # own disjunctions so the pinned-word branch is explored
+                    # against every model core first.
+                    problem = conj([refinement, problem])
+                    failed = True
+            if not failed:
+                result = CegarResult(SAT, model, refinements, False)
+                break
+            refinements += 1
+            if refinements > self.refinement_limit:
+                result = CegarResult(UNKNOWN, None, refinements, True)
+                break
+
+        if self.stats is not None:
+            self.stats.record(
+                QueryRecord(
+                    seconds=time.perf_counter() - start,
+                    status=result.status,
+                    had_regex=bool(constraints),
+                    had_captures=had_captures,
+                    refinements=refinements,
+                    hit_refinement_limit=result.hit_limit,
+                )
+            )
+        return result
+
+    def _validate(
+        self, constraint: CapturingConstraint, model: Model
+    ) -> Optional[Formula]:
+        """Lines 8–22 of Algorithm 1: check one constraint against the
+        concrete matcher; return a refinement formula or None if OK."""
+        word_value = model.eval_term(constraint.word)
+        if word_value is None:
+            return None  # an undefined word cannot be validated
+        concrete = constraint.concrete_match(word_value)
+
+        if concrete is not None:
+            if not constraint.positive:
+                # Modeled as a non-member but matches concretely: forbid
+                # this word (line 18).
+                return neg(Eq(constraint.word, StrConst(word_value)))
+            # Compare capture assignments (lines 12–15).
+            pins: List[Formula] = []
+            mismatch = False
+            for index, var in sorted(constraint.captures.items()):
+                concrete_value = (
+                    concrete[index] if index < len(concrete) else None
+                )
+                model_value = model[var]
+                target = (
+                    Undef()
+                    if concrete_value is None
+                    else StrConst(concrete_value)
+                )
+                pins.append(Eq(var, target))
+                if model_value != concrete_value:
+                    mismatch = True
+            if not mismatch:
+                return None
+            # Line 15's refinement  w = M[w] ⟹ ∧ Ci = Ci♮ , phrased with
+            # the pinned-word branch first so the solver prefers *fixing
+            # the captures for this word* over wandering to a new word —
+            # this is what makes refinement converge in a few iterations
+            # (§7.4 reports a mean of 2.9).
+            from repro.constraints import disj
+
+            return disj(
+                [
+                    conj([Eq(constraint.word, StrConst(word_value))] + pins),
+                    neg(Eq(constraint.word, StrConst(word_value))),
+                ]
+            )
+
+        if constraint.positive:
+            # Modeled as a member but does not match concretely: forbid
+            # this word (line 22).
+            return neg(Eq(constraint.word, StrConst(word_value)))
+        return None

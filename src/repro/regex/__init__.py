@@ -1,0 +1,42 @@
+"""ES6 regular expression front end and concrete matcher.
+
+Public surface:
+
+- :func:`parse_regex` — parse pattern text (+ flags) to an AST.
+- :class:`RegExp` — a JavaScript-like regex object with spec-compliant
+  ``test``/``exec`` semantics (the concrete oracle of the paper's CEGAR
+  loop).
+- :mod:`repro.regex.ast` — the AST node types.
+"""
+
+from repro.regex.ast import Pattern
+from repro.regex.charclass import CharSet
+from repro.regex.errors import RegexError, RegexSyntaxError, UnsupportedRegexError
+from repro.regex.flags import Flags
+from repro.regex.matcher import ExecResult, MatchResult, RegExp, match_at, search
+from repro.regex.parser import parse_pattern
+from repro.regex.unparse import unparse, unparse_pattern
+
+
+def parse_regex(source: str, flags: str = "") -> Pattern:
+    """Parse ``source`` under a flag string — convenience alias."""
+    return parse_pattern(source, Flags.parse(flags))
+
+
+__all__ = [
+    "CharSet",
+    "ExecResult",
+    "Flags",
+    "MatchResult",
+    "Pattern",
+    "RegExp",
+    "RegexError",
+    "RegexSyntaxError",
+    "UnsupportedRegexError",
+    "match_at",
+    "parse_pattern",
+    "parse_regex",
+    "search",
+    "unparse",
+    "unparse_pattern",
+]

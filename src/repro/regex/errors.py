@@ -1,0 +1,27 @@
+"""Errors raised by the ES6 regex front end."""
+
+
+class RegexError(Exception):
+    """Base class for all regex front-end errors."""
+
+
+class RegexSyntaxError(RegexError):
+    """Raised when a pattern or flag string is not valid ES6 syntax.
+
+    Mirrors JavaScript's ``SyntaxError`` for ``new RegExp(...)``.
+    """
+
+    def __init__(self, message: str, pattern: str = "", position: int = -1):
+        self.pattern = pattern
+        self.position = position
+        if position >= 0:
+            message = f"{message} (at position {position} in /{pattern}/)"
+        super().__init__(message)
+
+
+class UnsupportedRegexError(RegexError):
+    """Raised for syntactically valid constructs outside the ES6 subset.
+
+    ES6 itself has no lookbehind or named groups; those arrived in ES2018.
+    We reject them explicitly rather than mis-parsing.
+    """

@@ -1,0 +1,56 @@
+"""ES6 RegExp flags (``g``, ``i``, ``m``, ``u``, ``y``)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.regex.errors import RegexSyntaxError
+
+_FLAG_FIELDS = {
+    "g": "global_",
+    "i": "ignore_case",
+    "m": "multiline",
+    "u": "unicode",
+    "y": "sticky",
+}
+
+
+@dataclass(frozen=True)
+class Flags:
+    """Parsed flag set for a regex.
+
+    ``global_`` carries a trailing underscore because ``global`` is a Python
+    keyword; the ES6 name is ``global``.
+    """
+
+    global_: bool = False
+    ignore_case: bool = False
+    multiline: bool = False
+    unicode: bool = False
+    sticky: bool = False
+
+    @staticmethod
+    def parse(flag_string: str) -> "Flags":
+        """Parse a flag string, rejecting duplicates and unknown letters.
+
+        Mirrors the ES6 ``RegExpInitialize`` abstract operation, which throws
+        a ``SyntaxError`` in both cases.
+        """
+        seen: set[str] = set()
+        values = {field: False for field in _FLAG_FIELDS.values()}
+        for ch in flag_string:
+            if ch not in _FLAG_FIELDS:
+                raise RegexSyntaxError(f"invalid regular expression flag {ch!r}")
+            if ch in seen:
+                raise RegexSyntaxError(f"duplicate regular expression flag {ch!r}")
+            seen.add(ch)
+            values[_FLAG_FIELDS[ch]] = True
+        return Flags(**values)
+
+    def __str__(self) -> str:
+        return "".join(
+            letter for letter, field in _FLAG_FIELDS.items() if getattr(self, field)
+        )
+
+
+NO_FLAGS = Flags()

@@ -1,0 +1,340 @@
+"""ES6-compliant backtracking regex matcher.
+
+Implements the continuation-passing matching semantics of ECMA-262 §21.2.2
+directly over the AST: greedy/lazy matching precedence, capture-group
+recording and clearing on quantifier re-entry, backreferences (with the
+undefined-capture rule), lookaheads (captures persist from positive
+lookaheads), word boundaries and multiline anchors.
+
+This matcher plays the role Node.js's engine plays in the paper: the
+*concrete oracle* that Algorithm 1 (CEGAR) uses to validate candidate
+capture assignments, and the concrete semantics executed by the DSE
+interpreter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from repro.regex import ast
+from repro.regex.charclass import LINE_TERMINATORS, is_word_char
+from repro.regex.flags import Flags, NO_FLAGS
+from repro.regex.parser import parse_pattern
+
+Span = Tuple[int, int]
+Captures = Tuple[Optional[Span], ...]
+Continuation = Callable[[int, Captures], Optional["MatchState"]]
+
+
+@dataclass(frozen=True)
+class MatchState:
+    """A successful match endpoint: final position plus capture spans."""
+
+    end: int
+    captures: Captures
+
+
+@dataclass(frozen=True)
+class MatchResult:
+    """The result of matching a pattern at some index of an input string.
+
+    ``captures[i]`` is the substring captured by group ``i`` (group 0 being
+    the whole match) or ``None`` when the group is undefined — the paper's
+    ``⊥``, which JavaScript reports as ``undefined``.
+    """
+
+    input: str
+    index: int
+    end: int
+    spans: Tuple[Optional[Span], ...]
+
+    @property
+    def captures(self) -> Tuple[Optional[str], ...]:
+        return tuple(
+            None if span is None else self.input[span[0]:span[1]]
+            for span in self.spans
+        )
+
+    def group(self, i: int) -> Optional[str]:
+        return self.captures[i]
+
+    def __getitem__(self, i: int) -> Optional[str]:
+        return self.captures[i]
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+
+def _canonical(ch: str) -> str:
+    """ES6 Canonicalize for the ``i`` flag (simple upper-case folding)."""
+    up = ch.upper()
+    return up if len(up) == 1 else ch
+
+
+class _Matcher:
+    """Matches one parsed pattern against one input string."""
+
+    def __init__(self, pattern: ast.Pattern, flags: Flags, subject: str):
+        self.pattern = pattern
+        self.flags = flags
+        self.subject = subject
+        self.length = len(subject)
+
+    # -- entry point ---------------------------------------------------------
+
+    def match_at(self, start: int) -> Optional[MatchResult]:
+        empty_caps: Captures = (None,) * self.pattern.group_count
+
+        def accept(pos: int, caps: Captures) -> Optional[MatchState]:
+            return MatchState(pos, caps)
+
+        state = self._match(self.pattern.body, start, empty_caps, accept)
+        if state is None:
+            return None
+        spans: Tuple[Optional[Span], ...] = ((start, state.end),) + state.captures
+        return MatchResult(self.subject, start, state.end, spans)
+
+    # -- node dispatch -------------------------------------------------------
+
+    def _match(
+        self,
+        node: ast.Node,
+        pos: int,
+        caps: Captures,
+        k: Continuation,
+    ) -> Optional[MatchState]:
+        method = self._DISPATCH[type(node)]
+        return method(self, node, pos, caps, k)
+
+    def _match_empty(self, node, pos, caps, k):
+        return k(pos, caps)
+
+    def _match_char(self, node: ast.CharMatch, pos, caps, k):
+        if pos >= self.length:
+            return None
+        ch = self.subject[pos]
+        if ch in node.charset:
+            return k(pos + 1, caps)
+        if self.flags.ignore_case and _canonical(ch) in node.charset:
+            return k(pos + 1, caps)
+        return None
+
+    def _match_concat(self, node: ast.Concat, pos, caps, k):
+        def chain(index: int, pos2: int, caps2: Captures):
+            if index == len(node.parts):
+                return k(pos2, caps2)
+            return self._match(
+                node.parts[index],
+                pos2,
+                caps2,
+                lambda p, c: chain(index + 1, p, c),
+            )
+
+        return chain(0, pos, caps)
+
+    def _match_alternation(self, node: ast.Alternation, pos, caps, k):
+        for option in node.options:
+            state = self._match(option, pos, caps, k)
+            if state is not None:
+                return state
+        return None
+
+    def _match_quantifier(self, node: ast.Quantifier, pos, caps, k):
+        inner_groups = ast.groups_in(node.child)
+
+        def clear(caps2: Captures) -> Captures:
+            cleared = list(caps2)
+            for gi in inner_groups:
+                cleared[gi - 1] = None
+            return tuple(cleared)
+
+        def repeat(pos2: int, caps2: Captures, count: int):
+            def continue_iteration(pos3: int, caps3: Captures):
+                # RepeatMatcher's empty-match guard: once the mandatory
+                # iterations are done, an iteration that consumed nothing
+                # must fail (else ``(a?)*`` would loop forever).
+                if pos3 == pos2 and count >= node.min:
+                    return None
+                return repeat(pos3, caps3, count + 1)
+
+            may_repeat = node.max is None or count < node.max
+            if node.lazy:
+                if count >= node.min:
+                    state = k(pos2, caps2)
+                    if state is not None:
+                        return state
+                if may_repeat:
+                    return self._match(
+                        node.child, pos2, clear(caps2), continue_iteration
+                    )
+                return None
+            if may_repeat:
+                state = self._match(
+                    node.child, pos2, clear(caps2), continue_iteration
+                )
+                if state is not None:
+                    return state
+            if count >= node.min:
+                return k(pos2, caps2)
+            return None
+
+        return repeat(pos, caps, 0)
+
+    def _match_group(self, node: ast.Group, pos, caps, k):
+        def record(pos2: int, caps2: Captures):
+            updated = list(caps2)
+            updated[node.index - 1] = (pos, pos2)
+            return k(pos2, tuple(updated))
+
+        return self._match(node.child, pos, caps, record)
+
+    def _match_noncap(self, node: ast.NonCapGroup, pos, caps, k):
+        return self._match(node.child, pos, caps, k)
+
+    def _match_lookahead(self, node: ast.Lookahead, pos, caps, k):
+        probe = self._match(
+            node.child, pos, caps, lambda p, c: MatchState(p, c)
+        )
+        if node.negative:
+            if probe is not None:
+                return None
+            # Captures set inside a failed/negative lookahead are discarded.
+            return k(pos, caps)
+        if probe is None:
+            return None
+        # Captures from a successful lookahead persist (spec step 21.2.2.8.2
+        # resumes with the lookahead's capture state but the outer position).
+        return k(pos, probe.captures)
+
+    def _match_backref(self, node: ast.Backreference, pos, caps, k):
+        span = caps[node.index - 1]
+        if span is None:
+            return k(pos, caps)  # undefined capture matches the empty string
+        text = self.subject[span[0]:span[1]]
+        end = pos + len(text)
+        if end > self.length:
+            return None
+        window = self.subject[pos:end]
+        if window == text:
+            return k(end, caps)
+        if self.flags.ignore_case and (
+            "".join(map(_canonical, window)) == "".join(map(_canonical, text))
+        ):
+            return k(end, caps)
+        return None
+
+    def _match_anchor(self, node: ast.Anchor, pos, caps, k):
+        if node.kind == "start":
+            at_anchor = pos == 0 or (
+                self.flags.multiline and self.subject[pos - 1] in LINE_TERMINATORS
+            )
+        else:
+            at_anchor = pos == self.length or (
+                self.flags.multiline and self.subject[pos] in LINE_TERMINATORS
+            )
+        return k(pos, caps) if at_anchor else None
+
+    def _match_boundary(self, node: ast.WordBoundary, pos, caps, k):
+        before = pos > 0 and is_word_char(self.subject[pos - 1])
+        after = pos < self.length and is_word_char(self.subject[pos])
+        at_boundary = before != after
+        if at_boundary != node.negated:
+            return k(pos, caps)
+        return None
+
+    _DISPATCH = {
+        ast.Empty: _match_empty,
+        ast.CharMatch: _match_char,
+        ast.Concat: _match_concat,
+        ast.Alternation: _match_alternation,
+        ast.Quantifier: _match_quantifier,
+        ast.Group: _match_group,
+        ast.NonCapGroup: _match_noncap,
+        ast.Lookahead: _match_lookahead,
+        ast.Backreference: _match_backref,
+        ast.Anchor: _match_anchor,
+        ast.WordBoundary: _match_boundary,
+    }
+
+
+def match_at(
+    pattern: ast.Pattern, subject: str, index: int, flags: Flags = NO_FLAGS
+) -> Optional[MatchResult]:
+    """Match ``pattern`` against ``subject`` anchored at ``index``."""
+    if index < 0 or index > len(subject):
+        return None
+    return _Matcher(pattern, flags, subject).match_at(index)
+
+
+def search(
+    pattern: ast.Pattern,
+    subject: str,
+    start: int = 0,
+    flags: Flags = NO_FLAGS,
+) -> Optional[MatchResult]:
+    """First match at or after ``start`` (the implicit-wildcard behaviour)."""
+    matcher = _Matcher(pattern, flags, subject)
+    for index in range(max(start, 0), len(subject) + 1):
+        result = matcher.match_at(index)
+        if result is not None:
+            return result
+    return None
+
+
+class ExecResult(list):
+    """The array-like value ``RegExp.exec`` returns in JavaScript.
+
+    Indexing yields capture strings (``None`` for undefined groups, i.e.
+    JavaScript ``undefined``); ``index`` and ``input`` mirror the JS
+    properties of the match array.
+    """
+
+    def __init__(self, match: MatchResult):
+        super().__init__(match.captures)
+        self.index = match.index
+        self.input = match.input
+        self.end = match.end
+
+
+class RegExp:
+    """A JavaScript-like ``RegExp`` object backed by the concrete matcher.
+
+    Supports the ES6 surface: ``test``/``exec`` with ``lastIndex``
+    statefulness for the ``g`` and ``y`` flags.
+    """
+
+    def __init__(self, source: str, flags: str | Flags = ""):
+        self.source = source
+        self.flags = flags if isinstance(flags, Flags) else Flags.parse(flags)
+        self.pattern = parse_pattern(source, self.flags)
+        self.last_index = 0
+
+    @property
+    def group_count(self) -> int:
+        return self.pattern.group_count
+
+    def exec(self, subject: str) -> Optional[ExecResult]:
+        subject = str(subject)
+        start = self.last_index if (
+            self.flags.global_ or self.flags.sticky
+        ) else 0
+        if start > len(subject):
+            self.last_index = 0
+            return None
+        if self.flags.sticky:
+            match = match_at(self.pattern, subject, start, self.flags)
+        else:
+            match = search(self.pattern, subject, start, self.flags)
+        if match is None:
+            self.last_index = 0
+            return None
+        if self.flags.global_ or self.flags.sticky:
+            self.last_index = match.end
+        return ExecResult(match)
+
+    def test(self, subject: str) -> bool:
+        return self.exec(subject) is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"/{self.source}/{self.flags}"

@@ -1,0 +1,170 @@
+"""The String.prototype regex API — concrete ES6 semantics (§6.1).
+
+Algorithm 2 covers ``RegExp.exec``/``test``; the paper notes its
+implementation "includes partial models for the remaining functions".
+This module supplies the *concrete* semantics those models bottom out in:
+``match`` (including global match-all), ``search``, ``split`` (with
+capture inclusion and limits) and ``replace`` (with ``$&``/``$n``
+substitution patterns), all per the ES6 specification.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from repro.regex.matcher import ExecResult, MatchResult, RegExp, search as _search
+
+
+def match(regexp: RegExp, subject: str) -> Optional[Union[ExecResult, List[str]]]:
+    """``String.prototype.match``.
+
+    Without ``g``: equivalent to ``regexp.exec(subject)``.
+    With ``g``: the array of *whole-match* strings for every match, with
+    ``lastIndex`` reset afterwards; ``None`` if there are none.
+    """
+    if not regexp.flags.global_:
+        return regexp.exec(subject)
+    regexp.last_index = 0
+    results: List[str] = []
+    while True:
+        found = regexp.exec(subject)
+        if found is None:
+            break
+        results.append(found[0] or "")
+        if found[0] == "":
+            # Zero-length match: advance manually to avoid looping.
+            regexp.last_index += 1
+    regexp.last_index = 0
+    return results if results else None
+
+
+def search(regexp: RegExp, subject: str) -> int:
+    """``String.prototype.search`` — index of the first match or -1.
+
+    Per spec, ``search`` ignores ``lastIndex`` (it is saved/restored)."""
+    saved = regexp.last_index
+    regexp.last_index = 0
+    found = _search(regexp.pattern, subject, 0, regexp.flags)
+    regexp.last_index = saved
+    return found.index if found is not None else -1
+
+
+def split(
+    regexp: RegExp, subject: str, limit: Optional[int] = None
+) -> List[str]:
+    """``String.prototype.split`` with a regex separator.
+
+    Captured groups of the separator are spliced into the result, and a
+    separator match at position 0 / end contributes empty strings —
+    both per the ES6 SplitMatch semantics."""
+    if limit == 0:
+        return []
+    bound = 2**32 - 1 if limit is None else limit
+    if subject == "":
+        # Spec: if the separator matches empty string, result is [].
+        probe = _search(regexp.pattern, "", 0, regexp.flags)
+        return [] if probe is not None else [""]
+    out: List[str] = []
+    last_end = 0
+    position = 0
+    while position < len(subject):
+        found = _match_at_or_after(regexp, subject, position)
+        if found is None or found.index >= len(subject):
+            break
+        end = found.end
+        if end == last_end and found.index == last_end:
+            # Zero-length separator match at the previous end: step over.
+            position += 1
+            continue
+        out.append(subject[last_end:found.index])
+        if len(out) >= bound:
+            return out[:bound]
+        for group in found.captures[1:]:
+            out.append(group if group is not None else None)
+            if len(out) >= bound:
+                return out[:bound]
+        last_end = end
+        position = end if end > position else position + 1
+    out.append(subject[last_end:])
+    return out[:bound]
+
+
+def replace(regexp: RegExp, subject: str, replacement: str) -> str:
+    """``String.prototype.replace`` with string replacement patterns.
+
+    Supports ``$$`` (literal $), ``$&`` (whole match), ``$`​``/``$'``
+    (context), and ``$1``–``$99`` (captures).  Replaces the first match,
+    or every match under the ``g`` flag."""
+    out: List[str] = []
+    position = 0
+    replaced_any = False
+    while position <= len(subject):
+        found = _match_at_or_after(regexp, subject, position)
+        if found is None:
+            break
+        out.append(subject[position:found.index])
+        out.append(_expand(replacement, found, subject))
+        replaced_any = True
+        new_position = found.end if found.end > found.index else found.end + 1
+        if found.end == found.index and found.index < len(subject):
+            out.append(subject[found.index])
+        position = new_position
+        if not regexp.flags.global_:
+            break
+    out.append(subject[position:])
+    if regexp.flags.global_:
+        regexp.last_index = 0
+    return "".join(out) if replaced_any else subject
+
+
+def _match_at_or_after(
+    regexp: RegExp, subject: str, position: int
+) -> Optional[MatchResult]:
+    if regexp.flags.sticky:
+        from repro.regex.matcher import match_at
+
+        return match_at(regexp.pattern, subject, position, regexp.flags)
+    return _search(regexp.pattern, subject, position, regexp.flags)
+
+
+def _expand(template: str, found: MatchResult, subject: str) -> str:
+    out: List[str] = []
+    i = 0
+    captures = found.captures
+    while i < len(template):
+        ch = template[i]
+        if ch != "$" or i + 1 >= len(template):
+            out.append(ch)
+            i += 1
+            continue
+        nxt = template[i + 1]
+        if nxt == "$":
+            out.append("$")
+            i += 2
+        elif nxt == "&":
+            out.append(captures[0] or "")
+            i += 2
+        elif nxt == "`":
+            out.append(subject[:found.index])
+            i += 2
+        elif nxt == "'":
+            out.append(subject[found.end:])
+            i += 2
+        elif nxt.isdigit():
+            # Prefer two-digit group references when valid.
+            two = template[i + 1:i + 3]
+            if len(two) == 2 and two.isdigit() and int(two) < len(captures) \
+                    and int(two) > 0:
+                index, width = int(two), 2
+            else:
+                index, width = int(nxt), 1
+            if 0 < index < len(captures):
+                out.append(captures[index] or "")
+                i += 1 + width
+            else:
+                out.append(ch)
+                i += 1
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)

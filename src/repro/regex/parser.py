@@ -1,0 +1,445 @@
+"""Recursive-descent parser for ES6 regular expression patterns.
+
+Implements the *Pattern* grammar of ECMA-262 6th edition §21.2.1 with the
+Annex B leniencies real engines apply (identity escapes, literal braces
+that do not form a quantifier, legacy octal escapes, quantified
+lookaheads).  The ES2018 additions (named groups, lookbehind, dotAll,
+unicode property escapes) are rejected with a clear error since the paper
+targets ES6.
+"""
+
+from __future__ import annotations
+
+from repro.regex import ast
+from repro.regex.charclass import (
+    CLASS_ESCAPES,
+    CharSet,
+    DOT,
+)
+from repro.regex.errors import RegexSyntaxError, UnsupportedRegexError
+from repro.regex.flags import Flags, NO_FLAGS
+
+_SYNTAX_CHARS = set("^$\\.*+?()[]{}|")
+
+_CONTROL_ESCAPES = {
+    "f": 0x0C,
+    "n": 0x0A,
+    "r": 0x0D,
+    "t": 0x09,
+    "v": 0x0B,
+}
+
+
+def count_capture_groups(pattern: str) -> int:
+    """Count capturing ``(`` in a pattern (a pre-pass needed to classify
+    ``\\N`` escapes as backreference vs. octal, as real engines do)."""
+    count = 0
+    i = 0
+    in_class = False
+    n = len(pattern)
+    while i < n:
+        ch = pattern[i]
+        if ch == "\\":
+            i += 2
+            continue
+        if in_class:
+            if ch == "]":
+                in_class = False
+        elif ch == "[":
+            in_class = True
+        elif ch == "(":
+            if not pattern.startswith("(?", i):
+                count += 1
+        i += 1
+    return count
+
+
+class _Parser:
+    """Single-use parser over one pattern string."""
+
+    def __init__(self, pattern: str, flags: Flags):
+        self.pattern = pattern
+        self.flags = flags
+        self.pos = 0
+        self.group_index = 0
+        self.total_groups = count_capture_groups(pattern)
+
+    # -- character cursor --------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        idx = self.pos + offset
+        return self.pattern[idx] if idx < len(self.pattern) else ""
+
+    def _next(self) -> str:
+        ch = self._peek()
+        if not ch:
+            raise self._error("unexpected end of pattern")
+        self.pos += 1
+        return ch
+
+    def _eat(self, expected: str) -> bool:
+        if self.pattern.startswith(expected, self.pos):
+            self.pos += len(expected)
+            return True
+        return False
+
+    def _expect(self, expected: str) -> None:
+        if not self._eat(expected):
+            raise self._error(f"expected {expected!r}")
+
+    def _error(self, message: str) -> RegexSyntaxError:
+        return RegexSyntaxError(message, self.pattern, self.pos)
+
+    # -- grammar -----------------------------------------------------------
+
+    def parse(self) -> ast.Pattern:
+        body = self._disjunction()
+        if self.pos != len(self.pattern):
+            raise self._error(f"unmatched {self._peek()!r}")
+        return ast.Pattern(body, self.group_index, source=self.pattern)
+
+    def _disjunction(self) -> ast.Node:
+        options = [self._alternative()]
+        while self._eat("|"):
+            options.append(self._alternative())
+        return ast.alternation(options)
+
+    def _alternative(self) -> ast.Node:
+        parts: list[ast.Node] = []
+        while True:
+            ch = self._peek()
+            if not ch or ch in "|)":
+                break
+            parts.append(self._term())
+        return ast.concat(parts) if parts else ast.Empty()
+
+    def _term(self) -> ast.Node:
+        ch = self._peek()
+        if ch == "^":
+            self.pos += 1
+            return ast.Anchor("start")
+        if ch == "$":
+            self.pos += 1
+            return ast.Anchor("end")
+        if ch == "\\" and self._peek(1) in ("b", "B"):
+            negated = self._peek(1) == "B"
+            self.pos += 2
+            return ast.WordBoundary(negated)
+
+        atom = self._atom()
+        return self._maybe_quantified(atom)
+
+    def _maybe_quantified(self, atom: ast.Node) -> ast.Node:
+        ch = self._peek()
+        if ch == "*":
+            self.pos += 1
+            low, high = 0, None
+        elif ch == "+":
+            self.pos += 1
+            low, high = 1, None
+        elif ch == "?":
+            self.pos += 1
+            low, high = 0, 1
+        elif ch == "{":
+            bounds = self._try_braced_quantifier()
+            if bounds is None:
+                return atom
+            low, high = bounds
+        else:
+            return atom
+        lazy = self._eat("?")
+        if isinstance(atom, (ast.Anchor, ast.WordBoundary)):
+            raise self._error("nothing to repeat")
+        return ast.Quantifier(atom, low, high, lazy)
+
+    def _try_braced_quantifier(self) -> tuple[int, int | None] | None:
+        """Parse ``{n}``/``{n,}``/``{n,m}``; on malformed input treat ``{``
+        as a literal (Annex B) by rewinding and returning None."""
+        start = self.pos
+        self.pos += 1  # consume '{'
+        digits = self._digits()
+        if digits is None:
+            self.pos = start
+            return None
+        low = int(digits)
+        if self._eat("}"):
+            return low, low
+        if not self._eat(","):
+            self.pos = start
+            return None
+        if self._eat("}"):
+            return low, None
+        digits = self._digits()
+        if digits is None or not self._eat("}"):
+            self.pos = start
+            return None
+        high = int(digits)
+        if high < low:
+            raise self._error("numbers out of order in {} quantifier")
+        return low, high
+
+    def _digits(self) -> str | None:
+        start = self.pos
+        while self._peek().isdigit():
+            self.pos += 1
+        return self.pattern[start:self.pos] if self.pos > start else None
+
+    def _atom(self) -> ast.Node:
+        ch = self._peek()
+        if ch == ".":
+            self.pos += 1
+            return ast.CharMatch(self._fold(DOT), ".")
+        if ch == "(":
+            return self._group()
+        if ch == "[":
+            return self._character_class()
+        if ch == "\\":
+            return self._atom_escape()
+        if ch in ")]":
+            raise self._error(f"unmatched {ch!r}")
+        if ch in "*+?":
+            raise self._error("nothing to repeat")
+        if ch == "{":
+            # Annex B: a brace that does not begin a quantifier is literal.
+            bounds_probe = self._try_braced_quantifier()
+            if bounds_probe is not None:
+                raise self._error("nothing to repeat")
+            self.pos += 1
+            return self._literal("{")
+        self.pos += 1
+        return self._literal(ch)
+
+    def _literal(self, ch: str) -> ast.Node:
+        return ast.CharMatch(self._fold(CharSet.of(ch)), _escape_literal(ch))
+
+    def _fold(self, charset: CharSet) -> CharSet:
+        return charset.case_closure() if self.flags.ignore_case else charset
+
+    def _group(self) -> ast.Node:
+        self._expect("(")
+        if self._eat("?:"):
+            body = self._disjunction()
+            self._expect(")")
+            return ast.NonCapGroup(body)
+        if self._eat("?="):
+            body = self._disjunction()
+            self._expect(")")
+            return ast.Lookahead(body, negative=False)
+        if self._eat("?!"):
+            body = self._disjunction()
+            self._expect(")")
+            return ast.Lookahead(body, negative=True)
+        if self._peek() == "?" and self._peek(1) == "<":
+            if self._peek(2) in ("=", "!"):
+                raise UnsupportedRegexError("lookbehind is not part of ES6")
+            raise UnsupportedRegexError("named groups are not part of ES6")
+        if self._peek() == "?":
+            raise self._error("invalid group")
+        self.group_index += 1
+        index = self.group_index
+        body = self._disjunction()
+        self._expect(")")
+        return ast.Group(body, index)
+
+    # -- escapes -----------------------------------------------------------
+
+    def _atom_escape(self) -> ast.Node:
+        self._expect("\\")
+        ch = self._peek()
+        if not ch:
+            raise self._error("pattern may not end with a trailing backslash")
+
+        if ch.isdigit() and ch != "0":
+            return self._decimal_escape()
+        if ch == "0":
+            self.pos += 1
+            return ast.CharMatch(self._fold(CharSet.of("\0")), "\\0")
+        if ch in CLASS_ESCAPES:
+            self.pos += 1
+            return ast.CharMatch(self._fold(CLASS_ESCAPES[ch]), f"\\{ch}")
+        cp = self._character_escape()
+        return ast.CharMatch(
+            self._fold(CharSet.of_range(cp, cp)), _escape_codepoint(cp)
+        )
+
+    def _decimal_escape(self) -> ast.Node:
+        start = self.pos
+        digits = self._digits()
+        assert digits is not None
+        value = int(digits)
+        if value <= self.total_groups:
+            return ast.Backreference(value)
+        # Annex B: not a valid backreference — reinterpret as legacy octal
+        # (longest octal prefix) followed by literal digits.
+        self.pos = start
+        octal = ""
+        while (
+            len(octal) < 3
+            and self._peek() != ""
+            and self._peek() in "01234567"
+            and int(octal + self._peek(), 8) <= 0xFF
+        ):
+            octal += self._next()
+        if octal:
+            cp = int(octal, 8)
+            return ast.CharMatch(
+                self._fold(CharSet.of_range(cp, cp)), _escape_codepoint(cp)
+            )
+        ch = self._next()
+        return self._literal(ch)
+
+    def _character_escape(self) -> int:
+        """Parse the escape after ``\\`` and return a code point."""
+        ch = self._next()
+        if ch in _CONTROL_ESCAPES:
+            return _CONTROL_ESCAPES[ch]
+        if ch == "c":
+            letter = self._peek()
+            if letter.isalpha() and letter.isascii():
+                self.pos += 1
+                return ord(letter) % 32
+            # Annex B: \c not followed by a letter is literal backslash-c;
+            # we approximate with a literal 'c' after rewinding the '\\'.
+            return ord("c")
+        if ch == "x":
+            return self._hex_digits(2, f"\\x requires two hex digits")
+        if ch == "u":
+            if self.flags.unicode and self._eat("{"):
+                start = self.pos
+                while self._peek() != "}":
+                    if not self._peek():
+                        raise self._error("unterminated \\u{...} escape")
+                    self.pos += 1
+                cp = int(self.pattern[start:self.pos] or "x", 16)
+                self._expect("}")
+                if cp > 0x10FFFF:
+                    raise self._error("invalid unicode code point")
+                return cp
+            return self._hex_digits(4, "\\u requires four hex digits")
+        # Identity escape (lenient: any other character escapes to itself).
+        return ord(ch)
+
+    def _hex_digits(self, count: int, message: str) -> int:
+        chunk = self.pattern[self.pos:self.pos + count]
+        if len(chunk) != count or any(
+            c not in "0123456789abcdefABCDEF" for c in chunk
+        ):
+            raise self._error(message)
+        self.pos += count
+        return int(chunk, 16)
+
+    # -- character classes --------------------------------------------------
+
+    def _character_class(self) -> ast.Node:
+        class_start = self.pos
+        self._expect("[")
+        negated = self._eat("^")
+        members = CharSet.empty()
+        while True:
+            ch = self._peek()
+            if not ch:
+                raise self._error("unterminated character class")
+            if ch == "]":
+                self.pos += 1
+                break
+            members = members.union(self._class_ranges())
+        source = self.pattern[class_start:self.pos]
+        charset = members.complement() if negated else members
+        return ast.CharMatch(self._fold(charset), source)
+
+    def _class_ranges(self) -> CharSet:
+        first = self._class_atom()
+        if self._peek() != "-" or self._peek(1) in ("]", ""):
+            return first
+        # Try to form a range "a-z".
+        dash_pos = self.pos
+        self.pos += 1  # consume '-'
+        second = self._class_atom()
+        lo = _singleton(first)
+        hi = _singleton(second)
+        if lo is None or hi is None:
+            # Annex B: a class escape at either end makes '-' literal.
+            self.pos = dash_pos
+            return first
+        if lo > hi:
+            raise self._error("range out of order in character class")
+        folded = CharSet.of_range(lo, hi)
+        return self._fold(folded) if self.flags.ignore_case else folded
+
+    def _class_atom(self) -> CharSet:
+        ch = self._next()
+        if ch != "\\":
+            return CharSet.of(ch)
+        esc = self._peek()
+        if not esc:
+            raise self._error("trailing backslash in character class")
+        if esc in CLASS_ESCAPES:
+            self.pos += 1
+            return CLASS_ESCAPES[esc]
+        if esc == "b":
+            self.pos += 1
+            return CharSet.of("\x08")
+        if esc.isdigit():
+            octal = ""
+            while (
+                len(octal) < 3
+                and self._peek() in "01234567"
+                and int(octal + self._peek(), 8) <= 0xFF
+            ):
+                octal += self._next()
+            if octal:
+                return CharSet.of_range(int(octal, 8), int(octal, 8))
+            self.pos += 1
+            return CharSet.of(esc)
+        cp = self._character_escape()
+        return CharSet.of_range(cp, cp)
+
+
+def _singleton(charset: CharSet) -> int | None:
+    """The sole code point of a one-element interval set, else None."""
+    if len(charset.intervals) == 1:
+        lo, hi = charset.intervals[0]
+        if lo == hi:
+            return lo
+    return None
+
+
+def _escape_literal(ch: str) -> str:
+    if ch in _SYNTAX_CHARS or ch == "/":
+        return "\\" + ch
+    if ch == "\n":
+        return "\\n"
+    if ch == "\r":
+        return "\\r"
+    if ch.isprintable():
+        return ch
+    return _escape_codepoint(ord(ch))
+
+
+def _escape_codepoint(cp: int) -> str:
+    if cp <= 0xFF:
+        ch = chr(cp)
+        if ch.isprintable() and ch not in _SYNTAX_CHARS and ch != "/":
+            return ch
+        if cp == 0x0A:
+            return "\\n"
+        if cp == 0x0D:
+            return "\\r"
+        if cp == 0x09:
+            return "\\t"
+        return f"\\x{cp:02x}"
+    if cp <= 0xFFFF:
+        return f"\\u{cp:04x}"
+    return f"\\u{{{cp:x}}}"
+
+
+def parse_pattern(pattern: str, flags: Flags | str = NO_FLAGS) -> ast.Pattern:
+    """Parse ``pattern`` under ``flags`` into a :class:`~repro.regex.ast.Pattern`.
+
+    ``flags`` may be a :class:`Flags` value or a flag string like ``"gi"``.
+    Raises :class:`RegexSyntaxError` on malformed patterns and
+    :class:`UnsupportedRegexError` on post-ES6 syntax.
+    """
+    if isinstance(flags, str):
+        flags = Flags.parse(flags)
+    return _Parser(pattern, flags).parse()

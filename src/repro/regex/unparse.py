@@ -1,0 +1,73 @@
+"""Unparse regex ASTs back to ES6 pattern source.
+
+Used to display rewritten patterns (Table 1 preprocessing) and to build
+derived concrete ``RegExp`` objects (e.g. the ignore-case rewriting of
+Algorithm 2).  Unparsing is semantics-preserving, not source-identical:
+``CharMatch`` nodes carry their original surface syntax, and structural
+nodes are re-rendered with minimal grouping.
+"""
+
+from __future__ import annotations
+
+from repro.regex import ast
+
+# Precedence levels, loosest to tightest.
+_ALTERNATION, _CONCAT, _QUANTIFIED, _ATOM = range(4)
+
+
+def unparse(node: ast.Node) -> str:
+    """Render ``node`` as pattern text equivalent under re-parsing."""
+    return _render(node, _ALTERNATION)
+
+
+def unparse_pattern(pattern: ast.Pattern) -> str:
+    return unparse(pattern.body)
+
+
+def _render(node: ast.Node, context: int) -> str:
+    if isinstance(node, ast.Empty):
+        return "(?:)" if context >= _QUANTIFIED else ""
+    if isinstance(node, ast.CharMatch):
+        return node.source
+    if isinstance(node, ast.Backreference):
+        return f"\\{node.index}"
+    if isinstance(node, ast.Anchor):
+        return "^" if node.kind == "start" else "$"
+    if isinstance(node, ast.WordBoundary):
+        return "\\B" if node.negated else "\\b"
+    if isinstance(node, ast.Group):
+        return f"({_render(node.child, _ALTERNATION)})"
+    if isinstance(node, ast.NonCapGroup):
+        return f"(?:{_render(node.child, _ALTERNATION)})"
+    if isinstance(node, ast.Lookahead):
+        op = "?!" if node.negative else "?="
+        return f"({op}{_render(node.child, _ALTERNATION)})"
+    if isinstance(node, ast.Quantifier):
+        body = _render(node.child, _ATOM)
+        suffix = _quantifier_suffix(node)
+        text = body + suffix
+        return f"(?:{text})" if context > _QUANTIFIED else text
+    if isinstance(node, ast.Concat):
+        text = "".join(_render(part, _QUANTIFIED) for part in node.parts)
+        return f"(?:{text})" if context > _CONCAT else text
+    if isinstance(node, ast.Alternation):
+        text = "|".join(_render(opt, _CONCAT) for opt in node.options)
+        return f"(?:{text})" if context > _ALTERNATION else text
+    raise TypeError(f"cannot unparse {node!r}")
+
+
+def _quantifier_suffix(node: ast.Quantifier) -> str:
+    low, high = node.min, node.max
+    if (low, high) == (0, None):
+        core = "*"
+    elif (low, high) == (1, None):
+        core = "+"
+    elif (low, high) == (0, 1):
+        core = "?"
+    elif high is None:
+        core = f"{{{low},}}"
+    elif high == low:
+        core = f"{{{low}}}"
+    else:
+        core = f"{{{low},{high}}}"
+    return core + ("?" if node.lazy else "")

@@ -1,0 +1,23 @@
+"""From-scratch string constraint solver (offline stand-in for Z3).
+
+See :mod:`repro.solver.core` for the algorithm.  The public surface is
+:class:`Solver` (``solve(formula) -> SolverResult``) plus the status
+constants ``SAT``/``UNSAT``/``UNKNOWN`` and the :class:`Model` type.
+"""
+
+from repro.solver.core import SAT, Solver, SolverResult, UNKNOWN, UNSAT
+from repro.solver.model import EvalError, Model
+from repro.solver.stats import GLOBAL_STATS, QueryRecord, SolverStats
+
+__all__ = [
+    "EvalError",
+    "GLOBAL_STATS",
+    "Model",
+    "QueryRecord",
+    "SAT",
+    "Solver",
+    "SolverResult",
+    "SolverStats",
+    "UNKNOWN",
+    "UNSAT",
+]

@@ -1,0 +1,102 @@
+"""Instrumentation counters for the solver and the CEGAR loop.
+
+The paper's Table 8 and §7.4 report per-query and per-package solver
+times, broken down by whether the query modelled capture groups and
+whether refinement was needed.  This module provides the collector those
+experiments read from.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class QueryRecord:
+    """One solver query (one ``Solve(P)`` call in Algorithm 1's loop)."""
+
+    seconds: float
+    status: str
+    cores_tried: int = 0
+    candidates_tried: int = 0
+    had_regex: bool = False
+    had_captures: bool = False
+    refinements: int = 0
+    hit_refinement_limit: bool = False
+
+
+@dataclass
+class SolverStats:
+    """Aggregated statistics across queries (reset per experiment)."""
+
+    queries: List[QueryRecord] = field(default_factory=list)
+
+    def record(self, record: QueryRecord) -> None:
+        self.queries.append(record)
+
+    # -- Table 8 aggregates --------------------------------------------------
+
+    def total_time(self) -> float:
+        return sum(q.seconds for q in self.queries)
+
+    def _subset(self, predicate) -> List[QueryRecord]:
+        return [q for q in self.queries if predicate(q)]
+
+    def summary(self) -> dict:
+        def agg(records: List[QueryRecord]) -> dict:
+            if not records:
+                return {"count": 0, "min": 0.0, "max": 0.0, "mean": 0.0}
+            times = [r.seconds for r in records]
+            return {
+                "count": len(records),
+                "min": min(times),
+                "max": max(times),
+                "mean": sum(times) / len(times),
+            }
+
+        return {
+            "all": agg(self.queries),
+            "with_captures": agg(self._subset(lambda q: q.had_captures)),
+            "with_refinement": agg(self._subset(lambda q: q.refinements > 0)),
+            "hit_limit": agg(self._subset(lambda q: q.hit_refinement_limit)),
+        }
+
+    def refinement_summary(self) -> dict:
+        """The §7.4 numbers: how often refinement ran and how hard it was."""
+        regex_queries = self._subset(lambda q: q.had_regex)
+        capture_queries = self._subset(lambda q: q.had_captures)
+        refined = self._subset(lambda q: q.refinements > 0)
+        limited = self._subset(lambda q: q.hit_refinement_limit)
+        mean_refinements = (
+            sum(q.refinements for q in refined) / len(refined)
+            if refined
+            else 0.0
+        )
+        return {
+            "total_queries": len(self.queries),
+            "regex_queries": len(regex_queries),
+            "capture_queries": len(capture_queries),
+            "refined_queries": len(refined),
+            "limit_queries": len(limited),
+            "mean_refinements": mean_refinements,
+        }
+
+
+#: Global default collector (experiments may substitute their own).
+GLOBAL_STATS = SolverStats()
+
+
+@contextmanager
+def timed():
+    """Context manager yielding a closure that reports elapsed seconds."""
+    start = time.perf_counter()
+    box = {}
+
+    def elapsed() -> float:
+        return box.get("elapsed", time.perf_counter() - start)
+
+    yield elapsed
+    box["elapsed"] = time.perf_counter() - start

@@ -1,0 +1,59 @@
+"""Unit tests for mini-JS AST utilities (coverage denominators)."""
+
+from repro.dse.astnodes import iter_statements
+from repro.dse.parser import parse_program
+
+
+def sids(source):
+    program = parse_program(source)
+    return sorted(s.sid for s in iter_statements(program)), program
+
+
+class TestStatementEnumeration:
+    def test_flat_program(self):
+        found, program = sids("var a = 1; var b = 2; a + b;")
+        assert len(found) == 3
+        assert program.statement_count == 3
+
+    def test_nested_blocks_counted(self):
+        found, program = sids("if (1) { var a = 1; { var b = 2; } }")
+        # if + outer block + decl + inner block + decl
+        assert len(found) == program.statement_count == 5
+
+    def test_function_bodies_counted(self):
+        found, program = sids(
+            "function f() { var x = 1; return x; } f();"
+        )
+        assert len(found) == program.statement_count
+
+    def test_function_expression_bodies_counted(self):
+        found, program = sids(
+            "var f = function () { var inner = 1; return inner; };"
+        )
+        assert program.statement_count == len(found)
+        assert len(found) >= 4  # decl + body block + 2 inner statements
+
+    def test_loop_bodies(self):
+        found, program = sids(
+            "for (var i = 0; i < 2; i = i + 1) { var x = i; } "
+            "while (0) { var y = 1; }"
+        )
+        assert len(found) == program.statement_count
+
+    def test_ids_unique_and_dense(self):
+        found, program = sids(
+            """
+            function outer(a) {
+                if (a) { return 1; } else { return 2; }
+            }
+            var r = outer(true) ? outer(false) : 0;
+            """
+        )
+        assert found == list(range(program.statement_count))
+
+    def test_callback_bodies_in_calls(self):
+        found, program = sids(
+            "register(function (x) { var used = x; return used; });"
+        )
+        assert len(found) == program.statement_count
+        assert len(found) >= 4

@@ -1,0 +1,87 @@
+"""Unit tests for backreference typing (Definition 2)."""
+
+from repro.regex import parse_regex
+from repro.regex.ast import Backreference, walk
+from repro.model.backrefs import (
+    BackrefType,
+    classify_backrefs,
+    has_quantified_backref,
+)
+
+
+def types_of(src):
+    """All backref types in source order."""
+    pattern = parse_regex(src)
+    infos = classify_backrefs(pattern)
+    return [info.type for _, info in sorted(infos.items())]
+
+
+class TestEmptyBackrefs:
+    def test_forward_reference(self):
+        assert types_of(r"\1(a)") == [BackrefType.EMPTY]
+
+    def test_out_of_range_is_literal_not_backref(self):
+        # \2 with one group is an octal escape per Annex B, not a backref.
+        pattern = parse_regex(r"(a)\2")
+        assert not [
+            n for n in walk(pattern.body) if isinstance(n, Backreference)
+        ] or types_of(r"(a)\2") == [BackrefType.EMPTY]
+
+    def test_self_reference_inside_group(self):
+        # /(a\1)*/: the backref sits inside the group it references.
+        assert types_of(r"(a\1)*") == [BackrefType.EMPTY]
+
+    def test_reference_inside_own_group_non_quantified(self):
+        assert types_of(r"(a\1)") == [BackrefType.EMPTY]
+
+
+class TestImmutableBackrefs:
+    def test_plain_backref(self):
+        assert types_of(r"(a)\1") == [BackrefType.IMMUTABLE]
+
+    def test_backref_after_quantified_group(self):
+        # Group under +, backref outside: value fixed once matching ends.
+        assert types_of(r"(a)+\1") == [BackrefType.IMMUTABLE]
+
+    def test_quantified_backref_to_outside_group(self):
+        # \1 under *, but (a) is outside that quantifier → immutable.
+        assert types_of(r"(a)(?:\1)*") == [BackrefType.IMMUTABLE]
+
+    def test_xml_listing1_regex(self):
+        assert types_of(r"<(\w+)>([0-9]*)<\/\1>") == [BackrefType.IMMUTABLE]
+
+
+class TestMutableBackrefs:
+    def test_paper_example(self):
+        # §4.3: in /((a|b)\2)+\1\2/ the first \2 is mutable, the others
+        # immutable.
+        pattern = parse_regex(r"((a|b)\2)+\1\2")
+        infos = classify_backrefs(pattern)
+        by_order = [info for _, info in sorted(infos.items())]
+        assert [i.index for i in by_order] == [2, 1, 2]
+        assert by_order[0].type == BackrefType.MUTABLE
+        assert by_order[1].type == BackrefType.IMMUTABLE
+        assert by_order[2].type == BackrefType.IMMUTABLE
+
+    def test_mutable_has_common_quantifier(self):
+        pattern = parse_regex(r"((a)\2)*")
+        infos = classify_backrefs(pattern)
+        info = next(iter(infos.values()))
+        assert info.type == BackrefType.MUTABLE
+        assert info.common_quantifier is not None
+
+    def test_nested_quantifiers(self):
+        assert types_of(r"(?:(a)\1)+") == [BackrefType.MUTABLE]
+
+
+class TestQuantifiedBackrefDetection:
+    """The §7.1 survey's 'quantified backreferences' column."""
+
+    def test_positive(self):
+        assert has_quantified_backref(parse_regex(r"((a)\2)+"))
+        assert has_quantified_backref(parse_regex(r"(a)(?:x\1)*"))
+
+    def test_negative(self):
+        assert not has_quantified_backref(parse_regex(r"(a)\1"))
+        assert not has_quantified_backref(parse_regex(r"(a)+b\1"))
+        assert not has_quantified_backref(parse_regex(r"(a+)b*"))

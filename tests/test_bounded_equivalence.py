@@ -1,0 +1,91 @@
+"""Bounded-exhaustive equivalence: model+CEGAR vs the concrete matcher.
+
+For each regex in the bank and *every* word over a small alphabet up to
+a length bound, pinning the input in the model must be SAT exactly when
+the concrete matcher accepts — and the capture values in the model must
+be the matcher's.  This is the sharpest soundness check in the suite:
+no sampling, no luck, every word in the slice.
+"""
+
+import pytest
+
+from repro.constraints import Eq, StrConst, StrVar, conj
+from repro.model.api import SymbolicRegExp
+from repro.model.cegar import CegarSolver
+from repro.model.capturing import words_over
+from repro.regex import RegExp
+from repro.solver import SAT, Solver, UNKNOWN, UNSAT
+
+#: (source, flags, alphabet, max word length)
+BANK = [
+    (r"^ab?$", "", "ab", 3),
+    (r"^(a|b)b$", "", "ab", 3),
+    (r"^a*(a)?$", "", "a", 3),
+    (r"^(a*)(b*)$", "", "ab", 3),
+    (r"^(?:a|(b))\1$", "", "ab", 3),
+    (r"^(a)\1$", "", "ab", 4),
+    (r"a(?=b)", "", "ab", 2),
+    (r"^a(?!b)", "", "ab", 2),
+    (r"\ba\b", "", "a b", 3),
+    (r"^[ab]{2}$", "", "ab", 3),
+    (r"b", "i", "bB", 2),
+]
+
+
+@pytest.mark.parametrize("source,flags,alphabet,max_len", BANK)
+def test_bounded_equivalence(source, flags, alphabet, max_len):
+    regexp = SymbolicRegExp(source, flags)
+    solver = CegarSolver(solver=Solver(timeout=10.0))
+    for word in words_over(alphabet, max_len):
+        concrete = RegExp(source, flags).exec(word)
+        inp = StrVar("w")
+        model = regexp.exec_model(inp)
+        pinned = conj([model.match_formula, Eq(inp, StrConst(word))])
+        result = solver.solve(pinned, [model.constraint])
+
+        if concrete is None:
+            assert result.status in (UNSAT, UNKNOWN), (
+                f"/{source}/{flags} should reject {word!r} but model "
+                f"answered {result.status}"
+            )
+            continue
+        assert result.status == SAT, (
+            f"/{source}/{flags} should accept {word!r} but model "
+            f"answered {result.status}"
+        )
+        for index, var in sorted(model.captures.items()):
+            assert result.model[var] == concrete[index], (
+                f"/{source}/{flags} on {word!r}: capture {index} "
+                f"model={result.model[var]!r} concrete={concrete[index]!r}"
+            )
+
+
+@pytest.mark.parametrize(
+    "source,flags,alphabet,max_len",
+    [
+        (r"^ab?$", "", "ab", 3),
+        (r"^(a)\1$", "", "ab", 3),
+        (r"^a*(a)?$", "", "a", 3),
+    ],
+)
+def test_bounded_non_membership(source, flags, alphabet, max_len):
+    """Dual check: the negative model pinned to a word is SAT exactly
+    when the matcher rejects."""
+    regexp = SymbolicRegExp(source, flags)
+    solver = CegarSolver(solver=Solver(timeout=10.0))
+    for word in words_over(alphabet, max_len):
+        matches = RegExp(source, flags).test(word)
+        inp = StrVar("w")
+        model = regexp.exec_model(inp)
+        pinned = conj([model.no_match_formula, Eq(inp, StrConst(word))])
+        result = solver.solve(pinned, [model.negative_constraint])
+        if matches:
+            assert result.status in (UNSAT, UNKNOWN), (
+                f"/{source}/ matches {word!r}; non-membership must not "
+                f"be SAT"
+            )
+        else:
+            assert result.status == SAT, (
+                f"/{source}/ rejects {word!r}; non-membership should be "
+                f"SAT but was {result.status}"
+            )

@@ -1,0 +1,54 @@
+"""Tests for the Definition 1 reference enumeration utilities."""
+
+from repro.model.capturing import (
+    capturing_tuples,
+    is_member,
+    language_slice,
+    words_over,
+)
+
+
+class TestWordsOver:
+    def test_length_order(self):
+        words = list(words_over("ab", 2))
+        assert words == ["", "a", "b", "aa", "ab", "ba", "bb"]
+
+    def test_single_letter_alphabet(self):
+        assert list(words_over("x", 3)) == ["", "x", "xx", "xxx"]
+
+    def test_zero_bound(self):
+        assert list(words_over("ab", 0)) == [""]
+
+
+class TestCapturingTuples:
+    def test_tuple_layout_matches_definition1(self):
+        tuples = dict(capturing_tuples(r"^(a)(b)?$", max_length=2))
+        assert tuples["a"] == ("a", "a", None)
+        assert tuples["ab"] == ("ab", "a", "b")
+
+    def test_undefined_vs_empty(self):
+        tuples = dict(capturing_tuples(r"^(a*)(b)?$", alphabet="ab",
+                                       max_length=1))
+        # "" matches with C1 = "" (empty) and C2 = ⊥ (undefined).
+        assert tuples[""] == ("", "", None)
+
+    def test_non_members_absent(self):
+        slice_ = language_slice(r"^ab$", max_length=3)
+        assert slice_ == frozenset({"ab"})
+
+    def test_backreference_language(self):
+        slice_ = language_slice(r"^(a|b)\1$", max_length=2)
+        assert slice_ == frozenset({"aa", "bb"})
+
+    def test_flags_respected(self):
+        slice_ = language_slice(r"^a$", flags="i", alphabet="aA",
+                                max_length=1)
+        assert slice_ == frozenset({"a", "A"})
+
+
+class TestIsMember:
+    def test_member_returns_captures(self):
+        assert is_member(r"(go+)d", "good") == ("good", "goo")
+
+    def test_non_member_returns_none(self):
+        assert is_member(r"^x$", "y") is None

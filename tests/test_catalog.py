@@ -1,0 +1,66 @@
+"""Validation of the whole stack against the real-world regex catalog.
+
+Every catalog entry must: parse as ES6, classify, agree with its
+positive/negative examples under the concrete matcher, and (for the
+solvable subset) yield a CEGAR-validated matching input from the model.
+"""
+
+import pytest
+
+from repro.corpus.data import CATALOG, CatalogEntry, solvable_entries
+from repro.corpus.features import classify
+from repro.model import find_matching_input
+from repro.regex import RegExp, parse_regex
+
+
+@pytest.mark.parametrize("entry", CATALOG, ids=lambda e: e.display)
+def test_parses_as_es6(entry: CatalogEntry):
+    pattern = parse_regex(entry.pattern, entry.flags)
+    assert pattern.group_count >= 0
+
+
+@pytest.mark.parametrize("entry", CATALOG, ids=lambda e: e.display)
+def test_classifies(entry: CatalogEntry):
+    features = classify(entry.pattern, entry.flags)
+    assert features is not None
+    if "captures" in entry.tags:
+        assert features.capture_groups
+    if "backreference" in entry.tags:
+        assert features.backreferences
+    if "lookahead" in entry.tags:
+        assert features.lookaheads
+    if "boundary" in entry.tags:
+        assert features.word_boundary
+    if "sticky" in entry.tags:
+        assert features.sticky_flag
+
+
+@pytest.mark.parametrize("entry", CATALOG, ids=lambda e: e.display)
+def test_concrete_examples(entry: CatalogEntry):
+    for positive in entry.positives:
+        regexp = RegExp(entry.pattern, entry.flags)
+        assert regexp.test(positive), (
+            f"{entry.display} should match {positive!r}"
+        )
+    for negative in entry.negatives:
+        regexp = RegExp(entry.pattern, entry.flags)
+        assert not regexp.test(negative), (
+            f"{entry.display} should not match {negative!r}"
+        )
+
+
+@pytest.mark.parametrize(
+    "entry", solvable_entries(), ids=lambda e: e.display
+)
+def test_model_generates_validated_input(entry: CatalogEntry):
+    result = find_matching_input(entry.pattern, entry.flags)
+    assert result is not None, f"no input found for {entry.display}"
+    word, captures = result
+    concrete = RegExp(entry.pattern, entry.flags).exec(word)
+    assert concrete is not None, (
+        f"{entry.display}: generated {word!r} does not match"
+    )
+    for index, value in captures.items():
+        assert value == concrete[index], (
+            f"{entry.display}: capture {index} disagrees on {word!r}"
+        )

@@ -1,0 +1,146 @@
+"""Unit tests for Algorithm 1 (the CEGAR refinement loop)."""
+
+import pytest
+
+from repro.constraints import Eq, StrConst, StrVar, conj
+from repro.model.api import SymbolicRegExp
+from repro.model.cegar import CapturingConstraint, CegarResult, CegarSolver
+from repro.regex import RegExp
+from repro.solver import SAT, Solver, SolverStats, UNKNOWN, UNSAT
+
+
+def exec_model_for(source, flags=""):
+    regexp = SymbolicRegExp(source, flags)
+    inp = StrVar("w")
+    return inp, regexp.exec_model(inp)
+
+
+class TestValidationLoop:
+    def test_no_refinement_needed_when_model_is_correct(self):
+        inp, model = exec_model_for(r"^(a+)(b+)$")
+        result = CegarSolver().solve(model.match_formula, [model.constraint])
+        assert result.status == SAT
+        assert result.refinements == 0 or result.refinements <= 2
+
+    def test_precedence_trap_requires_refinement(self):
+        inp, model = exec_model_for(r"^a*(a)?$")
+        problem = conj([model.match_formula, Eq(inp, StrConst("aa"))])
+        result = CegarSolver().solve(problem, [model.constraint])
+        assert result.status == SAT
+        assert result.refinements >= 1
+        assert result.model[model.captures[1]] is None
+
+    def test_unsat_propagates(self):
+        inp, model = exec_model_for(r"^a$")
+        problem = conj([model.match_formula, Eq(inp, StrConst("b"))])
+        result = CegarSolver().solve(problem, [model.constraint])
+        assert result.status == UNSAT
+        assert result.model is None
+
+    def test_refinement_limit_yields_unknown(self):
+        # With limit 0, any needed refinement must surface as unknown.
+        inp, model = exec_model_for(r"^a*(a)?$")
+        problem = conj(
+            [
+                model.match_formula,
+                Eq(inp, StrConst("aa")),
+                Eq(model.captures[1], StrConst("a")),  # spurious pin
+            ]
+        )
+        result = CegarSolver(refinement_limit=0).solve(
+            problem, [model.constraint]
+        )
+        assert result.status == UNKNOWN
+        assert result.hit_limit
+
+    def test_spurious_pin_eventually_unsat(self):
+        inp, model = exec_model_for(r"^a*(a)?$")
+        problem = conj(
+            [
+                model.match_formula,
+                Eq(inp, StrConst("aa")),
+                Eq(model.captures[1], StrConst("a")),
+            ]
+        )
+        result = CegarSolver(refinement_limit=20).solve(
+            problem, [model.constraint]
+        )
+        assert result.status == UNSAT
+
+    def test_result_truthiness(self):
+        assert CegarResult(SAT)
+        assert not CegarResult(UNSAT)
+        assert not CegarResult(UNKNOWN)
+
+
+class TestNonMembershipValidation:
+    def test_non_member_refinement(self):
+        # The negative branch must never return a word that matches.
+        inp, model = exec_model_for(r"(a)\1")
+        result = CegarSolver().solve(
+            model.no_match_formula, [model.negative_constraint]
+        )
+        assert result.status == SAT
+        word = result.model.eval_term(inp)
+        assert not RegExp(r"(a)\1").test(word)
+
+    def test_anchored_non_member(self):
+        inp, model = exec_model_for(r"^[0-9]+$")
+        result = CegarSolver().solve(
+            model.no_match_formula, [model.negative_constraint]
+        )
+        assert result.status == SAT
+        assert not RegExp(r"^[0-9]+$").test(result.model.eval_term(inp))
+
+
+class TestConcreteMatchBridge:
+    def test_constraint_runs_concrete_matcher(self):
+        constraint = CapturingConstraint(
+            source=r"(\d+)",
+            flags="",
+            word=StrVar("w"),
+            captures={},
+        )
+        match = constraint.concrete_match("abc123")
+        assert match is not None and match[1] == "123"
+
+    def test_last_index_respected(self):
+        constraint = CapturingConstraint(
+            source=r"\d",
+            flags="g",
+            word=StrVar("w"),
+            captures={},
+            last_index=2,
+        )
+        match = constraint.concrete_match("1x2x3")
+        assert match is not None and match[0] == "2"
+
+
+class TestStatsPlumbing:
+    def test_stats_recorded_per_query(self):
+        stats = SolverStats()
+        inp, model = exec_model_for(r"(a+)b")
+        CegarSolver(stats=stats).solve(
+            model.match_formula, [model.constraint]
+        )
+        assert len(stats.queries) == 1
+        record = stats.queries[0]
+        assert record.had_regex and record.had_captures
+        assert record.seconds >= 0
+
+    def test_refinements_counted(self):
+        stats = SolverStats()
+        inp, model = exec_model_for(r"^a*(a)?$")
+        problem = conj([model.match_formula, Eq(inp, StrConst("aa"))])
+        CegarSolver(stats=stats).solve(problem, [model.constraint])
+        assert stats.queries[0].refinements >= 1
+        summary = stats.refinement_summary()
+        assert summary["refined_queries"] == 1
+
+    def test_summary_shape(self):
+        stats = SolverStats()
+        summary = stats.summary()
+        assert set(summary) == {
+            "all", "with_captures", "with_refinement", "hit_limit",
+        }
+        assert summary["all"]["count"] == 0

@@ -1,0 +1,75 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestSolveCommand:
+    def test_solve_matching(self, capsys):
+        assert main(["solve", r"(a+)b"]) == 0
+        out = capsys.readouterr().out
+        assert "input:" in out and "C1" in out
+
+    def test_solve_negated(self, capsys):
+        assert main(["solve", "^a+$", "--negate"]) == 0
+        assert "input:" in capsys.readouterr().out
+
+    def test_solve_unsat(self, capsys):
+        assert main(["solve", "^(?=b)a$"]) == 1
+
+
+class TestExecCommand:
+    def test_match(self, capsys):
+        assert main(["exec", r"(\d+)", "abc123"]) == 0
+        out = capsys.readouterr().out
+        assert "match at 3" in out and "'123'" in out
+
+    def test_no_match(self, capsys):
+        assert main(["exec", "z", "abc"]) == 1
+
+    def test_flags(self, capsys):
+        assert main(["exec", "ABC", "xabcx", "-f", "i"]) == 0
+
+
+class TestAnalyzeCommand:
+    def test_finds_bug(self, tmp_path, capsys):
+        program = tmp_path / "prog.js"
+        program.write_text(
+            'var s = symbol("s", "");\n'
+            'if (s === "boom") { assert(false, "found"); }\n'
+        )
+        code = main(["analyze", str(program), "--max-tests", "10"])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "found" in out and "coverage" in out
+
+    def test_clean_program(self, tmp_path, capsys):
+        program = tmp_path / "ok.js"
+        program.write_text("var x = 1 + 2;\n")
+        assert main(["analyze", str(program)]) == 0
+
+
+class TestSurveyCommand:
+    def test_small_survey(self, capsys):
+        assert main(["survey", "-n", "120"]) == 0
+        out = capsys.readouterr().out
+        assert "with capture groups" in out and "Backreferences" in out
+
+
+class TestSmtlibCommand:
+    def test_prints_script(self, capsys):
+        assert main(["smtlib", "a+b"]) == 0
+        out = capsys.readouterr().out
+        assert "(set-logic QF_S)" in out and "(check-sat)" in out
+
+    def test_negated(self, capsys):
+        assert main(["smtlib", "a", "--negate"]) == 0
+        assert "str.in_re" in capsys.readouterr().out
+
+
+class TestDotCommand:
+    def test_prints_digraph(self, capsys):
+        assert main(["dot", "(ab|c)*"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph") and "doublecircle" in out

@@ -1,0 +1,164 @@
+"""Tests for the survey pipeline (§7.1): extraction, classification,
+corpus generation and the Table 4/5 aggregation."""
+
+import pytest
+
+from repro.corpus import (
+    CorpusConfig,
+    RegexFeatures,
+    SyntheticPackage,
+    classify,
+    extract_regex_literals,
+    format_table4,
+    format_table5,
+    generate_corpus,
+    survey_packages,
+)
+
+
+class TestExtraction:
+    def test_simple_literal(self):
+        found = extract_regex_literals("var re = /ab+c/g;")
+        assert len(found) == 1
+        assert found[0].source == "ab+c" and found[0].flags == "g"
+
+    def test_division_not_extracted(self):
+        assert extract_regex_literals("var x = a / b / c;") == []
+
+    def test_division_after_paren(self):
+        assert extract_regex_literals("var x = (a + b) / 2;") == []
+
+    def test_regex_after_return(self):
+        found = extract_regex_literals("function f() { return /x/; }")
+        assert len(found) == 1
+
+    def test_regex_in_call(self):
+        found = extract_regex_literals("s.replace(/a/g, 'b');")
+        assert len(found) == 1
+
+    def test_string_contents_ignored(self):
+        assert extract_regex_literals("var s = '/not a regex/';") == []
+        assert extract_regex_literals('var s = "/nope/g";') == []
+
+    def test_comment_contents_ignored(self):
+        assert extract_regex_literals("// see /abc/ for details") == []
+        assert extract_regex_literals("/* /abc/ */") == []
+
+    def test_class_with_slash(self):
+        found = extract_regex_literals("var re = /[/]+/;")
+        assert found and found[0].source == "[/]+"
+
+    def test_escaped_slash(self):
+        found = extract_regex_literals(r"var re = /a\/b/;")
+        assert found and found[0].source == r"a\/b"
+
+    def test_multiple_literals(self):
+        src = "var a = /x/; var b = /y/g; var c = /z/i;"
+        assert len(extract_regex_literals(src)) == 3
+
+    def test_new_regexp_not_extracted(self):
+        # The paper's methodology explicitly skips constructor calls.
+        assert extract_regex_literals('new RegExp("abc", "g");') == []
+
+    def test_line_numbers(self):
+        found = extract_regex_literals("var a = 1;\nvar r = /x/;\n")
+        assert found[0].line == 2
+
+
+class TestClassification:
+    def test_captures(self):
+        assert classify(r"(a)(b)").capture_groups
+        assert not classify(r"(?:a)").capture_groups
+
+    def test_classes_and_ranges(self):
+        features = classify(r"[a-z]+")
+        assert features.character_class and features.ranges
+        assert classify(r"[abc]").character_class
+        assert not classify(r"[abc]").ranges
+
+    def test_quantifiers(self):
+        assert classify(r"a+").kleene_plus
+        assert classify(r"a*").kleene_star
+        assert classify(r"a+?").kleene_plus_lazy
+        assert classify(r"a*?").kleene_star_lazy
+        assert classify(r"a{2,3}").repetition
+        assert classify(r"a{2,3}?").repetition_lazy
+
+    def test_flags(self):
+        features = classify(r"a", "gimy")
+        assert features.global_flag and features.ignore_case_flag
+        assert features.multiline_flag and features.sticky_flag
+        assert classify(r"a", "u").unicode_flag
+
+    def test_assertions(self):
+        assert classify(r"\bword\b").word_boundary
+        assert classify(r"(?=x)a").lookaheads
+        assert classify(r"(?!x)a").lookaheads
+
+    def test_backreferences(self):
+        assert classify(r"(a)\1").backreferences
+        assert not classify(r"(a)\1").quantified_backrefs
+        features = classify(r"((a)\2)+")
+        assert features.backreferences and features.quantified_backrefs
+
+    def test_unparsable_returns_none(self):
+        assert classify(r"(a") is None
+
+    def test_non_classical_summary(self):
+        assert classify(r"(a)").any_non_classical()
+        assert not classify(r"ab*").any_non_classical()
+
+
+class TestGeneratorAndSurvey:
+    @pytest.fixture(scope="class")
+    def result(self):
+        corpus = generate_corpus(CorpusConfig(n_packages=2000, seed=7))
+        return survey_packages(corpus)
+
+    def test_deterministic(self):
+        a = generate_corpus(CorpusConfig(n_packages=50, seed=3))
+        b = generate_corpus(CorpusConfig(n_packages=50, seed=3))
+        assert [p.files for p in a] == [p.files for p in b]
+
+    def test_all_templates_parse(self, result):
+        assert result.unparsable == 0
+
+    def test_table4_shape(self, result):
+        """The paper's qualitative Table 4 ordering must hold."""
+        assert result.with_source < result.n_packages
+        assert result.with_regex < result.with_source
+        assert result.with_captures < result.with_regex
+        assert result.with_backrefs < result.with_captures
+        assert result.with_quantified_backrefs <= result.with_backrefs
+        # Rough magnitudes (paper: 91.9%, 34.9%, 20.5%, 3.8%, 0.1%).
+        assert 0.85 < result.with_source / result.n_packages < 0.97
+        assert 0.25 < result.with_regex / result.n_packages < 0.45
+        assert 0.08 < result.with_captures / result.n_packages < 0.30
+        assert 0.005 < result.with_backrefs / result.n_packages < 0.08
+        assert result.with_quantified_backrefs / result.n_packages < 0.01
+
+    def test_table5_shape(self, result):
+        """Captures are common; quantified backrefs are vanishingly rare
+        (the fact §4.3's optimization relies on)."""
+        uniques = result.feature_uniques
+        assert uniques["capture_groups"] > uniques["backreferences"]
+        assert uniques["backreferences"] >= uniques["quantified_backrefs"]
+        assert uniques["quantified_backrefs"] <= 2
+        totals = result.feature_totals
+        assert totals["capture_groups"] > 0.15 * result.total_regexes
+        assert totals["quantified_backrefs"] < 0.01 * result.total_regexes
+
+    def test_duplication(self, result):
+        """Regexes repeat across packages (9.5M vs 306k in the paper)."""
+        assert result.total_regexes > 5 * result.unique_regexes
+
+    def test_formatting(self, result):
+        table4 = format_table4(result)
+        assert "with capture groups" in table4
+        table5 = format_table5(result)
+        assert "Backreferences" in table5 and "%" in table5
+
+    def test_empty_package_handling(self):
+        result = survey_packages([SyntheticPackage("empty")])
+        assert result.with_source == 0
+        assert result.table4()[0].count == 1

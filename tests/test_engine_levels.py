@@ -1,0 +1,107 @@
+"""Differential tests across the four regex support levels (§7.3).
+
+These encode the *reasons* each Table 7 row exists: specific program
+shapes that each level unlocks.
+"""
+
+import pytest
+
+from repro.dse import RegexSupportLevel, analyze
+
+LEVELS = [
+    RegexSupportLevel.CONCRETE,
+    RegexSupportLevel.MODEL,
+    RegexSupportLevel.CAPTURES,
+    RegexSupportLevel.REFINED,
+]
+
+
+def coverage_at(source, level, max_tests=15, time_budget=20):
+    return analyze(
+        source, level=level, max_tests=max_tests, time_budget=time_budget
+    ).coverage
+
+
+class TestModelingUnlocksMatchBranches:
+    SOURCE = r"""
+    var s = symbol("s", "nope");
+    if (/^magic-\d+$/.test(s)) {
+        var inside = 1;
+    } else {
+        var outside = 2;
+    }
+    """
+
+    def test_concrete_stuck_on_one_branch(self):
+        assert coverage_at(self.SOURCE, RegexSupportLevel.CONCRETE) < 1.0
+
+    def test_model_covers_both(self):
+        assert coverage_at(self.SOURCE, RegexSupportLevel.MODEL) == 1.0
+
+
+class TestCapturesUnlockCaptureBranches:
+    SOURCE = r"""
+    var s = symbol("s", "nope");
+    var m = /^cmd:(\w+)$/.exec(s);
+    if (m) {
+        if (m[1] === "stop") {
+            var stopping = 1;
+        }
+    }
+    """
+
+    def test_model_reaches_match_only(self):
+        coverage = coverage_at(self.SOURCE, RegexSupportLevel.MODEL)
+        assert coverage < 1.0
+
+    def test_captures_reach_the_guarded_branch(self):
+        assert coverage_at(self.SOURCE, RegexSupportLevel.CAPTURES) == 1.0
+
+
+class TestRefinementUnlocksPrecedenceBranches:
+    # §4.4 overapproximation trap: the raw negation model proposes
+    # doubled words as non-members of /(\w)\1/ over t = s ++ s.
+    SOURCE = r"""
+    var s = symbol("s", "q");
+    if (s !== "") {
+        var t = s + s;
+        if (/([a-z])\1/.test(t)) {
+            var doubled = 1;
+        } else {
+            var clean = 2;
+        }
+    }
+    """
+
+    def test_captures_level_misses_else_branch(self):
+        assert coverage_at(self.SOURCE, RegexSupportLevel.CAPTURES) < 1.0
+
+    def test_refined_level_covers_everything(self):
+        assert coverage_at(self.SOURCE, RegexSupportLevel.REFINED) == 1.0
+
+
+class TestLevelMonotonicity:
+    """Coverage must never *drop* as support increases, across a mix of
+    program shapes (the foundation of Table 7's cumulative design)."""
+
+    PROGRAMS = [
+        r"""
+        var a = symbol("a", "");
+        if (/\d/.test(a)) { 1; } else { 2; }
+        """,
+        r"""
+        var b = symbol("b", "");
+        var m = /(x+)(y+)/.exec(b);
+        if (m) { if (m[1] === "xx") { 1; } }
+        """,
+        r"""
+        var c = symbol("c", "z");
+        if (c === "k") { if (/^k$/.test(c)) { 1; } }
+        """,
+    ]
+
+    @pytest.mark.parametrize("source", PROGRAMS)
+    def test_monotone(self, source):
+        coverages = [coverage_at(source, level) for level in LEVELS]
+        for lower, higher in zip(coverages, coverages[1:]):
+            assert higher >= lower - 1e-9, coverages

@@ -1,0 +1,66 @@
+"""Tests for the solver-budget ablation harness + the scheduling fix it
+motivated (iterative deepening as the outer loop)."""
+
+import time
+
+from repro.constraints import StrVar
+from repro.eval.ablation import (
+    BUDGET_BANK,
+    format_budget_ablation,
+    run_budget_ablation,
+)
+from repro.model.api import SymbolicRegExp
+from repro.model.cegar import CegarSolver
+from repro.solver import SAT, Solver
+
+
+class TestBudgetAblation:
+    def test_all_configs_solve_everything(self):
+        points = run_budget_ablation()
+        for point in points:
+            assert point.solved == point.total, (
+                f"{point.label}: {point.solved}/{point.total}"
+            )
+
+    def test_formatting(self):
+        points = run_budget_ablation(configs=[("tiny", (2,), 50)])
+        text = format_budget_ablation(points)
+        assert "tiny" in text and "8/8" in text
+
+
+class TestDeepeningIsOuterLoop:
+    def test_hard_core_does_not_starve_good_core(self):
+        """A formula whose first core is expensive-and-unsat must still
+        solve quickly through its second core at the cheapest limit."""
+        from repro.constraints import Eq, InRe, Not, Or, StrConst, conj
+        from repro.regex import parse_regex
+
+        x = StrVar("x")
+        # Core 1: x ∈ Σ* ∧ x ∉ .{0,30}  — needs a 31-char word (slow).
+        # Core 2: x = "hit"             — instant.
+        hard = conj(
+            [
+                InRe(x, parse_regex("[ab]*").body),
+                Not(InRe(x, parse_regex(".{0,30}").body)),
+                Eq(x, StrConst("a" * 31)),
+            ]
+        )
+        easy = Eq(x, StrConst("hit"))
+        formula = Or((hard, easy))
+        start = time.perf_counter()
+        result = Solver(timeout=10.0).solve(formula)
+        elapsed = time.perf_counter() - start
+        assert result.status == SAT
+        assert elapsed < 5.0
+
+    def test_mixed_bank_under_a_second_each(self):
+        for source, flags in BUDGET_BANK:
+            regexp = SymbolicRegExp(source, flags)
+            model = regexp.exec_model(StrVar("inp"))
+            start = time.perf_counter()
+            result = CegarSolver(solver=Solver(timeout=5.0)).solve(
+                model.match_formula, [model.constraint]
+            )
+            elapsed = time.perf_counter() - start
+            assert result.status == SAT, f"/{source}/{flags}"
+            assert elapsed < 3.0, f"/{source}/{flags} took {elapsed:.2f}s"

@@ -1,0 +1,118 @@
+"""Tests for the experiment harnesses (small budgets — smoke-level)."""
+
+import pytest
+
+from repro.dse import RegexSupportLevel
+from repro.eval import (
+    LEVELS,
+    REFINEMENT_BANK,
+    TABLE6_PACKAGES,
+    format_ablation,
+    format_table6,
+    format_table7,
+    format_table8,
+    full_vs_concrete,
+    generate_dse_package,
+    generate_population,
+    package_by_name,
+    run_breakdown,
+    run_refinement_ablation,
+    run_table6,
+    summarize_solver_stats,
+)
+
+
+class TestPackageSuite:
+    def test_eleven_packages(self):
+        assert len(TABLE6_PACKAGES) == 11
+        names = {p.name for p in TABLE6_PACKAGES}
+        assert {"semver", "minimist", "validator", "yn", "moment"} <= names
+
+    def test_lookup(self):
+        assert package_by_name("xml").name == "xml"
+        with pytest.raises(KeyError):
+            package_by_name("nope")
+
+    def test_all_packages_parse_and_run(self):
+        from repro.dse import analyze
+
+        for package in TABLE6_PACKAGES:
+            result = analyze(package.source, max_tests=2, time_budget=5)
+            assert result.tests_run >= 1, package.name
+            assert result.statement_count > 0
+
+
+class TestTable6Harness:
+    def test_two_package_run(self):
+        rows = run_table6(
+            TABLE6_PACKAGES[:2], max_tests=6, time_budget=6
+        )
+        assert len(rows) == 2
+        for row in rows:
+            assert 0.0 <= row.old_coverage <= 1.0
+            assert 0.0 <= row.new_coverage <= 1.0
+        text = format_table6(rows)
+        assert rows[0].library in text
+
+    def test_delta_handles_zero_old(self):
+        from repro.eval.tables import Table6Row
+
+        row = Table6Row("x", "1k", 10, 5, 0.0, 0.5)
+        assert row.delta_percent is None
+        assert "∞" in format_table6([row])
+
+
+class TestTable7Harness:
+    def test_generated_packages_are_valid_minijs(self):
+        import random
+
+        from repro.dse.parser import parse_program
+
+        rng = random.Random(42)
+        for i in range(20):
+            source = generate_dse_package(rng, i)
+            program = parse_program(source)
+            assert program.statement_count > 3
+
+    def test_population_mixes_generated_and_suite(self):
+        population = generate_population(n_packages=15, seed=1)
+        names = [name for name, _ in population]
+        assert any(name.startswith("gen-") for name in names)
+        assert any(name == "semver" for name in names)
+
+    def test_small_breakdown(self):
+        population = generate_population(n_packages=3, seed=5)
+        rows, runs = run_breakdown(population, max_tests=4, time_budget=4)
+        assert len(rows) == len(LEVELS) == 4
+        assert len(runs) == 3
+        total = full_vs_concrete(runs)
+        text = format_table7(rows, total)
+        assert "Refinement" in text
+        # Coverage can only improve (or stay) as levels are added.
+        for run in runs:
+            coverages = [run.coverage[label] for label, _ in LEVELS]
+            assert coverages[0] <= max(coverages) + 1e-9
+
+
+class TestTable8Harness:
+    def test_summarize(self):
+        population = generate_population(n_packages=2, seed=5)
+        _, runs = run_breakdown(population, max_tests=4, time_budget=4)
+        summary = summarize_solver_stats(
+            [run.stats["+ Refinement"] for run in runs]
+        )
+        assert summary.per_query["all"]["count"] >= 0
+        text = format_table8(summary)
+        assert "All queries" in text
+
+
+class TestAblationHarness:
+    def test_bank_entries_all_need_refinement(self):
+        # Sanity: every bank entry's pinned word admits a spurious model.
+        assert len(REFINEMENT_BANK) >= 5
+
+    def test_sweep_monotone(self):
+        points = run_refinement_ablation(limits=(0, 5))
+        assert points[0].solved <= points[1].solved
+        text = format_ablation(points)
+        assert "Limit" in text

@@ -1,0 +1,84 @@
+"""Unit tests for the automatic library harness (§7.3)."""
+
+import pytest
+
+from repro.dse.harness import build_harness, discover_exports
+
+
+class TestDiscovery:
+    def test_multiple_exports_with_arities(self):
+        exports = dict(
+            discover_exports(
+                """
+                module.exports = {
+                    one: function (a) { return a; },
+                    two: function (a, b) { return a; },
+                    zero: function () { return 1; }
+                };
+                """
+            )
+        )
+        assert exports == {"one": 1, "two": 2, "zero": 0}
+
+    def test_non_function_exports_skipped(self):
+        exports = discover_exports(
+            """
+            module.exports = {
+                version: "1.0.0",
+                f: function (x) { return x; }
+            };
+            """
+        )
+        assert exports == [("f", 1)]
+
+    def test_function_as_default_export(self):
+        assert discover_exports(
+            "module.exports = function (a, b, c) { return a; };"
+        ) == [("", 3)]
+
+    def test_no_exports(self):
+        assert discover_exports("var x = 1;") == []
+
+    def test_discovery_survives_runtime_error(self):
+        # A library that throws at import time still yields no exports
+        # rather than crashing the harness.
+        assert discover_exports("throw 'setup failed';") == []
+
+
+class TestDriverGeneration:
+    def test_driver_calls_each_export(self):
+        harnessed = build_harness(
+            """
+            module.exports = {
+                parse: function (s) { return s; },
+                fmt: function (a, b) { return a; }
+            };
+            """
+        )
+        assert 'module.exports.parse(symbol("parse_arg0", ""));' in harnessed
+        assert "fmt_arg0" in harnessed and "fmt_arg1" in harnessed
+
+    def test_zero_arity_still_gets_one_symbol(self):
+        harnessed = build_harness(
+            "module.exports = {f: function () { return 1; }};"
+        )
+        assert "f_arg0" in harnessed
+
+    def test_default_export_call(self):
+        harnessed = build_harness(
+            "module.exports = function (x) { return x; };"
+        )
+        assert "module.exports(symbol(" in harnessed
+
+    def test_library_without_exports_unchanged(self):
+        source = "var internal = 1;\n"
+        assert build_harness(source) == source
+
+    def test_generated_driver_parses(self):
+        from repro.dse.parser import parse_program
+
+        harnessed = build_harness(
+            "module.exports = {go: function (s) { return s + '!'; }};"
+        )
+        program = parse_program(harnessed)
+        assert program.statement_count > 0

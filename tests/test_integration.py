@@ -1,0 +1,145 @@
+"""End-to-end integration tests across all subsystems.
+
+Each test exercises a realistic pipeline: program text → DSE → path
+condition → capturing-language model → solver → CEGAR → new inputs →
+coverage/bugs, or survey text → extraction → classification → tables.
+"""
+
+import pytest
+
+from repro.constraints import Eq, StrConst, StrVar, conj
+from repro.corpus import extract_regex_literals, classify
+from repro.dse import RegexSupportLevel, analyze, build_harness
+from repro.model import CegarSolver, SymbolicRegExp
+from repro.regex import RegExp
+from repro.solver import SAT
+
+
+class TestPaperWalkthrough:
+    """§3.2's exact narrative, step by step."""
+
+    REGEX = r"<(\w+)>([0-9]*)<\/\1>"
+
+    def test_step1_negated_membership_gives_matching_input(self):
+        # pc = (args[0], ...) ∉ Lc(R); negating yields a member.
+        regexp = SymbolicRegExp(self.REGEX)
+        arg = StrVar("arg")
+        model = regexp.exec_model(arg)
+        result = CegarSolver().solve(model.match_formula, [model.constraint])
+        assert result.status == SAT
+        word = result.model.eval_term(arg)
+        assert RegExp(self.REGEX).test(word)
+
+    def test_step2_pin_capture_to_timeout(self):
+        regexp = SymbolicRegExp(self.REGEX)
+        arg = StrVar("arg")
+        model = regexp.exec_model(arg)
+        problem = conj(
+            [model.match_formula, Eq(model.captures[1], StrConst("timeout"))]
+        )
+        result = CegarSolver().solve(problem, [model.constraint])
+        assert result.status == SAT
+        concrete = RegExp(self.REGEX).exec(result.model.eval_term(arg))
+        assert concrete[1] == "timeout"
+
+    def test_step3_empty_number_triggers_bug(self):
+        # C2 ∉ Lc(^[0-9]+$): the empty string is the witness.
+        regexp = SymbolicRegExp(self.REGEX)
+        checker = SymbolicRegExp(r"^[0-9]+$")
+        arg = StrVar("arg")
+        model = regexp.exec_model(arg)
+        check_model = checker.exec_model(model.captures[2])
+        problem = conj(
+            [
+                model.match_formula,
+                Eq(model.captures[1], StrConst("timeout")),
+                check_model.no_match_formula,
+            ]
+        )
+        result = CegarSolver().solve(
+            problem,
+            [model.constraint, check_model.negative_constraint],
+        )
+        assert result.status == SAT
+        word = result.model.eval_term(arg)
+        concrete = RegExp(self.REGEX).exec(word)
+        assert concrete is not None
+        assert concrete[1] == "timeout"
+        assert not RegExp(r"^[0-9]+$").test(concrete[2])
+
+
+class TestFullPipelinePrograms:
+    def test_version_router(self):
+        source = r"""
+        var v = symbol("v", "");
+        var m = /^(\d+)\.(\d+)$/.exec(v);
+        var route = "none";
+        if (m) {
+            if (m[1] === "2") {
+                route = "v2";
+            } else {
+                route = "v1";
+            }
+        }
+        assert(route !== "v2", "v2 reached");
+        """
+        result = analyze(source, max_tests=20, time_budget=30)
+        assert result.failures
+        assert result.coverage == 1.0
+
+    def test_backreference_guard(self):
+        source = r"""
+        var s = symbol("s", "");
+        if (/^(\w+)-\1$/.test(s)) {
+            assert(false, "doubled word");
+        }
+        """
+        result = analyze(source, max_tests=15, time_budget=30)
+        assert result.failures
+
+    def test_case_insensitive_flag(self):
+        source = r"""
+        var s = symbol("s", "");
+        if (/^quit$/i.test(s)) { assert(false, "quit"); }
+        """
+        result = analyze(source, max_tests=10, time_budget=30)
+        assert result.failures
+
+    def test_multiline_program_with_string_ops(self):
+        source = r"""
+        var s = symbol("s", "");
+        var full = s + "-suffix";
+        if (/^\d+-suffix$/.test(full)) { assert(false, "numeric prefix"); }
+        """
+        result = analyze(source, max_tests=15, time_budget=30)
+        assert result.failures
+
+    def test_harnessed_library_end_to_end(self):
+        library = r"""
+        function route(path) {
+            var m = /^\/api\/(\w+)$/.exec(path);
+            if (!m) { return 404; }
+            if (m[1] === "users") { return 200; }
+            return 403;
+        }
+        module.exports = {route: route};
+        """
+        harnessed = build_harness(library)
+        result = analyze(harnessed, max_tests=25, time_budget=30)
+        assert result.coverage == 1.0
+
+
+class TestSurveyToModelBridge:
+    """Regexes found by the extractor must be consumable by the model."""
+
+    def test_extracted_literal_is_solvable(self):
+        source = 'var re = /^(\\w+)@(\\w+)$/; re.test("x");'
+        literals = extract_regex_literals(source)
+        assert len(literals) == 1
+        features = classify(literals[0].source, literals[0].flags)
+        assert features.capture_groups
+        from repro.model import find_matching_input
+
+        result = find_matching_input(literals[0].source)
+        assert result is not None
+        assert RegExp(literals[0].source).test(result[0])

@@ -1,0 +1,224 @@
+"""Unit tests for the concolic mini-JS interpreter."""
+
+import pytest
+
+from repro.dse.interpreter import Interpreter, RegexSupportLevel
+from repro.dse.parser import parse_program
+from repro.dse.values import JSArray, JSObject, UNDEFINED, concrete_of
+
+
+def run(source, inputs=None, level=RegexSupportLevel.REFINED):
+    interp = Interpreter(parse_program(source), inputs or {}, level=level)
+    trace = interp.run()
+    return interp, trace
+
+
+def result_of(source, inputs=None):
+    interp, trace = run(
+        f"var __result; {source}", inputs
+    )
+    return concrete_of(interp.globals.lookup("__result"))
+
+
+class TestConcreteSemantics:
+    def test_arithmetic(self):
+        assert result_of("__result = 2 + 3 * 4;") == 14
+
+    def test_string_concat(self):
+        assert result_of("__result = 'a' + 'b' + 1;") == "ab1"
+
+    def test_comparisons(self):
+        assert result_of("__result = 3 > 2;") is True
+        assert result_of("__result = 'a' === 'b';") is False
+
+    def test_truthiness(self):
+        assert result_of("__result = '' ? 1 : 2;") == 2
+        assert result_of("__result = 'x' ? 1 : 2;") == 1
+        assert result_of("__result = undefined ? 1 : 2;") == 2
+
+    def test_logical_operators_return_values(self):
+        assert result_of("__result = 'a' && 'b';") == "b"
+        assert result_of("__result = '' || 'fallback';") == "fallback"
+
+    def test_functions_and_closures(self):
+        source = """
+        function adder(n) {
+            return function (x) { return x + n; };
+        }
+        __result = adder(10)(5);
+        """
+        assert result_of(source) == 15
+
+    def test_recursion(self):
+        source = """
+        function fact(n) { if (n <= 1) { return 1; } return n * fact(n - 1); }
+        __result = fact(5);
+        """
+        assert result_of(source) == 120
+
+    def test_loops(self):
+        source = """
+        var total = 0;
+        for (var i = 0; i < 5; i = i + 1) { total += i; }
+        __result = total;
+        """
+        assert result_of(source) == 10
+
+    def test_while_break_continue(self):
+        source = """
+        var n = 0; var i = 0;
+        while (true) {
+            i = i + 1;
+            if (i > 10) { break; }
+            if (i % 2 === 0) { continue; }
+            n = n + 1;
+        }
+        __result = n;
+        """
+        assert result_of(source) == 5
+
+    def test_arrays(self):
+        source = """
+        var a = [1, 2]; a.push(3);
+        __result = a.length + a[0];
+        """
+        assert result_of(source) == 4
+
+    def test_objects(self):
+        assert result_of("var o = {k: 'v'}; __result = o.k;") == "v"
+
+    def test_string_methods(self):
+        assert result_of("__result = 'Hello'.toLowerCase();") == "hello"
+        assert result_of("__result = 'a,b,c'.split(',').length;") == 3
+        assert result_of("__result = ' x '.trim();") == "x"
+
+    def test_typeof(self):
+        assert result_of("__result = typeof 'a';") == "string"
+        assert result_of("__result = typeof 1;") == "number"
+        assert result_of("__result = typeof undefined;") == "undefined"
+
+    def test_throw_and_error(self):
+        _, trace = run("throw 'boom';")
+        assert "boom" in trace.error
+
+    def test_module_exports(self):
+        interp, trace = run(
+            "module.exports = {f: function (x) { return x; }};"
+        )
+        assert isinstance(trace.exports, JSObject)
+
+
+class TestRegexSemantics:
+    def test_concrete_regex_test(self):
+        assert result_of("__result = /ab+/.test('xabbz');") is True
+        assert result_of("__result = /ab+/.test('xyz');") is False
+
+    def test_concrete_exec_captures(self):
+        source = """
+        var m = /(a+)(b+)/.exec('xaabbz');
+        __result = m[1] + '-' + m[2];
+        """
+        assert result_of(source) == "aa-bb"
+
+    def test_exec_no_match_is_undefined(self):
+        assert result_of("__result = /x/.exec('a') === undefined;") is True
+
+    def test_sticky_regex_state(self):
+        source = """
+        var r = /goo+d/y;
+        var a = r.test('goood');
+        var b = r.test('goood');
+        __result = (a === true) && (b === false);
+        """
+        assert result_of(source) is True
+
+    def test_string_match(self):
+        assert result_of("__result = 'a1b2'.match(/\\d/)[0];") == "1"
+
+    def test_string_replace_with_regex(self):
+        assert result_of(
+            "__result = 'good morning'.replace(/goo+d/, 'better');"
+        ) == "better morning"
+
+    def test_string_search(self):
+        assert result_of("__result = 'xyz123'.search(/\\d+/);") == 3
+
+
+class TestSymbolicTracking:
+    def test_symbolic_input_branches(self):
+        _, trace = run(
+            """
+            var s = symbol("s", "nope");
+            if (s === "secret") { 1; } else { 2; }
+            """
+        )
+        assert len(trace.branches) == 1
+        assert trace.branches[0].flipped is not None
+
+    def test_symbolic_concat_stays_symbolic(self):
+        interp, trace = run(
+            """
+            var s = symbol("s", "x");
+            var t = "pre" + s;
+            if (t === "preY") { 1; }
+            """
+        )
+        assert len(trace.branches) == 1
+
+    def test_regex_on_symbolic_records_fork(self):
+        _, trace = run(
+            """
+            var s = symbol("s", "hello");
+            if (/h(e+)llo/.test(s)) { 1; } else { 2; }
+            """
+        )
+        regex_branches = [b for b in trace.branches if b.taken_constraints
+                          or b.flipped_constraints]
+        assert len(regex_branches) == 1
+
+    def test_concrete_level_does_not_fork_regex(self):
+        _, trace = run(
+            """
+            var s = symbol("s", "hello");
+            if (/h/.test(s)) { 1; } else { 2; }
+            """,
+            level=RegexSupportLevel.CONCRETE,
+        )
+        assert not any(
+            b.taken_constraints or b.flipped_constraints
+            for b in trace.branches
+        )
+        assert trace.concretizations >= 1
+
+    def test_exec_captures_symbolic_at_full_level(self):
+        interp, trace = run(
+            """
+            var s = symbol("s", "<t>1</t>");
+            var parts = /<(\\w+)>([0-9]*)<\\/\\1>/.exec(s);
+            if (parts) { if (parts[1] === "x") { 1; } }
+            """
+        )
+        # Two symbolic branches: the regex fork and the capture compare.
+        assert len(trace.branches) == 2
+
+    def test_exec_captures_concrete_at_model_level(self):
+        _, trace = run(
+            """
+            var s = symbol("s", "<t>1</t>");
+            var parts = /<(\\w+)>([0-9]*)<\\/\\1>/.exec(s);
+            if (parts) { if (parts[1] === "x") { 1; } }
+            """,
+            level=RegexSupportLevel.MODEL,
+        )
+        # Only the regex fork is symbolic; capture comparison is concrete.
+        assert len(trace.branches) == 1
+
+    def test_assert_failure_recorded(self):
+        _, trace = run("assert(1 === 2, 'broken');")
+        assert trace.failures == ["broken"]
+
+    def test_coverage_recorded(self):
+        program = parse_program("var a = 1; if (a) { a = 2; } else { a = 3; }")
+        trace = Interpreter(program, {}).run()
+        assert len(trace.covered) >= 3
+        assert len(trace.covered) < program.statement_count  # else untaken

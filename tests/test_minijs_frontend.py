@@ -1,0 +1,121 @@
+"""Unit tests for the mini-JS lexer and parser."""
+
+import pytest
+
+from repro.dse import astnodes as js
+from repro.dse.lexer import MiniJsSyntaxError, tokenize
+from repro.dse.parser import parse_program
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        kinds = [t.kind for t in tokenize("var x = 1;")]
+        assert kinds == ["keyword", "ident", "punct", "number", "punct", "eof"]
+
+    def test_string_escapes(self):
+        tokens = tokenize(r"'a\nb\tA'")
+        assert tokens[0].value == "a\nb\tA"
+
+    def test_comments_skipped(self):
+        tokens = tokenize("a // line\n/* block\nmore */ b")
+        assert [t.value for t in tokens[:-1]] == ["a", "b"]
+
+    def test_regex_literal_detection(self):
+        tokens = tokenize("x = /ab+c/gi;")
+        regex = [t for t in tokens if t.kind == "regex"]
+        assert len(regex) == 1
+        assert regex[0].value == "ab+c" and regex[0].flags == "gi"
+
+    def test_division_vs_regex(self):
+        tokens = tokenize("a / b / c")
+        assert not any(t.kind == "regex" for t in tokens)
+
+    def test_regex_after_paren_is_division(self):
+        tokens = tokenize("(a) / 2")
+        assert not any(t.kind == "regex" for t in tokens)
+
+    def test_regex_with_class_containing_slash(self):
+        tokens = tokenize("x = /[/]/")
+        regex = [t for t in tokens if t.kind == "regex"]
+        assert regex and regex[0].value == "[/]"
+
+    def test_unterminated_string(self):
+        with pytest.raises(MiniJsSyntaxError):
+            tokenize("'abc")
+
+    def test_multi_char_punctuation(self):
+        values = [t.value for t in tokenize("a === b !== c && d")]
+        assert "===" in values and "!==" in values and "&&" in values
+
+
+class TestParser:
+    def test_var_decl(self):
+        program = parse_program("var x = 5;")
+        decl = program.body[0]
+        assert isinstance(decl, js.VarDecl) and decl.name == "x"
+
+    def test_statement_ids_are_unique(self):
+        program = parse_program(
+            "var a = 1; if (a) { a = 2; } else { a = 3; } while (a) { a = 0; }"
+        )
+        sids = [s.sid for s in js.iter_statements(program)]
+        assert len(sids) == len(set(sids))
+        assert program.statement_count == len(sids)
+
+    def test_function_decl_and_call(self):
+        program = parse_program("function f(a, b) { return a; } f(1, 2);")
+        fn = program.body[0]
+        assert isinstance(fn, js.FunctionDecl)
+        assert fn.params == ["a", "b"]
+
+    def test_precedence(self):
+        program = parse_program("x = 1 + 2 * 3;")
+        assign = program.body[0].expr
+        assert isinstance(assign.value, js.Binary)
+        assert assign.value.op == "+"
+        assert assign.value.right.op == "*"
+
+    def test_comparison_chain(self):
+        program = parse_program("a === b && c !== d;")
+        expr = program.body[0].expr
+        assert expr.op == "&&"
+
+    def test_member_and_index(self):
+        program = parse_program("a.b.c[0];")
+        expr = program.body[0].expr
+        assert isinstance(expr, js.Index)
+        assert isinstance(expr.obj, js.Member)
+
+    def test_regex_literal_expression(self):
+        program = parse_program("var r = /a+/g;")
+        assert isinstance(program.body[0].init, js.RegexLiteral)
+
+    def test_object_and_array_literals(self):
+        program = parse_program("var o = {a: 1, b: [1, 2]};")
+        obj = program.body[0].init
+        assert isinstance(obj, js.ObjectLiteral)
+        assert obj.entries[0][0] == "a"
+
+    def test_for_loop(self):
+        program = parse_program(
+            "for (var i = 0; i < 10; i = i + 1) { i; }"
+        )
+        loop = program.body[0]
+        assert isinstance(loop, js.For)
+        assert loop.test is not None and loop.update is not None
+
+    def test_ternary(self):
+        program = parse_program("var x = a ? 1 : 2;")
+        assert isinstance(program.body[0].init, js.Conditional)
+
+    def test_new_expression(self):
+        program = parse_program('var r = new RegExp("a", "g");')
+        assert isinstance(program.body[0].init, js.New)
+
+    def test_error_on_bad_assignment(self):
+        with pytest.raises(MiniJsSyntaxError):
+            parse_program("1 = 2;")
+
+    def test_error_on_unterminated_block(self):
+        with pytest.raises(MiniJsSyntaxError):
+            parse_program("if (a) {")

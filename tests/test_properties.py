@@ -1,0 +1,187 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+The central soundness property of the whole system: for any regex in the
+supported fragment, an input generated from the *model* (after CEGAR)
+must concretely match with *exactly* the capture values the concrete
+ES6 matcher produces — and a generated non-member must concretely fail.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.model import find_matching_input, find_non_matching_input
+from repro.regex import RegExp, parse_regex, unparse_pattern
+from repro.regex.errors import RegexError
+
+
+# -- regex generators ----------------------------------------------------------
+
+_ATOMS = st.sampled_from(
+    ["a", "b", "0", "[ab]", "[a-c]", r"\d", r"\w", "."]
+)
+
+
+def _quantify(inner: str) -> st.SearchStrategy:
+    return st.sampled_from(["", "*", "+", "?", "{1,2}"]).map(
+        lambda q: f"(?:{inner}){q}" if q else inner
+    )
+
+
+@st.composite
+def regular_regexes(draw, depth=2):
+    """Classical regexes (no captures) of bounded depth."""
+    if depth == 0:
+        return draw(_ATOMS)
+    shape = draw(st.integers(0, 3))
+    if shape == 0:
+        return draw(_ATOMS)
+    if shape == 1:
+        left = draw(regular_regexes(depth=depth - 1))
+        right = draw(regular_regexes(depth=depth - 1))
+        return left + right
+    if shape == 2:
+        left = draw(regular_regexes(depth=depth - 1))
+        right = draw(regular_regexes(depth=depth - 1))
+        return f"(?:{left}|{right})"
+    inner = draw(regular_regexes(depth=depth - 1))
+    return draw(_quantify(inner))
+
+
+@st.composite
+def capture_regexes(draw):
+    """Regexes with 1–2 capture groups in solver-friendly shapes."""
+    g1 = draw(regular_regexes(depth=1))
+    g2 = draw(regular_regexes(depth=1))
+    template = draw(
+        st.sampled_from(
+            [
+                "({0})({1})",
+                "({0})x({1})",
+                "(?:({0})|({1}))y",
+                "({0})({1})?",
+                "^({0})({1})$",
+            ]
+        )
+    )
+    return template.format(g1, g2)
+
+
+_SLOW = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+
+# -- the soundness properties ------------------------------------------------
+
+
+@given(source=regular_regexes())
+@_SLOW
+def test_generated_member_matches_concretely(source):
+    result = find_matching_input(source)
+    if result is None:
+        # The bounded solver may give up; it must never give wrong answers.
+        return
+    word, captures = result
+    concrete = RegExp(source).exec(word)
+    assert concrete is not None
+    assert captures[0] == concrete[0]
+
+
+@given(source=regular_regexes())
+@_SLOW
+def test_generated_non_member_fails_concretely(source):
+    word = find_non_matching_input(source)
+    if word is None:
+        return  # e.g. /.*/-like patterns match everything
+    assert not RegExp(source).test(word)
+
+
+@given(source=capture_regexes())
+@_SLOW
+def test_captures_agree_with_oracle(source):
+    result = find_matching_input(source)
+    if result is None:
+        return
+    word, captures = result
+    concrete = RegExp(source).exec(word)
+    assert concrete is not None, (source, word)
+    for index, value in captures.items():
+        assert value == concrete[index], (source, word, index)
+
+
+# -- front-end properties -------------------------------------------------------
+
+
+@given(source=regular_regexes(), word=st.text(alphabet="ab01x", max_size=5))
+@_SLOW
+def test_unparse_roundtrip_preserves_matching(source, word):
+    pattern = parse_regex(source)
+    rendered = unparse_pattern(pattern)
+    assert RegExp(f"^(?:{source})$").test(word) == RegExp(
+        f"^(?:{rendered})$"
+    ).test(word)
+
+
+@given(word=st.text(alphabet="abc", max_size=8))
+@settings(max_examples=60, deadline=None)
+def test_matcher_whole_match_is_substring(word):
+    regexp = RegExp("b+")
+    match = regexp.exec(word)
+    if match is not None:
+        assert match[0] in word
+        assert word[match.index:match.index + len(match[0])] == match[0]
+
+
+@given(
+    word=st.text(alphabet="ab", max_size=6),
+    flags=st.sampled_from(["", "i", "m"]),
+)
+@settings(max_examples=60, deadline=None)
+def test_exec_and_test_agree(word, flags):
+    for source in (r"(a)(b)?", r"^a", r"b$"):
+        r1 = RegExp(source, flags)
+        r2 = RegExp(source, flags)
+        assert r1.test(word) == (r2.exec(word) is not None)
+
+
+@given(word=st.text(alphabet="ab-", max_size=6))
+@settings(max_examples=60, deadline=None)
+def test_stateless_exec_is_idempotent(word):
+    regexp = RegExp(r"(a+)|(b+)")
+    first = regexp.exec(word)
+    second = regexp.exec(word)
+    if first is None:
+        assert second is None
+    else:
+        assert list(first) == list(second)
+
+
+# -- solver properties ------------------------------------------------------------
+
+
+@given(source=regular_regexes())
+@_SLOW
+def test_member_and_non_member_are_distinct(source):
+    member = find_matching_input(source)
+    non_member = find_non_matching_input(source)
+    if member is not None and non_member is not None:
+        assert member[0] != non_member
+
+@given(st.data())
+@settings(max_examples=25, deadline=None)
+def test_solver_model_satisfies_membership(data):
+    from repro.automata import dfa_for
+    from repro.constraints import InRe, StrVar
+    from repro.solver import SAT, Solver
+
+    source = data.draw(regular_regexes())
+    try:
+        node = parse_regex(source).body
+    except RegexError:
+        return
+    var = StrVar("v")
+    result = Solver().solve(InRe(var, node))
+    if result.status == SAT:
+        assert dfa_for(node).accepts_word(result.model[var])

@@ -1,0 +1,100 @@
+"""Unit tests for the String.prototype regex methods (concrete §6.1)."""
+
+import pytest
+
+from repro.regex import RegExp
+from repro.regex.methods import match, replace, search, split
+
+
+class TestMatch:
+    def test_non_global_is_exec(self):
+        result = match(RegExp(r"(o+)"), "good food")
+        assert list(result) == ["oo", "oo"]
+        assert result.index == 1
+
+    def test_global_collects_all(self):
+        assert match(RegExp(r"\d+", "g"), "a1b22c333") == ["1", "22", "333"]
+
+    def test_global_no_match(self):
+        assert match(RegExp(r"\d", "g"), "abc") is None
+
+    def test_global_zero_length_matches_terminate(self):
+        result = match(RegExp(r"a*", "g"), "bab")
+        assert result is not None and "a" in result
+
+    def test_global_resets_last_index(self):
+        regexp = RegExp(r"\d", "g")
+        match(regexp, "123")
+        assert regexp.last_index == 0
+
+
+class TestSearch:
+    def test_found(self):
+        assert search(RegExp(r"\d+"), "abc123") == 3
+
+    def test_not_found(self):
+        assert search(RegExp("z"), "abc") == -1
+
+    def test_ignores_last_index(self):
+        regexp = RegExp(r"a", "g")
+        regexp.last_index = 2
+        assert search(regexp, "abc") == 0
+        assert regexp.last_index == 2
+
+
+class TestSplit:
+    def test_simple(self):
+        assert split(RegExp(","), "a,b,c") == ["a", "b", "c"]
+
+    def test_regex_separator(self):
+        assert split(RegExp(r"\s*;\s*"), "a ; b;c") == ["a", "b", "c"]
+
+    def test_captures_spliced_in(self):
+        assert split(RegExp(r"(-)"), "a-b") == ["a", "-", "b"]
+
+    def test_limit(self):
+        assert split(RegExp(","), "a,b,c", limit=2) == ["a", "b"]
+        assert split(RegExp(","), "a,b,c", limit=0) == []
+
+    def test_no_separator_match(self):
+        assert split(RegExp("x"), "abc") == ["abc"]
+
+    def test_empty_subject(self):
+        assert split(RegExp(","), "") == [""]
+        assert split(RegExp(""), "") == []
+
+    def test_trailing_separator(self):
+        assert split(RegExp(","), "a,") == ["a", ""]
+
+
+class TestReplace:
+    def test_first_only_without_global(self):
+        assert replace(RegExp("o"), "foo", "0") == "f0o"
+
+    def test_all_with_global(self):
+        assert replace(RegExp("o", "g"), "foo boo", "0") == "f00 b00"
+
+    def test_paper_example(self):
+        assert replace(
+            RegExp("goo+d"), "this is goood", "better"
+        ) == "this is better"
+
+    def test_dollar_ampersand(self):
+        assert replace(RegExp(r"\d+"), "x42y", "[$&]") == "x[42]y"
+
+    def test_capture_references(self):
+        assert replace(
+            RegExp(r"(\w+)@(\w+)"), "user@host", "$2:$1"
+        ) == "host:user"
+
+    def test_dollar_literal(self):
+        assert replace(RegExp("a"), "a", "$$") == "$"
+
+    def test_context_refs(self):
+        assert replace(RegExp("b"), "abc", "[$`|$']") == "a[a|c]c"
+
+    def test_no_match_returns_subject(self):
+        assert replace(RegExp("z"), "abc", "x") == "abc"
+
+    def test_undefined_capture_is_empty(self):
+        assert replace(RegExp(r"(x)|(a)"), "a", "<$1>") == "<>"

@@ -1,0 +1,239 @@
+"""Unit tests for the ES6 pattern parser."""
+
+import pytest
+
+from repro.regex import ast
+from repro.regex.charclass import CharSet, DIGIT, DOT, WORD
+from repro.regex.errors import RegexSyntaxError, UnsupportedRegexError
+from repro.regex.parser import count_capture_groups, parse_pattern
+
+
+def body(src, flags=""):
+    from repro.regex.flags import Flags
+    return parse_pattern(src, Flags.parse(flags)).body
+
+
+class TestGroupCounting:
+    @pytest.mark.parametrize(
+        "pattern,count",
+        [
+            ("abc", 0),
+            ("(a)(b)", 2),
+            ("(?:a)(b)", 1),
+            ("(?=x)(a)", 1),
+            (r"(a|((b)*c)*d)", 3),
+            (r"[()]", 0),
+            (r"\((a)", 1),
+            (r"((((((((((a))))))))))", 10),
+        ],
+    )
+    def test_count(self, pattern, count):
+        assert count_capture_groups(pattern) == count
+        assert parse_pattern(pattern).group_count == count
+
+
+class TestBasicStructure:
+    def test_single_char(self):
+        node = body("a")
+        assert isinstance(node, ast.CharMatch)
+        assert node.charset == CharSet.of("a")
+
+    def test_concat(self):
+        node = body("ab")
+        assert isinstance(node, ast.Concat) and len(node.parts) == 2
+
+    def test_alternation_order_preserved(self):
+        node = body("a|b|c")
+        assert isinstance(node, ast.Alternation)
+        assert [n.source for n in node.options] == ["a", "b", "c"]
+
+    def test_empty_alternative(self):
+        node = body("a|")
+        assert isinstance(node.options[1], ast.Empty)
+
+    def test_empty_pattern(self):
+        assert isinstance(body(""), ast.Empty)
+
+    def test_dot(self):
+        assert body(".").charset == DOT
+
+
+class TestQuantifiers:
+    @pytest.mark.parametrize(
+        "src,low,high,lazy",
+        [
+            ("a*", 0, None, False),
+            ("a+", 1, None, False),
+            ("a?", 0, 1, False),
+            ("a*?", 0, None, True),
+            ("a+?", 1, None, True),
+            ("a??", 0, 1, True),
+            ("a{3}", 3, 3, False),
+            ("a{2,}", 2, None, False),
+            ("a{2,5}", 2, 5, False),
+            ("a{2,5}?", 2, 5, True),
+        ],
+    )
+    def test_forms(self, src, low, high, lazy):
+        node = body(src)
+        assert isinstance(node, ast.Quantifier)
+        assert (node.min, node.max, node.lazy) == (low, high, lazy)
+
+    def test_literal_brace_when_not_quantifier(self):
+        node = body("a{,3}")
+        assert isinstance(node, ast.Concat)
+        assert node.parts[1].charset == CharSet.of("{")
+
+    def test_out_of_order_bounds_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            parse_pattern("a{5,2}")
+
+    def test_nothing_to_repeat(self):
+        for src in ("*a", "+", "?", "^*", r"\b+"):
+            with pytest.raises(RegexSyntaxError):
+                parse_pattern(src)
+
+    def test_quantified_group(self):
+        node = body("(ab)*")
+        assert isinstance(node, ast.Quantifier)
+        assert isinstance(node.child, ast.Group)
+
+
+class TestGroups:
+    def test_capture_group_numbering(self):
+        pattern = parse_pattern(r"a|((b)*c)*d")
+        groups = [
+            n for n in ast.walk(pattern.body) if isinstance(n, ast.Group)
+        ]
+        indices = sorted(g.index for g in groups)
+        assert indices == [1, 2]
+
+    def test_nested_numbering_by_open_paren(self):
+        pattern = parse_pattern("((a)(b))")
+        by_index = {
+            g.index: g for g in ast.walk(pattern.body) if isinstance(g, ast.Group)
+        }
+        assert isinstance(by_index[1].child, ast.Concat)
+        assert by_index[2].child.source == "a"
+        assert by_index[3].child.source == "b"
+
+    def test_non_capturing(self):
+        node = body("(?:ab)")
+        assert isinstance(node, ast.NonCapGroup)
+
+    def test_lookaheads(self):
+        assert body("(?=a)").negative is False
+        assert body("(?!a)").negative is True
+
+    def test_unmatched_paren(self):
+        with pytest.raises(RegexSyntaxError):
+            parse_pattern("(a")
+        with pytest.raises(RegexSyntaxError):
+            parse_pattern("a)")
+
+    def test_es2018_syntax_rejected(self):
+        with pytest.raises(UnsupportedRegexError):
+            parse_pattern("(?<=a)b")
+        with pytest.raises(UnsupportedRegexError):
+            parse_pattern("(?<name>a)")
+
+
+class TestEscapes:
+    def test_class_escapes(self):
+        assert body(r"\d").charset == DIGIT
+        assert body(r"\w").charset == WORD
+        assert body(r"\D").charset == DIGIT.complement()
+
+    def test_backreference_vs_octal(self):
+        node = body(r"(a)\1")
+        assert isinstance(node.parts[1], ast.Backreference)
+        # \1 with no group is Annex B octal \x01
+        node = body(r"a\1")
+        assert node.parts[1].charset == CharSet.of("\x01")
+
+    def test_control_escapes(self):
+        assert body(r"\n").charset == CharSet.of("\n")
+        assert body(r"\t").charset == CharSet.of("\t")
+        assert body(r"\cJ").charset == CharSet.of("\n")
+
+    def test_hex_and_unicode(self):
+        assert body(r"\x41").charset == CharSet.of("A")
+        assert body(r"A").charset == CharSet.of("A")
+        assert body(r"\u{1F600}", "u").charset == CharSet.of("😀")
+
+    def test_invalid_hex(self):
+        with pytest.raises(RegexSyntaxError):
+            parse_pattern(r"\xZZ")
+
+    def test_identity_escape(self):
+        assert body(r"\/").charset == CharSet.of("/")
+        assert body(r"\.").charset == CharSet.of(".")
+
+    def test_null_escape(self):
+        assert body(r"\0").charset == CharSet.of("\0")
+
+    def test_trailing_backslash(self):
+        with pytest.raises(RegexSyntaxError):
+            parse_pattern("a\\")
+
+
+class TestAssertions:
+    def test_anchors(self):
+        node = body("^a$")
+        assert node.parts[0] == ast.Anchor("start")
+        assert node.parts[2] == ast.Anchor("end")
+
+    def test_word_boundaries(self):
+        node = body(r"\ba\B")
+        assert node.parts[0] == ast.WordBoundary(False)
+        assert node.parts[2] == ast.WordBoundary(True)
+
+
+class TestCharacterClasses:
+    def test_simple_class(self):
+        assert body("[abc]").charset == CharSet.of("abc")
+
+    def test_negated_class(self):
+        cs = body("[^abc]").charset
+        assert "a" not in cs and "d" in cs
+
+    def test_range(self):
+        assert body("[a-f]").charset == CharSet.of_range("a", "f")
+
+    def test_class_with_escapes(self):
+        cs = body(r"[\d\-]").charset
+        assert "5" in cs and "-" in cs
+
+    def test_literal_dash_at_edges(self):
+        assert "-" in body("[-a]").charset
+        assert "-" in body("[a-]").charset
+
+    def test_class_escape_adjacent_to_dash_is_literal(self):
+        cs = body(r"[\d-x]").charset
+        assert "5" in cs and "-" in cs and "x" in cs
+
+    def test_out_of_order_range(self):
+        with pytest.raises(RegexSyntaxError):
+            parse_pattern("[z-a]")
+
+    def test_unterminated(self):
+        with pytest.raises(RegexSyntaxError):
+            parse_pattern("[abc")
+
+    def test_backspace_escape_in_class(self):
+        assert "\x08" in body(r"[\b]").charset
+
+    def test_caret_not_first_is_literal(self):
+        assert "^" in body("[a^]").charset
+
+
+class TestIgnoreCaseFolding:
+    def test_literal_folded(self):
+        assert body("a", "i").charset == CharSet.of("aA")
+
+    def test_range_folded(self):
+        cs = body("[a-z]", "i").charset
+        assert "A" in cs and "Z" in cs
+
+    def test_unfolded_without_flag(self):
+        assert "A" not in body("a").charset

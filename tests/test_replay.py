@@ -1,0 +1,54 @@
+"""Tests for deterministic replay of generated inputs."""
+
+import json
+
+from repro.dse import analyze
+from repro.dse.replay import (
+    export_test_suite,
+    inputs_of_failure,
+    replay,
+    replay_failures,
+)
+
+PROGRAM = r"""
+var s = symbol("s", "");
+var m = /^(\w+)=(\w*)$/.exec(s);
+if (m) {
+    if (m[1] === "key") {
+        assert(m[2] !== "", "empty value for key");
+    }
+}
+"""
+
+
+class TestReplay:
+    def test_failure_inputs_parse(self):
+        failure = "boom (inputs: {'s': 'key='})"
+        assert inputs_of_failure(failure) == {"s": "key="}
+
+    def test_failure_without_inputs(self):
+        assert inputs_of_failure("plain message") is None
+
+    def test_replay_reproduces_bug(self):
+        result = replay(PROGRAM, {"s": "key="})
+        assert result.reproduced
+        assert "empty value" in result.failures[0]
+
+    def test_replay_clean_input(self):
+        result = replay(PROGRAM, {"s": "key=1"})
+        assert not result.reproduced
+        assert result.covered > 0
+
+    def test_engine_failures_replay(self):
+        engine_result = analyze(PROGRAM, max_tests=20, time_budget=30)
+        assert engine_result.failures
+        replays = replay_failures(PROGRAM, engine_result.failures)
+        assert replays and all(r.reproduced for r in replays)
+
+    def test_export_test_suite(self):
+        suite = export_test_suite(
+            PROGRAM, [{"s": "key="}, {"s": "a=b"}, {"s": "zzz"}]
+        )
+        parsed = json.loads(suite)
+        assert len(parsed["cases"]) == 3
+        assert any(case["failures"] for case in parsed["cases"])

@@ -1,0 +1,122 @@
+"""Property-based tests for the string solver's core invariants."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.constraints import (
+    Eq,
+    InRe,
+    Not,
+    StrConst,
+    StrVar,
+    concat,
+    conj,
+)
+from repro.regex import parse_regex
+from repro.solver import SAT, Solver, UNSAT
+
+_SLOW = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_WORDS = st.text(alphabet="ab", max_size=6)
+
+
+@given(value=_WORDS)
+@_SLOW
+def test_doubling_equation_solves_iff_even(value):
+    """x ++ x = w is SAT exactly when w is a square word."""
+    x = StrVar("x")
+    result = Solver().solve(Eq(concat(x, x), StrConst(value)))
+    n = len(value)
+    is_square = n % 2 == 0 and value[: n // 2] == value[n // 2:]
+    if is_square:
+        assert result.status == SAT
+        assert result.model[x] == value[: n // 2]
+    else:
+        assert result.status != SAT
+
+
+@given(prefix=_WORDS, suffix=_WORDS)
+@_SLOW
+def test_concat_of_constants_propagates(prefix, suffix):
+    x, w = StrVar("x"), StrVar("w")
+    formula = conj(
+        [
+            Eq(w, concat(StrConst(prefix), x, StrConst(suffix))),
+            Eq(w, StrConst(prefix + "mid" + suffix)),
+        ]
+    )
+    result = Solver().solve(formula)
+    assert result.status == SAT
+    assert result.model[x] == "mid"
+
+
+@given(value=_WORDS.filter(bool))
+@_SLOW
+def test_exclusion_of_every_shorter_word_finds_target(value):
+    """Excluding all words shorter than the target still converges."""
+    x = StrVar("x")
+    clauses = [InRe(x, parse_regex("[ab]*").body)]
+    seen = set()
+    for length in range(len(value)):
+        for i in range(min(2 ** length, 8)):
+            word = format(i, f"0{max(length,1)}b")[:length].replace(
+                "0", "a"
+            ).replace("1", "b")
+            if word not in seen and word != value and len(word) < len(value):
+                seen.add(word)
+                clauses.append(Not(Eq(x, StrConst(word))))
+    clauses.append(Eq(x, StrConst(value)))
+    result = Solver().solve(conj(clauses))
+    assert result.status == SAT
+    assert result.model[x] == value
+
+
+@given(word=_WORDS, sep=st.sampled_from(["-", "=", ","]))
+@_SLOW
+def test_split_around_separator(word, sep):
+    """w = x ++ sep ++ y is solvable iff the separator occurs in w."""
+    x, y, w = StrVar("x"), StrVar("y"), StrVar("w")
+    subject = word[: len(word) // 2] + sep + word[len(word) // 2:]
+    formula = conj(
+        [
+            Eq(w, StrConst(subject)),
+            Eq(w, concat(x, StrConst(sep), y)),
+        ]
+    )
+    result = Solver().solve(formula)
+    assert result.status == SAT
+    model = result.model
+    assert model[x] + sep + model[y] == subject
+
+
+@given(value=_WORDS)
+@_SLOW
+def test_sat_model_always_verifies(value):
+    """Whatever the solver returns as SAT must satisfy the formula under
+    independent evaluation."""
+    from repro.solver.core import _holds
+
+    x, y = StrVar("x"), StrVar("y")
+    node = parse_regex("a*b?").body
+    formula = conj(
+        [
+            InRe(x, node),
+            Eq(y, concat(x, StrConst(value))),
+            Not(Eq(y, StrConst("forbidden"))),
+        ]
+    )
+    result = Solver().solve(formula)
+    if result.status == SAT:
+        assert _holds(formula, result.model)
+
+
+@given(lhs=_WORDS, rhs=_WORDS)
+@_SLOW
+def test_equality_decision_on_constants(lhs, rhs):
+    x = StrVar("x")
+    formula = conj([Eq(x, StrConst(lhs)), Eq(x, StrConst(rhs))])
+    result = Solver().solve(formula)
+    assert (result.status == SAT) == (lhs == rhs)

@@ -1,0 +1,63 @@
+"""Unit tests for the solver statistics collector (Table 8 plumbing)."""
+
+from repro.solver.stats import QueryRecord, SolverStats
+
+
+def record(seconds=0.1, status="sat", **kwargs):
+    return QueryRecord(seconds=seconds, status=status, **kwargs)
+
+
+class TestAggregation:
+    def test_empty_summary(self):
+        stats = SolverStats()
+        summary = stats.summary()
+        assert summary["all"]["count"] == 0
+        assert summary["all"]["mean"] == 0.0
+
+    def test_basic_aggregates(self):
+        stats = SolverStats()
+        stats.record(record(seconds=0.1))
+        stats.record(record(seconds=0.3))
+        agg = stats.summary()["all"]
+        assert agg["count"] == 2
+        assert abs(agg["mean"] - 0.2) < 1e-9
+        assert agg["min"] == 0.1 and agg["max"] == 0.3
+
+    def test_subset_classification(self):
+        stats = SolverStats()
+        stats.record(record(had_regex=True))
+        stats.record(record(had_regex=True, had_captures=True))
+        stats.record(
+            record(had_regex=True, had_captures=True, refinements=3)
+        )
+        stats.record(
+            record(
+                status="unknown",
+                had_captures=True,
+                refinements=21,
+                hit_refinement_limit=True,
+            )
+        )
+        summary = stats.summary()
+        assert summary["with_captures"]["count"] == 3
+        assert summary["with_refinement"]["count"] == 2
+        assert summary["hit_limit"]["count"] == 1
+
+    def test_refinement_summary(self):
+        stats = SolverStats()
+        stats.record(record())
+        stats.record(record(had_regex=True, had_captures=True, refinements=1))
+        stats.record(record(had_regex=True, had_captures=True, refinements=5))
+        ref = stats.refinement_summary()
+        assert ref["total_queries"] == 3
+        assert ref["regex_queries"] == 2
+        assert ref["capture_queries"] == 2
+        assert ref["refined_queries"] == 2
+        assert ref["mean_refinements"] == 3.0
+        assert ref["limit_queries"] == 0
+
+    def test_total_time(self):
+        stats = SolverStats()
+        stats.record(record(seconds=0.25))
+        stats.record(record(seconds=0.75))
+        assert abs(stats.total_time() - 1.0) < 1e-9

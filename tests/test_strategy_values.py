@@ -1,0 +1,119 @@
+"""Unit tests for the CUPA scheduler, runtime values and flags."""
+
+import pytest
+
+from repro.dse.strategy import CupaScheduler, QueuedTest
+from repro.dse.values import (
+    Concolic,
+    Environment,
+    JSArray,
+    JSObject,
+    JSUndefined,
+    UNDEFINED,
+    concrete_of,
+    term_of,
+)
+from repro.constraints import StrVar
+from repro.regex.errors import RegexSyntaxError
+from repro.regex.flags import Flags
+
+
+class TestCupaScheduler:
+    def test_least_accessed_bucket_first(self):
+        scheduler = CupaScheduler(seed=1)
+        scheduler.add(QueuedTest({}, origin_site=1))
+        scheduler.add(QueuedTest({}, origin_site=1))
+        scheduler.add(QueuedTest({}, origin_site=2))
+        first = scheduler.pop()
+        # After drawing from bucket 1 (or 2), the other bucket has the
+        # lower access count and must be drawn next.
+        second = scheduler.pop()
+        assert first.origin_site != second.origin_site
+
+    def test_size_tracking(self):
+        scheduler = CupaScheduler()
+        assert not scheduler
+        scheduler.add(QueuedTest({}, origin_site=5))
+        assert len(scheduler) == 1 and bool(scheduler)
+        scheduler.pop()
+        assert len(scheduler) == 0
+        assert scheduler.pop() is None
+
+    def test_deterministic_with_seed(self):
+        def drain(seed):
+            scheduler = CupaScheduler(seed=seed)
+            for i in range(10):
+                scheduler.add(QueuedTest({"i": str(i)}, origin_site=i % 3))
+            return [scheduler.pop().inputs["i"] for _ in range(10)]
+
+        assert drain(7) == drain(7)
+
+    def test_rare_buckets_prioritised(self):
+        scheduler = CupaScheduler(seed=3)
+        for _ in range(5):
+            scheduler.add(QueuedTest({}, origin_site=1))
+        scheduler.add(QueuedTest({}, origin_site=99))
+        drawn_sites = [scheduler.pop().origin_site for _ in range(3)]
+        assert 99 in drawn_sites[:2]
+
+
+class TestValues:
+    def test_undefined_singleton(self):
+        assert JSUndefined() is UNDEFINED
+        assert not UNDEFINED
+
+    def test_concolic_accessors(self):
+        var = StrVar("s")
+        value = Concolic("hello", term=var)
+        assert concrete_of(value) == "hello"
+        assert term_of(value) == var
+        assert concrete_of("plain") == "plain"
+        assert term_of("plain") is None
+
+    def test_array_semantics(self):
+        array = JSArray(["a"])
+        array.set_index(3, "d")
+        assert array.get_index(1) is UNDEFINED
+        assert array.get_index(3) == "d"
+        assert array.get("length") == 4
+        assert array.get_index(-1) is UNDEFINED
+
+    def test_object_get_set(self):
+        obj = JSObject({"k": 1})
+        assert obj.get("k") == 1
+        assert obj.get("missing") is UNDEFINED
+        obj.set("k2", 2)
+        assert obj.get("k2") == 2
+
+    def test_environment_chain(self):
+        outer = Environment()
+        outer.declare("x", 1)
+        inner = Environment(outer)
+        assert inner.lookup("x") == 1
+        inner.assign("x", 2)
+        assert outer.lookup("x") == 2
+        inner.declare("x", 3)  # shadows
+        assert inner.lookup("x") == 3 and outer.lookup("x") == 2
+        with pytest.raises(NameError):
+            inner.lookup("nope")
+
+
+class TestFlags:
+    def test_parse_all(self):
+        flags = Flags.parse("gimuy")
+        assert flags.global_ and flags.ignore_case and flags.multiline
+        assert flags.unicode and flags.sticky
+
+    def test_str_roundtrip(self):
+        assert str(Flags.parse("giy")) == "giy"
+        assert str(Flags.parse("")) == ""
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            Flags.parse("gg")
+
+    def test_unknown_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            Flags.parse("q")
+        with pytest.raises(RegexSyntaxError):
+            Flags.parse("s")  # dotAll is ES2018, not ES6

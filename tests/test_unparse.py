@@ -1,0 +1,80 @@
+"""Unit tests for the AST unparser."""
+
+import pytest
+
+from repro.regex import RegExp, parse_regex, unparse, unparse_pattern
+
+
+def roundtrip(source):
+    """Parse → unparse → parse; return the re-rendered text."""
+    rendered = unparse_pattern(parse_regex(source))
+    parse_regex(rendered)  # must stay syntactically valid
+    return rendered
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "abc",
+            "a|b|c",
+            "a*b+c?",
+            "a*?b+?c??",
+            "(a)(b)",
+            "(?:ab)+",
+            "(?=x)a",
+            "(?!x)a",
+            r"\d+\.\d*",
+            "[a-z][^0-9]",
+            "^start|end$",
+            r"\bword\B",
+            r"(a|b)\1",
+            "a{2,5}",
+            "a{3}",
+            "a{2,}",
+            r"<(\w+)>([0-9]*)<\/\1>",
+        ],
+    )
+    def test_language_preserved(self, source):
+        rendered = roundtrip(source)
+        probe_words = ["", "a", "b", "ab", "abc", "aa", "start", "end",
+                       "word", "<a>1</a>", "aaa", "a.5", "x1"]
+        for word in probe_words:
+            assert RegExp(source).test(word) == RegExp(rendered).test(word), (
+                source, rendered, word
+            )
+
+    def test_captures_preserved(self):
+        source = r"(a+)(b(c))?"
+        rendered = roundtrip(source)
+        for word in ("abc", "a", "aabc"):
+            left = RegExp(source).exec(word)
+            right = RegExp(rendered).exec(word)
+            assert (left is None) == (right is None)
+            if left is not None:
+                assert list(left) == list(right)
+
+
+class TestPrecedenceParenthesisation:
+    def test_alternation_inside_concat(self):
+        node = parse_regex("(?:a|b)c").body
+        rendered = unparse(node)
+        assert RegExp(f"^{rendered}$").test("ac")
+        assert not RegExp(f"^{rendered}$").test("abc")
+
+    def test_quantified_concat_grouped(self):
+        node = parse_regex("(?:ab)*").body
+        rendered = unparse(node)
+        assert RegExp(f"^{rendered}$").test("abab")
+        assert not RegExp(f"^{rendered}$").test("abb")
+
+    def test_double_quantifier_grouped(self):
+        node = parse_regex("(?:a*)?").body
+        rendered = unparse(node)
+        parse_regex(rendered)  # must not produce the invalid `a*?` + `?`
+
+    def test_empty_body(self):
+        node = parse_regex("a|").body
+        rendered = unparse(node)
+        assert RegExp(f"^(?:{rendered})$").test("")
+        assert RegExp(f"^(?:{rendered})$").test("a")

@@ -1,0 +1,55 @@
+"""Tests for DOT export and automaton quotients."""
+
+from repro.automata import dfa_for_pattern, nfa_for
+from repro.automata.visualize import label_of, to_dot
+from repro.regex import parse_regex
+from repro.regex.charclass import CharSet, DIGIT
+
+
+class TestQuotients:
+    def test_left_quotient(self):
+        d = dfa_for_pattern("abc").quotient_left("ab")
+        assert d.accepts_word("c")
+        assert not d.accepts_word("abc")
+
+    def test_right_quotient(self):
+        d = dfa_for_pattern("abc").quotient_right("bc")
+        assert d.accepts_word("a")
+        assert not d.accepts_word("abc")
+
+    def test_quotient_of_star(self):
+        d = dfa_for_pattern("a*b").quotient_right("b")
+        for word in ("", "a", "aaa"):
+            assert d.accepts_word(word)
+        assert not d.accepts_word("b")
+
+    def test_empty_quotient(self):
+        d = dfa_for_pattern("ab").quotient_left("x")
+        assert d.is_empty()
+
+    def test_quotient_identity(self):
+        d = dfa_for_pattern("a+")
+        q = d.quotient_left("").quotient_right("")
+        for word in ("", "a", "aa", "b"):
+            assert d.accepts_word(word) == q.accepts_word(word)
+
+
+class TestDotExport:
+    def test_dfa_dot(self):
+        dot = to_dot(dfa_for_pattern("ab|c"))
+        assert dot.startswith("digraph")
+        assert "doublecircle" in dot
+        assert "->" in dot and dot.endswith("}")
+
+    def test_nfa_dot_has_epsilons(self):
+        nfa = nfa_for(parse_regex("a|b").body)
+        dot = to_dot(nfa)
+        assert "ε" in dot and "dashed" in dot
+
+    def test_labels(self):
+        assert label_of(CharSet.any()) == "Σ"
+        assert label_of(DIGIT) == "[0-9]"
+        assert "a" in label_of(CharSet.of("a"))
+        assert "…" in label_of(
+            CharSet.of_intervals([(i * 10, i * 10 + 1) for i in range(10)])
+        )
