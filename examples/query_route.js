@@ -1,0 +1,21 @@
+// Mini-JS demo for `python -m repro batch examples/*.js`: a toy router
+// matching paths and query strings with two regexes whose captures feed
+// later branches.
+var path = symbol("path", "/home");
+var r = /^\/(\w+)(?:\/(\d+))?$/.exec(path);
+if (r) {
+    if (r[1] === "users") {
+        if (r[2]) {
+            1;
+        } else {
+            assert(r[1] !== "users", "user routes need an id");
+        }
+    }
+    if (r[1] === "admin") { 2; }
+}
+var query = symbol("query", "a=b");
+var q = /^(\w+)=(\w*)$/.exec(query);
+if (q) {
+    if (q[2] === "") { 3; }
+    if (q[1] === "debug") { 4; }
+}

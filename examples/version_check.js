@@ -1,0 +1,24 @@
+// Mini-JS demo for `python -m repro batch examples/*.js`: a release-tag
+// validator with capture-dependent branching (the shape that separates
+// the regex support levels).
+var tag = symbol("tag", "r1.0.0");
+var m = /^r(\d+)\.(\d+)\.(\d+)(?:\+(\w+))?$/.exec(tag);
+var channel = "none";
+if (m) {
+    if (m[1] === "0") {
+        channel = "experimental";
+    } else {
+        channel = "stable";
+    }
+    if (m[4]) {
+        if (m[4] === "hotfix") {
+            assert(m[1] !== "0", "no hotfixes on experimental releases");
+        } else {
+            channel = "custom";
+        }
+    }
+} else {
+    if (/^nightly-/.test(tag)) {
+        channel = "nightly";
+    }
+}

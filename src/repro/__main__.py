@@ -6,6 +6,8 @@ Commands:
   matches (CEGAR-validated captures) or rejects;
 - ``exec PATTERN SUBJECT [-f FLAGS]`` — run the concrete ES6 matcher;
 - ``analyze FILE`` — dynamic symbolic execution of a mini-JS program;
+- ``batch FILE... | batch --survey -n N`` — run many analyses across a
+  worker pool with a shared solver query cache (the service layer);
 - ``survey [-n N]`` — regenerate the §7.1 survey tables;
 - ``smtlib PATTERN [-f FLAGS]`` — print the membership model as SMT-LIB;
 - ``dot PATTERN`` — print the DFA of a classical regex as Graphviz DOT.
@@ -76,6 +78,57 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         for failure in result.failures:
             print(f"  - {failure}")
     return 0 if not result.failures else 2
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service import (
+        BatchRunner,
+        RunnerConfig,
+        analyze_jobs_from_files,
+        format_batch_report,
+        survey_workload,
+    )
+
+    if args.survey:
+        jobs = survey_workload(
+            n_packages=args.packages,
+            seed=args.seed,
+            shards=max(1, args.workers) * 4,
+            solve_cap=args.solve_cap,
+        )
+    elif args.files:
+        try:
+            jobs = analyze_jobs_from_files(
+                args.files,
+                level=args.level,
+                max_tests=args.max_tests,
+                time_budget=args.time_budget,
+            )
+        except OSError as exc:
+            print(f"batch: cannot read {exc.filename}: {exc.strerror}",
+                  file=sys.stderr)
+            return 2
+    else:
+        print("batch: provide mini-JS FILEs or --survey", file=sys.stderr)
+        return 2
+    runner = BatchRunner(
+        RunnerConfig(
+            workers=args.workers,
+            job_timeout=args.job_timeout,
+            use_cache=not args.no_cache,
+            cache_size=args.cache_size,
+            shared_cache=args.shared_cache,
+        )
+    )
+    report = runner.run(jobs)
+    print(format_batch_report(report))
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report.to_spec(), handle, indent=2)
+        print(f"\nwrote {args.json}")
+    return 0 if all(r.status == "ok" for r in report.results) else 1
 
 
 def _cmd_survey(args: argparse.Namespace) -> int:
@@ -151,6 +204,52 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--max-tests", type=int, default=50)
     analyze.add_argument("--time-budget", type=float, default=30.0)
     analyze.set_defaults(fn=_cmd_analyze)
+
+    batch = sub.add_parser(
+        "batch", help="run many analyses across a worker pool"
+    )
+    batch.add_argument("files", nargs="*", help="mini-JS programs")
+    batch.add_argument(
+        "--survey",
+        action="store_true",
+        help="run the synthetic-corpus survey workload instead of FILEs",
+    )
+    batch.add_argument("-n", "--packages", type=int, default=200)
+    batch.add_argument("--seed", type=int, default=1909)
+    batch.add_argument(
+        "--solve-cap",
+        type=int,
+        default=48,
+        help="max solve jobs derived from survey regex literals",
+    )
+    batch.add_argument(
+        "-w",
+        "--workers",
+        type=int,
+        default=2,
+        help="worker processes (0 = run inline)",
+    )
+    batch.add_argument("--job-timeout", type=float, default=300.0)
+    batch.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the solver query cache",
+    )
+    batch.add_argument("--cache-size", type=int, default=4096)
+    batch.add_argument(
+        "--shared-cache",
+        action="store_true",
+        help="share one cache across all workers (manager-backed)",
+    )
+    batch.add_argument(
+        "--level",
+        default="refined",
+        choices=["concrete", "model", "captures", "refined"],
+    )
+    batch.add_argument("--max-tests", type=int, default=40)
+    batch.add_argument("--time-budget", type=float, default=10.0)
+    batch.add_argument("--json", help="also write the report as JSON")
+    batch.set_defaults(fn=_cmd_batch)
 
     survey = sub.add_parser("survey", help="regenerate Tables 4/5")
     survey.add_argument("-n", "--packages", type=int, default=4000)

@@ -10,7 +10,8 @@ plus a String ``v``.
 
 from __future__ import annotations
 
-from typing import List, Set
+from functools import lru_cache
+from typing import Dict, List, Set, Tuple
 
 from repro.regex import ast as regex_ast
 from repro.constraints.formulas import (
@@ -159,6 +160,138 @@ def _symbol(name: str) -> str:
     if all(c.isalnum() or c in "_.$" for c in name):
         return name
     return "|" + name.replace("|", "_") + "|"
+
+
+# -- canonical fingerprinting -------------------------------------------------
+#
+# The batch service's solver query cache keys entries on a *canonical*
+# rendering of the formula: variables are α-renamed to ?0, ?1, ... in
+# first-occurrence order (model translation draws fresh names from a
+# global counter, so two structurally identical queries never share
+# variable names), and regexes are printed from their character-set
+# intervals rather than their surface syntax.  Two formulas with equal
+# fingerprints are identical up to a variable bijection, so they have the
+# same satisfiability and their models transfer through the renaming.
+
+
+def canonical_fingerprint(
+    formula: Formula,
+) -> Tuple[str, Dict[StrVar, str]]:
+    """Render ``formula`` canonically; return ``(text, renaming)``.
+
+    ``renaming`` maps every variable of the formula to its canonical
+    name.  The rendering is injective on formulas-modulo-renaming: only
+    language-preserving regex normalisations are applied (non-capturing
+    groups are transparent, greedy/lazy is erased — neither changes
+    ``L(R)``; see :func:`canonical_regex`).
+    """
+    names: Dict[StrVar, str] = {}
+    out: List[str] = []
+    _canon_formula(formula, names, out)
+    return "".join(out), names
+
+
+def _canon_formula(
+    formula: Formula, names: Dict[StrVar, str], out: List[str]
+) -> None:
+    if isinstance(formula, BoolLit):
+        out.append("T" if formula.value else "F")
+    elif isinstance(formula, Not):
+        out.append("(!")
+        _canon_formula(formula.operand, names, out)
+        out.append(")")
+    elif isinstance(formula, And):
+        out.append("(&")
+        for op in formula.operands:
+            _canon_formula(op, names, out)
+        out.append(")")
+    elif isinstance(formula, Or):
+        out.append("(|")
+        for op in formula.operands:
+            _canon_formula(op, names, out)
+        out.append(")")
+    elif isinstance(formula, Implies):
+        out.append("(>")
+        _canon_formula(formula.antecedent, names, out)
+        _canon_formula(formula.consequent, names, out)
+        out.append(")")
+    elif isinstance(formula, Eq):
+        out.append("(=")
+        _canon_term(formula.left, names, out)
+        _canon_term(formula.right, names, out)
+        out.append(")")
+    elif isinstance(formula, InRe):
+        out.append("(∈")
+        _canon_term(formula.term, names, out)
+        out.append(canonical_regex(formula.regex))
+        out.append(")")
+    else:
+        raise TypeError(f"cannot fingerprint {formula!r}")
+
+
+def _canon_term(
+    term: Term, names: Dict[StrVar, str], out: List[str]
+) -> None:
+    if isinstance(term, StrVar):
+        name = names.get(term)
+        if name is None:
+            name = f"?{len(names)}"
+            names[term] = name
+        out.append(name)
+    elif isinstance(term, StrConst):
+        out.append(repr(term.value))
+    elif isinstance(term, Undef):
+        out.append("⊥")
+    elif isinstance(term, Concat):
+        out.append("(++")
+        for part in term.parts:
+            _canon_term(part, names, out)
+        out.append(")")
+    else:
+        raise TypeError(f"cannot fingerprint term {term!r}")
+
+
+@lru_cache(maxsize=4096)
+def canonical_regex(node: regex_ast.Node) -> str:
+    """Canonical text of a regex AST under language equivalence.
+
+    Character matchers print their interval sets (so ``\\d`` and
+    ``[0-9]`` coincide); non-capturing groups are transparent and
+    laziness is erased because neither changes the denoted language —
+    which is all the membership atoms consume.  Capture groups keep
+    their index: a backreference's meaning depends on the group
+    structure, so erasing it would conflate regexes with different
+    languages (e.g. ``((a)b)\\2`` vs ``(a)(b)\\2``).
+    """
+    if isinstance(node, regex_ast.Empty):
+        return "ε"
+    if isinstance(node, regex_ast.CharMatch):
+        ranges = ",".join(
+            f"{lo:x}" if lo == hi else f"{lo:x}-{hi:x}"
+            for lo, hi in node.charset.intervals
+        )
+        return f"[{ranges}]"
+    if isinstance(node, regex_ast.Concat):
+        return "(." + "".join(canonical_regex(p) for p in node.parts) + ")"
+    if isinstance(node, regex_ast.Alternation):
+        return "(|" + "".join(canonical_regex(o) for o in node.options) + ")"
+    if isinstance(node, regex_ast.Quantifier):
+        high = "∞" if node.max is None else str(node.max)
+        return f"(q{node.min},{high}{canonical_regex(node.child)})"
+    if isinstance(node, regex_ast.Group):
+        return f"(g{node.index}{canonical_regex(node.child)})"
+    if isinstance(node, regex_ast.NonCapGroup):
+        return canonical_regex(node.child)
+    if isinstance(node, regex_ast.Lookahead):
+        tag = "la!" if node.negative else "la"
+        return f"({tag}{canonical_regex(node.child)})"
+    if isinstance(node, regex_ast.Backreference):
+        return f"(\\{node.index})"
+    if isinstance(node, regex_ast.Anchor):
+        return f"(^{node.kind})"
+    if isinstance(node, regex_ast.WordBoundary):
+        return "(b!)" if node.negated else "(b)"
+    raise TypeError(f"cannot fingerprint regex node {node!r}")
 
 
 def _variables(formula: Formula) -> Set[StrVar]:

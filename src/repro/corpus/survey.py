@@ -86,10 +86,21 @@ class SurveyResult:
         return rows
 
 
-def survey_packages(packages: Sequence[SyntheticPackage]) -> SurveyResult:
-    """Run the full survey over a corpus of packages."""
+def survey_packages(
+    packages: Sequence[SyntheticPackage],
+    unique_out: Optional[Dict[Tuple[str, str], RegexFeatures]] = None,
+) -> SurveyResult:
+    """Run the full survey over a corpus of packages.
+
+    When ``unique_out`` is given it is filled with the map of unique
+    ``(source, flags)`` literals to their classified features — the
+    batch service's survey shards use it to merge unique counts exactly
+    across shards without re-classifying anything.
+    """
     result = SurveyResult(n_packages=len(packages))
-    unique_seen: Dict[Tuple[str, str], RegexFeatures] = {}
+    unique_seen: Dict[Tuple[str, str], RegexFeatures] = (
+        unique_out if unique_out is not None else {}
+    )
     feature_names = RegexFeatures.feature_names()
     result.feature_totals = {name: 0 for name in feature_names}
     result.feature_uniques = {name: 0 for name in feature_names}

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.constraints import Formula, StrVar, conj
 from repro.dse.astnodes import Program
@@ -67,13 +67,27 @@ class EngineResult:
         return self.tests_run * 60.0 / self.wall_time
 
 
+def default_solver_factory(timeout: float) -> Solver:
+    """The stock solver construction (no query cache)."""
+    return Solver(timeout=timeout, stats=None)
+
+
 class DseEngine:
-    """Dynamic symbolic execution of one mini-JS program."""
+    """Dynamic symbolic execution of one mini-JS program.
+
+    ``solver_factory`` is the service layer's injection seam: it is
+    called once, with ``timeout=config.solver_timeout``, and the returned
+    solver is reused for every flipped branch of the run (the seed built
+    a fresh ``Solver`` per flip).  Passing a factory that returns a
+    :class:`repro.service.cache.CachedSolver` shares one solver query
+    cache across the whole run — and, in batch mode, across runs.
+    """
 
     def __init__(
         self,
         source: str | Program,
         config: Optional[EngineConfig] = None,
+        solver_factory: Optional[Callable[..., Solver]] = None,
     ):
         self.program = (
             source if isinstance(source, Program) else parse_program(source)
@@ -83,6 +97,13 @@ class DseEngine:
             statement_count=self.program.statement_count,
             stats=SolverStats(),
         )
+        factory = solver_factory or default_solver_factory
+        self._base_solver = factory(timeout=self.config.solver_timeout)
+        self._cegar = CegarSolver(
+            solver=self._base_solver,
+            refinement_limit=self.config.refinement_limit,
+            stats=self.result.stats,
+        )
         self._scheduler = CupaScheduler(self.config.seed)
         self._explored: Set[Tuple] = set()
         self._seen_inputs: Set[Tuple] = set()
@@ -91,6 +112,11 @@ class DseEngine:
 
     def run(self) -> EngineResult:
         deadline = time.monotonic() + self.config.time_budget
+        # The factory may hand us a (possibly shared) caching solver;
+        # snapshot its counters so the run's stats report only its own
+        # hits and misses.
+        hits0 = getattr(self._base_solver, "hits", 0)
+        misses0 = getattr(self._base_solver, "misses", 0)
         self._enqueue(QueuedTest(inputs={}, origin_site=-1))
         while (
             self._scheduler
@@ -102,6 +128,12 @@ class DseEngine:
             self._expand(trace, test, deadline)
         self.result.wall_time = (
             self.config.time_budget - max(0.0, deadline - time.monotonic())
+        )
+        self.result.stats.cache_hits += (
+            getattr(self._base_solver, "hits", 0) - hits0
+        )
+        self.result.stats.cache_misses += (
+            getattr(self._base_solver, "misses", 0) - misses0
         )
         return self.result
 
@@ -172,16 +204,8 @@ class DseEngine:
 
         problem = conj(clauses)
         self.result.queries += 1
-        base_solver = Solver(
-            timeout=self.config.solver_timeout, stats=None
-        )
         if self.config.level == RegexSupportLevel.REFINED:
-            cegar = CegarSolver(
-                solver=base_solver,
-                refinement_limit=self.config.refinement_limit,
-                stats=self.result.stats,
-            )
-            solved = cegar.solve(problem, constraints)
+            solved = self._cegar.solve(problem, constraints)
             if solved.status != SAT:
                 return None
             self.result.sat_queries += 1
@@ -190,7 +214,7 @@ class DseEngine:
         # (the paper's pre-refinement behaviour — spurious capture
         # assignments may produce inputs that do not flip the branch).
         started = time.perf_counter()
-        raw = base_solver.solve(problem)
+        raw = self._base_solver.solve(problem)
         self.result.stats.record(
             QueryRecord(
                 seconds=time.perf_counter() - started,
@@ -225,6 +249,7 @@ def analyze(
     max_tests: int = 60,
     time_budget: float = 30.0,
     seed: int = 1909,
+    solver_factory: Optional[Callable[..., Solver]] = None,
 ) -> EngineResult:
     """One-call analysis of a mini-JS program — the library entry point."""
     config = EngineConfig(
@@ -233,4 +258,4 @@ def analyze(
         time_budget=time_budget,
         seed=seed,
     )
-    return DseEngine(source, config).run()
+    return DseEngine(source, config, solver_factory=solver_factory).run()

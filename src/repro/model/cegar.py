@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.constraints import (
     Eq,
@@ -83,6 +83,14 @@ class CegarSolver:
     solver: Solver = field(default_factory=Solver)
     refinement_limit: int = 20
     stats: Optional[SolverStats] = None
+    #: Optional hook: a zero-argument callable returning the solver to
+    #: use (e.g. a ``repro.service.cache.CachedSolver`` sharing a query
+    #: cache across many CEGAR instances).  Overrides ``solver``.
+    solver_factory: Optional[Callable[[], Solver]] = None
+
+    def __post_init__(self) -> None:
+        if self.solver_factory is not None:
+            self.solver = self.solver_factory()
 
     def solve(
         self,

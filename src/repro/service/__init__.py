@@ -1,0 +1,54 @@
+"""Batch analysis service: parallel DSE job running + shared query cache.
+
+The orchestration layer the paper's evaluation implies (1,131 packages,
+1-hour budgets, fleets of machines): a JSON-serializable job model, a
+``multiprocessing`` worker-pool runner, a solver query cache keyed on
+canonical formula fingerprints, and corpus-level report aggregation.
+"""
+
+from repro.service.cache import (
+    CachedResult,
+    CachedSolver,
+    QueryCache,
+    SharedQueryCache,
+)
+from repro.service.jobs import (
+    AnalyzeJob,
+    JobResult,
+    SolveJob,
+    SurveyJob,
+    analyze_jobs_from_files,
+    job_from_spec,
+    survey_workload,
+)
+from repro.service.report import (
+    BatchReport,
+    format_analyze_table,
+    format_batch_report,
+    merge_analyze,
+    merge_solve,
+    merge_survey,
+)
+from repro.service.runner import BatchRunner, RunnerConfig
+
+__all__ = [
+    "AnalyzeJob",
+    "BatchReport",
+    "BatchRunner",
+    "CachedResult",
+    "CachedSolver",
+    "JobResult",
+    "QueryCache",
+    "RunnerConfig",
+    "SharedQueryCache",
+    "SolveJob",
+    "SurveyJob",
+    "analyze_jobs_from_files",
+    "format_analyze_table",
+    "format_batch_report",
+    "job_from_spec",
+    "merge_analyze",
+    "merge_solve",
+    "merge_survey",
+    "survey_workload",
+]

@@ -1,0 +1,361 @@
+"""Job model for the batch analysis service.
+
+Three job kinds mirror the three workloads of the paper's evaluation:
+
+- :class:`AnalyzeJob` — run DSE over one mini-JS program (one "package"
+  of the §7.2/7.3 experiments);
+- :class:`SolveJob` — find a matching (or non-matching) input for one
+  regex literal through the full model→solve→refine pipeline;
+- :class:`SurveyJob` — extract and classify the regex literals of a
+  shard of packages (the §7.1 survey).
+
+Every job serializes to a JSON-compatible *spec* dict (``to_spec`` /
+:func:`job_from_spec`) so the runner can ship it across process
+boundaries — or, later, across machines — without pickling live
+objects.  Results come back as :class:`JobResult`, also JSON-shaped.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.solver.core import Solver
+from repro.solver.stats import SolverStats
+
+
+def default_solver_factory(timeout: float = 20.0, **kwargs) -> Solver:
+    return Solver(timeout=timeout, **kwargs)
+
+
+class _RecordingFactory:
+    """Wraps a solver factory; sums cache counters over every solver it
+    hands out, so a job can report its own hit/miss share."""
+
+    def __init__(self, factory: Callable[..., object]):
+        self._factory = factory
+        self._instances: List[object] = []
+
+    def __call__(self, *args, **kwargs):
+        solver = self._factory(*args, **kwargs)
+        self._instances.append(solver)
+        return solver
+
+    @property
+    def hits(self) -> int:
+        return sum(getattr(s, "hits", 0) for s in self._instances)
+
+    @property
+    def misses(self) -> int:
+        return sum(getattr(s, "misses", 0) for s in self._instances)
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job, JSON-shaped for aggregation and transport."""
+
+    job_id: str
+    kind: str
+    status: str  # "ok" | "error" | "timeout"
+    seconds: float = 0.0
+    payload: Dict[str, object] = field(default_factory=dict)
+    error: Optional[str] = None
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def to_spec(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "JobResult":
+        return cls(**spec)
+
+
+@dataclass
+class _JobBase:
+    """Shared spec/run plumbing; subclasses implement ``_run``."""
+
+    job_id: str
+
+    KIND = "?"
+
+    def to_spec(self) -> dict:
+        spec = asdict(self)
+        spec["kind"] = self.KIND
+        return spec
+
+    def run(
+        self, solver_factory: Optional[Callable[..., object]] = None
+    ) -> JobResult:
+        """Execute the job, capturing failures instead of raising.
+
+        ``solver_factory`` is the cache injection seam (see
+        ``runner.py``); cache hit/miss counts of every solver built for
+        this job land on the result.
+        """
+        factory = _RecordingFactory(solver_factory or default_solver_factory)
+        started = time.perf_counter()
+        try:
+            payload = self._run(factory)
+            status, error = "ok", None
+        except Exception:
+            payload, status = {}, "error"
+            error = traceback.format_exc(limit=8)
+        return JobResult(
+            job_id=self.job_id,
+            kind=self.KIND,
+            status=status,
+            seconds=time.perf_counter() - started,
+            payload=payload,
+            error=error,
+            cache_hits=factory.hits,
+            cache_misses=factory.misses,
+        )
+
+    def _run(self, solver_factory) -> Dict[str, object]:
+        raise NotImplementedError
+
+
+@dataclass
+class AnalyzeJob(_JobBase):
+    """Dynamic symbolic execution of one mini-JS program."""
+
+    source: str = ""
+    path: Optional[str] = None
+    level: str = "refined"
+    max_tests: int = 40
+    time_budget: float = 10.0
+    seed: int = 1909
+
+    KIND = "analyze"
+
+    def _run(self, solver_factory) -> Dict[str, object]:
+        from repro.dse.engine import DseEngine, EngineConfig
+        from repro.dse.interpreter import RegexSupportLevel
+
+        config = EngineConfig(
+            level=RegexSupportLevel[self.level.upper()],
+            max_tests=self.max_tests,
+            time_budget=self.time_budget,
+            seed=self.seed,
+        )
+        result = DseEngine(
+            self.source, config, solver_factory=solver_factory
+        ).run()
+        refined = [q for q in result.stats.queries if q.refinements > 0]
+        return {
+            "name": self.path or self.job_id,
+            "covered": len(result.covered),
+            "statement_count": result.statement_count,
+            "coverage": result.coverage,
+            "tests_run": result.tests_run,
+            "queries": result.queries,
+            "sat_queries": result.sat_queries,
+            "regex_ops": result.regex_ops,
+            "concretizations": result.concretizations,
+            "wall_time": result.wall_time,
+            "failures": list(result.failures),
+            "solver_queries": len(result.stats.queries),
+            "solver_seconds": result.stats.total_time(),
+            "refined_queries": len(refined),
+            "sum_refinements": sum(q.refinements for q in refined),
+        }
+
+
+@dataclass
+class SolveJob(_JobBase):
+    """Find a matching (or non-matching) input for one regex literal."""
+
+    pattern: str = ""
+    flags: str = ""
+    negate: bool = False
+    solver_timeout: float = 2.0
+    refinement_limit: int = 20
+
+    KIND = "solve"
+
+    def _run(self, solver_factory) -> Dict[str, object]:
+        from repro.model.api import (
+            find_matching_input,
+            find_non_matching_input,
+        )
+        from repro.model.cegar import CegarSolver
+
+        stats = SolverStats()
+        cegar = CegarSolver(
+            solver=solver_factory(timeout=self.solver_timeout),
+            refinement_limit=self.refinement_limit,
+            stats=stats,
+        )
+        payload: Dict[str, object] = {
+            "pattern": self.pattern,
+            "flags": self.flags,
+            "negate": self.negate,
+        }
+        if self.negate:
+            word = find_non_matching_input(
+                self.pattern, self.flags, cegar=cegar
+            )
+            payload["found"] = word is not None
+            payload["word"] = word
+        else:
+            found = find_matching_input(self.pattern, self.flags, cegar=cegar)
+            payload["found"] = found is not None
+            if found is not None:
+                word, captures = found
+                payload["word"] = word
+                payload["captures"] = {
+                    str(i): v for i, v in captures.items()
+                }
+        payload["solver_queries"] = len(stats.queries)
+        payload["solver_seconds"] = stats.total_time()
+        return payload
+
+
+@dataclass
+class SurveyJob(_JobBase):
+    """Extract + classify the regex literals of a shard of packages.
+
+    ``package_files`` is one list of JS source strings per package.  The
+    payload carries shard-level counts *and* the per-unique-literal
+    feature map so the report layer can merge unique counts exactly
+    across shards.
+    """
+
+    package_files: List[List[str]] = field(default_factory=list)
+
+    KIND = "survey"
+
+    def _run(self, solver_factory) -> Dict[str, object]:
+        from repro.corpus.generator import SyntheticPackage
+        from repro.corpus.survey import survey_packages
+
+        packages = [
+            SyntheticPackage(name=f"{self.job_id}#{i}", files=list(files))
+            for i, files in enumerate(self.package_files)
+        ]
+        # Per-unique-literal features, for exact cross-shard unique
+        # counts in the report's merge.
+        unique_seen: Dict[tuple, object] = {}
+        result = survey_packages(packages, unique_out=unique_seen)
+        uniques: Dict[str, List[str]] = {
+            "\x00".join(key): [
+                name
+                for name in features.feature_names()
+                if getattr(features, name)
+            ]
+            for key, features in unique_seen.items()
+        }
+        return {
+            "n_packages": result.n_packages,
+            "with_source": result.with_source,
+            "with_regex": result.with_regex,
+            "with_captures": result.with_captures,
+            "with_backrefs": result.with_backrefs,
+            "with_quantified_backrefs": result.with_quantified_backrefs,
+            "total_regexes": result.total_regexes,
+            "unparsable": result.unparsable,
+            "feature_totals": dict(result.feature_totals),
+            "uniques": uniques,
+        }
+
+
+_JOB_KINDS = {
+    AnalyzeJob.KIND: AnalyzeJob,
+    SolveJob.KIND: SolveJob,
+    SurveyJob.KIND: SurveyJob,
+}
+
+
+def job_from_spec(spec: dict) -> _JobBase:
+    """Rebuild a job from its ``to_spec()`` dict."""
+    spec = dict(spec)
+    kind = spec.pop("kind")
+    try:
+        cls = _JOB_KINDS[kind]
+    except KeyError:
+        raise ValueError(f"unknown job kind {kind!r}") from None
+    return cls(**spec)
+
+
+def survey_workload(
+    n_packages: int = 200,
+    seed: int = 1909,
+    shards: int = 8,
+    solve_cap: int = 48,
+) -> List[_JobBase]:
+    """The batch-mode survey workload: survey shards + solve jobs.
+
+    Generates the synthetic corpus, shards its packages into
+    :class:`SurveyJob`\\ s, and turns the first ``solve_cap`` extracted
+    regex literals — duplicates included, as in the wild — into
+    :class:`SolveJob`\\ s.  The duplication is what exercises the shared
+    solver query cache.
+    """
+    from repro.corpus.extract import extract_regex_literals
+    from repro.corpus.generator import CorpusConfig, generate_corpus
+
+    corpus = generate_corpus(
+        CorpusConfig(n_packages=n_packages, seed=seed)
+    )
+    jobs: List[_JobBase] = []
+    shards = max(1, min(shards, len(corpus)))
+    per_shard = (len(corpus) + shards - 1) // shards
+    for shard in range(shards):
+        chunk = corpus[shard * per_shard:(shard + 1) * per_shard]
+        if not chunk:
+            continue
+        jobs.append(
+            SurveyJob(
+                job_id=f"survey-{shard:03d}",
+                package_files=[list(p.files) for p in chunk],
+            )
+        )
+    count = 0
+    for package in corpus:
+        if count >= solve_cap:
+            break
+        for content in package.files:
+            for literal in extract_regex_literals(content):
+                if count >= solve_cap:
+                    break
+                jobs.append(
+                    SolveJob(
+                        job_id=f"solve-{count:03d}",
+                        pattern=literal.source,
+                        flags=literal.flags.replace("g", "").replace(
+                            "y", ""
+                        ),
+                        solver_timeout=1.0,
+                    )
+                )
+                count += 1
+    return jobs
+
+
+def analyze_jobs_from_files(
+    paths: Sequence[str],
+    level: str = "refined",
+    max_tests: int = 40,
+    time_budget: float = 10.0,
+    seed: int = 1909,
+) -> List[AnalyzeJob]:
+    """One :class:`AnalyzeJob` per mini-JS file."""
+    jobs = []
+    for i, path in enumerate(paths):
+        with open(path) as handle:
+            source = handle.read()
+        jobs.append(
+            AnalyzeJob(
+                job_id=f"analyze-{i:03d}",
+                source=source,
+                path=path,
+                level=level,
+                max_tests=max_tests,
+                time_budget=time_budget,
+                seed=seed,
+            )
+        )
+    return jobs

@@ -1,0 +1,258 @@
+"""Aggregation of batch results into corpus-level reports.
+
+Mirrors ``eval/tables.py``: per-kind merge functions produce structured
+rows plus a rendered text table.  Everything consumes the JSON-shaped
+:class:`~repro.service.jobs.JobResult` payloads, never live objects, so
+the same code paths aggregate in-process, cross-process, and (later)
+cross-machine results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.service.jobs import JobResult
+
+
+@dataclass
+class BatchReport:
+    """Everything one batch run produced, in submission order."""
+
+    results: List[JobResult] = field(default_factory=list)
+    wall_time: float = 0.0
+    workers: int = 0
+
+    # -- batch-level aggregates ---------------------------------------------
+
+    @property
+    def jobs_per_minute(self) -> float:
+        if self.wall_time <= 0:
+            return 0.0
+        return len(self.results) * 60.0 / self.wall_time
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(r.cache_hits for r in self.results)
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(r.cache_misses for r in self.results)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    def by_status(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for result in self.results:
+            counts[result.status] = counts.get(result.status, 0) + 1
+        return counts
+
+    def of_kind(self, kind: str) -> List[JobResult]:
+        return [r for r in self.results if r.kind == kind]
+
+    def to_spec(self) -> dict:
+        return {
+            "wall_time": self.wall_time,
+            "workers": self.workers,
+            "jobs_per_minute": self.jobs_per_minute,
+            "cache": {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "hit_rate": self.cache_hit_rate,
+            },
+            "statuses": self.by_status(),
+            "results": [r.to_spec() for r in self.results],
+        }
+
+
+# -- analyze merge ------------------------------------------------------------
+
+
+def merge_analyze(results: Sequence[JobResult]) -> dict:
+    """Corpus-level coverage/query/timing aggregates over analyze jobs."""
+    ok = [r for r in results if r.status == "ok"]
+    payloads = [r.payload for r in ok]
+    covered = sum(p["covered"] for p in payloads)
+    statements = sum(p["statement_count"] for p in payloads)
+    refined = sum(p.get("refined_queries", 0) for p in payloads)
+    refinements = sum(p.get("sum_refinements", 0) for p in payloads)
+    return {
+        "packages": len(results),
+        "analyzed": len(ok),
+        "failed_jobs": len(results) - len(ok),
+        "tests_run": sum(p["tests_run"] for p in payloads),
+        "covered": covered,
+        "statements": statements,
+        "coverage": covered / statements if statements else 0.0,
+        "queries": sum(p["queries"] for p in payloads),
+        "sat_queries": sum(p["sat_queries"] for p in payloads),
+        "regex_ops": sum(p["regex_ops"] for p in payloads),
+        "solver_queries": sum(p.get("solver_queries", 0) for p in payloads),
+        "solver_seconds": sum(p.get("solver_seconds", 0.0) for p in payloads),
+        "refined_queries": refined,
+        "mean_refinements": refinements / refined if refined else 0.0,
+        "wall_time": sum(p["wall_time"] for p in payloads),
+        "program_failures": sum(len(p["failures"]) for p in payloads),
+    }
+
+
+def format_analyze_table(results: Sequence[JobResult]) -> str:
+    lines = [
+        "Program                        Tests  Cov(%)  Queries   SAT  Bugs",
+    ]
+    for result in results:
+        if result.status != "ok":
+            lines.append(
+                f"{result.job_id:<30} {result.status.upper()}: "
+                f"{(result.error or '').splitlines()[-1] if result.error else ''}"
+            )
+            continue
+        p = result.payload
+        name = str(p.get("name", result.job_id))
+        if len(name) > 30:
+            name = "..." + name[-27:]
+        lines.append(
+            f"{name:<30} {p['tests_run']:>5} {100 * p['coverage']:>7.1f} "
+            f"{p['queries']:>8} {p['sat_queries']:>5} "
+            f"{len(p['failures']):>5}"
+        )
+    merged = merge_analyze(results)
+    lines.append(
+        f"{'TOTAL':<30} {merged['tests_run']:>5} "
+        f"{100 * merged['coverage']:>7.1f} {merged['queries']:>8} "
+        f"{merged['sat_queries']:>5} {merged['program_failures']:>5}"
+    )
+    return "\n".join(lines)
+
+
+# -- solve merge --------------------------------------------------------------
+
+
+def merge_solve(results: Sequence[JobResult]) -> dict:
+    ok = [r for r in results if r.status == "ok"]
+    found = [r for r in ok if r.payload.get("found")]
+    return {
+        "jobs": len(results),
+        "solved": len(found),
+        "unsolved": len(ok) - len(found),
+        "failed_jobs": len(results) - len(ok),
+        "solver_queries": sum(
+            r.payload.get("solver_queries", 0) for r in ok
+        ),
+        "solver_seconds": sum(
+            r.payload.get("solver_seconds", 0.0) for r in ok
+        ),
+    }
+
+
+# -- survey merge -------------------------------------------------------------
+
+
+def merge_survey(results: Sequence[JobResult]):
+    """Exact cross-shard merge back into a ``SurveyResult``.
+
+    Scalar counts sum; unique counts are recomputed from the union of the
+    shards' per-unique-literal feature maps (that is why the payload
+    carries them), so sharding never double-counts a literal that appears
+    in two shards.
+    """
+    from repro.corpus.features import RegexFeatures
+    from repro.corpus.survey import SurveyResult
+
+    merged = SurveyResult()
+    feature_names = RegexFeatures.feature_names()
+    merged.feature_totals = {name: 0 for name in feature_names}
+    merged.feature_uniques = {name: 0 for name in feature_names}
+    uniques: Dict[str, List[str]] = {}
+    for result in results:
+        if result.status != "ok":
+            continue
+        p = result.payload
+        merged.n_packages += p["n_packages"]
+        merged.with_source += p["with_source"]
+        merged.with_regex += p["with_regex"]
+        merged.with_captures += p["with_captures"]
+        merged.with_backrefs += p["with_backrefs"]
+        merged.with_quantified_backrefs += p["with_quantified_backrefs"]
+        merged.total_regexes += p["total_regexes"]
+        merged.unparsable += p["unparsable"]
+        for name, count in p["feature_totals"].items():
+            merged.feature_totals[name] = (
+                merged.feature_totals.get(name, 0) + count
+            )
+        uniques.update(p["uniques"])
+    merged.unique_regexes = len(uniques)
+    for names in uniques.values():
+        for name in names:
+            merged.feature_uniques[name] = (
+                merged.feature_uniques.get(name, 0) + 1
+            )
+    return merged
+
+
+# -- rendering ----------------------------------------------------------------
+
+
+def format_batch_report(report: BatchReport) -> str:
+    """The full text report ``python -m repro batch`` prints."""
+    statuses = report.by_status()
+    status_text = ", ".join(
+        f"{count} {status}" for status, count in sorted(statuses.items())
+    )
+    lines = [
+        f"jobs:        {len(report.results)} ({status_text})",
+        f"workers:     {report.workers or 'inline'}",
+        f"wall time:   {report.wall_time:.2f}s "
+        f"({report.jobs_per_minute:.1f} jobs/minute)",
+        f"query cache: {report.cache_hits} hits / "
+        f"{report.cache_misses} misses "
+        f"({100 * report.cache_hit_rate:.1f}% hit rate)",
+    ]
+
+    analyze = report.of_kind("analyze")
+    if analyze:
+        merged = merge_analyze(analyze)
+        lines += ["", "== Analysis (DSE) " + "=" * 46]
+        lines.append(format_analyze_table(analyze))
+        lines.append(
+            f"solver: {merged['solver_queries']} queries, "
+            f"{merged['solver_seconds']:.2f}s total; "
+            f"{merged['refined_queries']} refined "
+            f"(mean {merged['mean_refinements']:.1f} refinements)"
+        )
+
+    solve = report.of_kind("solve")
+    if solve:
+        merged = merge_solve(solve)
+        lines += ["", "== Solve (model -> solve -> refine) " + "=" * 28]
+        lines.append(
+            f"{merged['solved']} solved / {merged['unsolved']} unsolved "
+            f"/ {merged['failed_jobs']} failed of {merged['jobs']} jobs; "
+            f"{merged['solver_queries']} solver queries, "
+            f"{merged['solver_seconds']:.2f}s"
+        )
+
+    survey = report.of_kind("survey")
+    if survey:
+        from repro.corpus.survey import format_table4, format_table5
+
+        merged = merge_survey(survey)
+        lines += ["", "== Survey (Tables 4/5) " + "=" * 41]
+        lines.append(format_table4(merged))
+        lines.append("")
+        lines.append(format_table5(merged))
+
+    errors = [r for r in report.results if r.status != "ok"]
+    if errors:
+        lines += ["", "== Failed jobs " + "=" * 49]
+        for result in errors:
+            last = (
+                result.error.strip().splitlines()[-1]
+                if result.error
+                else "?"
+            )
+            lines.append(f"{result.job_id} [{result.status}]: {last}")
+    return "\n".join(lines)

@@ -1,0 +1,167 @@
+"""The worker-pool batch runner.
+
+Runs many jobs concurrently across ``multiprocessing`` workers, the way
+the paper's evaluation fanned 1,131 packages across machines.  Design
+points:
+
+- **Process workers, persistent caches.**  Each worker process builds
+  one :class:`~repro.service.cache.QueryCache` in its initializer and
+  keeps it alive across every job it executes, so duplicated queries
+  from different jobs hit.  With ``shared_cache=True`` a single
+  manager-backed :class:`~repro.service.cache.SharedQueryCache` is
+  shared by *all* workers instead.
+- **Graceful failure capture.**  Jobs trap their own exceptions
+  (``Job.run``) and come back as ``status="error"`` results; a lost or
+  overdue worker task becomes ``status="timeout"``.  One bad program
+  never takes down the batch.
+- **Deterministic ordering.**  Results are collected per-submission-slot
+  and reported in submission order no matter which worker finished
+  first.
+- **Bounded jobs.**  Per-job wall budgets are enforced inside the job
+  (engine time budgets, solver timeouts); ``job_timeout`` is the outer
+  backstop while waiting on a worker.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.service.cache import CachedSolver, QueryCache, SharedQueryCache
+from repro.service.jobs import JobResult, _JobBase, job_from_spec
+from repro.solver.core import Solver
+
+#: Per-worker-process state, installed by the pool initializer and
+#: reused by every job the worker executes.
+_WORKER_CACHE: Optional[object] = None
+
+
+def _worker_init(use_cache: bool, cache_size: int, shared_cache) -> None:
+    global _WORKER_CACHE
+    if shared_cache is not None:
+        _WORKER_CACHE = shared_cache
+    elif use_cache:
+        _WORKER_CACHE = QueryCache(maxsize=cache_size)
+    else:
+        _WORKER_CACHE = None
+
+
+def _make_solver_factory(cache) -> Callable[..., object]:
+    def factory(timeout: float = 20.0, **kwargs):
+        base = Solver(timeout=timeout, **kwargs)
+        if cache is None:
+            return base
+        return CachedSolver(base, cache=cache)
+
+    return factory
+
+
+def _run_spec(spec: dict) -> dict:
+    """Worker-side job execution (module-level so it pickles)."""
+    job = job_from_spec(spec)
+    result = job.run(solver_factory=_make_solver_factory(_WORKER_CACHE))
+    return result.to_spec()
+
+
+@dataclass
+class RunnerConfig:
+    """Knobs of the batch runner."""
+
+    workers: int = 2  # 0 = run inline in this process (no pool)
+    job_timeout: float = 300.0  # outer backstop per job, seconds
+    use_cache: bool = True
+    cache_size: int = 4096
+    shared_cache: bool = False  # one manager-backed cache for all workers
+
+
+class BatchRunner:
+    """Run a batch of service jobs and collect ordered results."""
+
+    def __init__(self, config: Optional[RunnerConfig] = None, **kwargs):
+        self.config = config or RunnerConfig(**kwargs)
+        if self.config.workers < 0:
+            raise ValueError("workers must be >= 0")
+
+    def run(self, jobs: Sequence[_JobBase]) -> "BatchReport":
+        from repro.service.report import BatchReport
+
+        started = time.monotonic()
+        if self.config.workers == 0:
+            results = self._run_inline(jobs)
+        else:
+            results = self._run_pool(jobs)
+        return BatchReport(
+            results=results,
+            wall_time=time.monotonic() - started,
+            workers=self.config.workers,
+        )
+
+    # -- execution strategies ------------------------------------------------
+
+    def _run_inline(self, jobs: Sequence[_JobBase]) -> List[JobResult]:
+        cache = (
+            QueryCache(maxsize=self.config.cache_size)
+            if self.config.use_cache
+            else None
+        )
+        factory = _make_solver_factory(cache)
+        return [job.run(solver_factory=factory) for job in jobs]
+
+    def _run_pool(self, jobs: Sequence[_JobBase]) -> List[JobResult]:
+        specs = [job.to_spec() for job in jobs]
+        manager = None
+        shared = None
+        if self.config.shared_cache and self.config.use_cache:
+            manager = multiprocessing.Manager()
+            shared = SharedQueryCache.create(
+                manager, maxsize=self.config.cache_size
+            )
+        try:
+            with multiprocessing.Pool(
+                processes=self.config.workers,
+                initializer=_worker_init,
+                initargs=(
+                    self.config.use_cache,
+                    self.config.cache_size,
+                    shared,
+                ),
+            ) as pool:
+                pending = [
+                    pool.apply_async(_run_spec, (spec,)) for spec in specs
+                ]
+                results: List[JobResult] = []
+                for job, handle in zip(jobs, pending):
+                    try:
+                        results.append(
+                            JobResult.from_spec(
+                                handle.get(timeout=self.config.job_timeout)
+                            )
+                        )
+                    except multiprocessing.TimeoutError:
+                        results.append(
+                            JobResult(
+                                job_id=job.job_id,
+                                kind=job.KIND,
+                                status="timeout",
+                                seconds=self.config.job_timeout,
+                                error=(
+                                    "job exceeded the runner's "
+                                    f"{self.config.job_timeout}s backstop"
+                                ),
+                            )
+                        )
+                    except Exception as exc:  # worker died, unpicklable, ...
+                        results.append(
+                            JobResult(
+                                job_id=job.job_id,
+                                kind=job.KIND,
+                                status="error",
+                                error=f"{type(exc).__name__}: {exc}",
+                            )
+                        )
+                return results
+        finally:
+            if manager is not None:
+                manager.shutdown()

@@ -995,9 +995,7 @@ class Solver:
     def default_words(self, limit: int) -> List[str]:
         """Candidates for wholly unconstrained variables."""
         alphabet = ["", "a", "b", "0", "1", " ", "x", "ab", "a0", "-"]
-        words = list(alphabet)
-        for length in range(2, 6):
-            words.extend("a" * length for _ in (0,))
+        words = alphabet + ["a" * length for length in range(2, 6)]
         return words[:limit] if limit < len(words) else words
 
     def solve(self, formula: Formula) -> SolverResult:

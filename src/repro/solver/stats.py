@@ -33,9 +33,29 @@ class SolverStats:
     """Aggregated statistics across queries (reset per experiment)."""
 
     queries: List[QueryRecord] = field(default_factory=list)
+    #: Solver query cache counters (populated when solving through a
+    #: :class:`repro.service.cache.CachedSolver`).
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def record(self, record: QueryRecord) -> None:
         self.queries.append(record)
+
+    def record_cache(self, hit: bool) -> None:
+        if hit:
+            self.cache_hits += 1
+        else:
+            self.cache_misses += 1
+
+    def cache_summary(self) -> dict:
+        """Hit/miss counters of the solver query cache, if one was used."""
+        lookups = self.cache_hits + self.cache_misses
+        return {
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "lookups": lookups,
+            "hit_rate": self.cache_hits / lookups if lookups else 0.0,
+        }
 
     # -- Table 8 aggregates --------------------------------------------------
 

@@ -50,6 +50,49 @@ class TestAnalyzeCommand:
         assert main(["analyze", str(program)]) == 0
 
 
+class TestBatchCommand:
+    def test_batch_files_with_workers(self, tmp_path, capsys):
+        a = tmp_path / "a.js"
+        a.write_text(
+            'var s = symbol("s", "");\n'
+            'if (/^a+$/.test(s)) { 1; } else { 2; }\n'
+        )
+        b = tmp_path / "b.js"
+        b.write_text('var t = symbol("t", "");\nif (t === "k") { 1; }\n')
+        code = main(
+            [
+                "batch", str(a), str(b),
+                "--workers", "2", "--max-tests", "6",
+                "--time-budget", "5",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 ok" in out
+        assert "query cache:" in out
+        assert "a.js" in out and "b.js" in out
+
+    def test_batch_survey_inline_with_json(self, tmp_path, capsys):
+        out_path = tmp_path / "report.json"
+        code = main(
+            [
+                "batch", "--survey", "-n", "40", "--workers", "0",
+                "--solve-cap", "8", "--json", str(out_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Total Regex" in out
+        assert "solved" in out
+        import json
+
+        spec = json.loads(out_path.read_text())
+        assert spec["statuses"] == {"ok": len(spec["results"])}
+
+    def test_batch_without_input_errors(self, capsys):
+        assert main(["batch"]) == 2
+
+
 class TestSurveyCommand:
     def test_small_survey(self, capsys):
         assert main(["survey", "-n", "120"]) == 0

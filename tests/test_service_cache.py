@@ -1,0 +1,259 @@
+"""Tests for the solver query cache: fingerprints, LRU, soundness."""
+
+import pytest
+
+from repro.constraints import (
+    Eq,
+    InRe,
+    Not,
+    StrConst,
+    StrVar,
+    Undef,
+    concat,
+    conj,
+    disj,
+    neg,
+    to_nnf,
+)
+from repro.constraints.printer import canonical_fingerprint, canonical_regex
+from repro.model.api import SymbolicRegExp
+from repro.model.cegar import CegarSolver
+from repro.regex import parse_regex
+from repro.service import CachedResult, CachedSolver, QueryCache
+from repro.solver import SAT, Solver, SolverResult, UNKNOWN, UNSAT
+from repro.solver.core import _holds
+
+x, y, z = StrVar("x"), StrVar("y"), StrVar("z")
+
+
+def re_node(src, flags=""):
+    return parse_regex(src, flags).body
+
+
+class TestCanonicalFingerprint:
+    def test_alpha_renaming_makes_names_irrelevant(self):
+        f1 = conj([Eq(x, StrConst("v")), InRe(y, re_node("a+"))])
+        f2 = conj([Eq(z, StrConst("v")), InRe(x, re_node("a+"))])
+        assert canonical_fingerprint(f1)[0] == canonical_fingerprint(f2)[0]
+
+    def test_variable_identity_is_preserved(self):
+        # x=x and x=y must not collapse to the same key.
+        same = canonical_fingerprint(Eq(x, x))[0]
+        different = canonical_fingerprint(Eq(x, y))[0]
+        assert same != different
+
+    def test_constants_distinguish(self):
+        f1 = Eq(x, StrConst("a"))
+        f2 = Eq(x, StrConst("b"))
+        assert canonical_fingerprint(f1)[0] != canonical_fingerprint(f2)[0]
+
+    def test_undef_and_empty_string_distinguish(self):
+        f1 = Eq(x, Undef())
+        f2 = Eq(x, StrConst(""))
+        assert canonical_fingerprint(f1)[0] != canonical_fingerprint(f2)[0]
+
+    def test_structure_distinguishes(self):
+        pos = InRe(x, re_node("a"))
+        assert (
+            canonical_fingerprint(pos)[0]
+            != canonical_fingerprint(Not(pos))[0]
+        )
+
+    def test_concat_terms(self):
+        f1 = Eq(concat(x, StrConst("-"), y), StrConst("a-b"))
+        f2 = Eq(concat(y, StrConst("-"), z), StrConst("a-b"))
+        assert canonical_fingerprint(f1)[0] == canonical_fingerprint(f2)[0]
+
+    def test_renaming_maps_all_variables(self):
+        formula = conj([Eq(x, y), InRe(z, re_node("a"))])
+        _, renaming = canonical_fingerprint(formula)
+        assert set(renaming) == {x, y, z}
+        assert len(set(renaming.values())) == 3
+
+    def test_equivalent_charsets_coincide(self):
+        assert canonical_regex(re_node(r"\d")) == canonical_regex(
+            re_node("[0-9]")
+        )
+
+    def test_language_preserving_normalisation(self):
+        # Non-capturing groups are transparent and laziness is erased:
+        # same language either way.
+        assert canonical_regex(re_node("(?:a)b")) == canonical_regex(
+            re_node("ab")
+        )
+        assert canonical_regex(re_node("a+?")) == canonical_regex(
+            re_node("a+")
+        )
+
+    def test_capture_groups_stay_distinguishable(self):
+        # Backreference semantics depend on group structure, so capture
+        # groups are NOT erased: ((a)b)\2 and (a)(b)\2 denote different
+        # languages and must not share a cache key.
+        assert canonical_regex(re_node(r"((a)b)\2")) != canonical_regex(
+            re_node(r"(a)(b)\2")
+        )
+        assert canonical_regex(re_node("(a)b")) != canonical_regex(
+            re_node("ab")
+        )
+
+    def test_languages_distinguish(self):
+        assert canonical_regex(re_node("a*")) != canonical_regex(
+            re_node("a+")
+        )
+        assert canonical_regex(re_node("a{2,3}")) != canonical_regex(
+            re_node("a{2,4}")
+        )
+
+
+class TestQueryCache:
+    def test_lru_eviction(self):
+        cache = QueryCache(maxsize=2)
+        cache.put("a", CachedResult(UNSAT))
+        cache.put("b", CachedResult(UNSAT))
+        assert cache.get("a") is not None  # refreshes "a"
+        cache.put("c", CachedResult(UNSAT))  # evicts "b"
+        assert cache.get("b") is None
+        assert cache.get("a") is not None
+        assert cache.get("c") is not None
+        assert cache.evictions == 1
+
+    def test_counters(self):
+        cache = QueryCache()
+        cache.get("missing")
+        cache.put("k", CachedResult(UNSAT))
+        cache.get("k")
+        counters = cache.counters()
+        assert counters["hits"] == 1
+        assert counters["misses"] == 1
+        assert counters["hit_rate"] == 0.5
+
+
+class _StubSolver:
+    """Returns a scripted result and counts invocations."""
+
+    def __init__(self, result):
+        self.result = result
+        self.calls = 0
+
+    def solve(self, formula):
+        self.calls += 1
+        return self.result
+
+
+class TestCachedSolver:
+    def test_hit_short_circuits_the_solver(self):
+        stub = _StubSolver(SolverResult(UNSAT, None))
+        cached = CachedSolver(stub)
+        formula = Eq(x, StrConst("a"))
+        cached.solve(formula)
+        cached.solve(formula)
+        assert stub.calls == 1
+        assert (cached.hits, cached.misses) == (1, 1)
+
+    def test_unknown_is_never_cached(self):
+        stub = _StubSolver(SolverResult(UNKNOWN, None))
+        cached = CachedSolver(stub)
+        formula = Eq(x, StrConst("a"))
+        assert cached.solve(formula).status == UNKNOWN
+        assert cached.solve(formula).status == UNKNOWN
+        assert stub.calls == 2  # re-asked every time
+        assert len(cached.cache) == 0
+        # ...so a later, better-resourced solver can still answer.
+        cached.solver = _StubSolver(SolverResult(UNSAT, None))
+        assert cached.solve(formula).status == UNSAT
+        assert len(cached.cache) == 1
+
+    def test_model_transfers_through_renaming(self):
+        cache = QueryCache()
+        solver = CachedSolver(Solver(), cache=cache)
+        first = solver.solve(conj([Eq(x, StrConst("ab")), Eq(y, x)]))
+        second = solver.solve(conj([Eq(z, StrConst("ab")), Eq(x, z)]))
+        assert solver.hits == 1
+        assert first.model[x] == "ab" and first.model[y] == "ab"
+        assert second.model[z] == "ab" and second.model[x] == "ab"
+
+    def test_shared_cache_across_instances(self):
+        cache = QueryCache()
+        a = CachedSolver(Solver(), cache=cache)
+        b = CachedSolver(Solver(), cache=cache)
+        formula = InRe(x, re_node("ab?c"))
+        a.solve(formula)
+        result = b.solve(formula)
+        assert (b.hits, a.misses) == (1, 1)
+        assert result.status == SAT
+
+
+# -- cache soundness over the solver/cegar fixture formulas -------------------
+
+
+def _fixture_formulas():
+    """Representative problems from test_solver.py / test_cegar.py."""
+    formulas = [
+        Eq(x, StrConst("hello")),
+        conj([Eq(x, y), Eq(y, StrConst("v"))]),
+        conj([Eq(x, StrConst("a")), Eq(x, StrConst("b"))]),
+        conj([Eq(x, Undef()), Eq(x, StrConst(""))]),
+        disj([Eq(x, StrConst("l")), Eq(x, StrConst("r"))]),
+        InRe(x, re_node("a+b")),
+        conj([InRe(x, re_node("[ab]+")), neg(InRe(x, re_node("a*")))]),
+        conj([InRe(x, re_node("a{2}")), neg(Eq(x, StrConst("aa")))]),
+        conj(
+            [
+                Eq(concat(x, y), StrConst("ab")),
+                InRe(x, re_node("a+")),
+                InRe(y, re_node("b+")),
+            ]
+        ),
+        neg(InRe(x, re_node("(a|b)*"))),
+    ]
+    for pattern in [r"^(a+)(b+)$", r"^a*(a)?$", r"(x|y)z"]:
+        model = SymbolicRegExp(pattern).exec_model(StrVar("w"))
+        formulas.append(model.match_formula)
+        formulas.append(model.no_match_formula)
+    return formulas
+
+
+class TestCacheSoundness:
+    @pytest.mark.parametrize(
+        "index", range(len(_fixture_formulas()))
+    )
+    def test_cached_equals_uncached(self, index):
+        formula = _fixture_formulas()[index]
+        plain = Solver().solve(formula)
+        cached_solver = CachedSolver(Solver())
+        cold = cached_solver.solve(formula)
+        warm = cached_solver.solve(formula)  # replay path
+        assert cold.status == plain.status == warm.status
+        if plain.status == SAT:
+            # Models need not be identical objects, but each must satisfy
+            # the formula.
+            nnf = to_nnf(formula)
+            assert _holds(nnf, plain.model)
+            assert _holds(nnf, cold.model)
+            assert _holds(nnf, warm.model)
+
+    def test_cegar_cached_equals_uncached(self):
+        for pattern, subject in [
+            (r"^a*(a)?$", "aa"),
+            (r"^(a+)(b+)$", None),
+            (r"^a$", "b"),
+        ]:
+            inp = StrVar("w")
+            model = SymbolicRegExp(pattern).exec_model(inp)
+            problem = model.match_formula
+            if subject is not None:
+                problem = conj([problem, Eq(inp, StrConst(subject))])
+            plain = CegarSolver().solve(problem, [model.constraint])
+            shared = QueryCache()
+            run1 = CegarSolver(
+                solver_factory=lambda: CachedSolver(Solver(), cache=shared)
+            ).solve(problem, [model.constraint])
+            run2 = CegarSolver(
+                solver_factory=lambda: CachedSolver(Solver(), cache=shared)
+            ).solve(problem, [model.constraint])
+            assert run1.status == plain.status == run2.status
+            if plain.status == SAT:
+                for outcome in (run1, run2):
+                    assert outcome.model[model.captures[0]] == (
+                        plain.model[model.captures[0]]
+                    )

@@ -1,0 +1,143 @@
+"""Tests for batch report merging and rendering."""
+
+from repro.service import (
+    BatchReport,
+    BatchRunner,
+    JobResult,
+    SurveyJob,
+    format_batch_report,
+    merge_analyze,
+    merge_solve,
+    merge_survey,
+)
+
+
+def analyze_result(job_id, covered, statements, **over):
+    payload = {
+        "name": job_id,
+        "covered": covered,
+        "statement_count": statements,
+        "coverage": covered / statements,
+        "tests_run": 5,
+        "queries": 10,
+        "sat_queries": 8,
+        "regex_ops": 3,
+        "concretizations": 0,
+        "wall_time": 1.0,
+        "failures": [],
+        "solver_queries": 10,
+        "solver_seconds": 0.5,
+        "refined_queries": 2,
+        "sum_refinements": 6,
+    }
+    payload.update(over)
+    return JobResult(job_id=job_id, kind="analyze", status="ok", payload=payload)
+
+
+class TestMergeAnalyze:
+    def test_corpus_level_aggregates(self):
+        merged = merge_analyze(
+            [
+                analyze_result("a", 6, 10),
+                analyze_result("b", 10, 10),
+                JobResult(job_id="c", kind="analyze", status="error"),
+            ]
+        )
+        assert merged["packages"] == 3
+        assert merged["analyzed"] == 2
+        assert merged["failed_jobs"] == 1
+        assert merged["coverage"] == 16 / 20
+        assert merged["queries"] == 20
+        assert merged["mean_refinements"] == 3.0
+
+    def test_empty(self):
+        merged = merge_analyze([])
+        assert merged["coverage"] == 0.0
+        assert merged["packages"] == 0
+
+
+class TestMergeSolve:
+    def test_counts(self):
+        results = [
+            JobResult(
+                job_id="a", kind="solve", status="ok",
+                payload={"found": True, "solver_queries": 2,
+                         "solver_seconds": 0.1},
+            ),
+            JobResult(
+                job_id="b", kind="solve", status="ok",
+                payload={"found": False, "solver_queries": 1,
+                         "solver_seconds": 0.2},
+            ),
+            JobResult(job_id="c", kind="solve", status="timeout"),
+        ]
+        merged = merge_solve(results)
+        assert merged["solved"] == 1
+        assert merged["unsolved"] == 1
+        assert merged["failed_jobs"] == 1
+        assert merged["solver_queries"] == 3
+
+
+class TestMergeSurvey:
+    def test_cross_shard_unique_dedup(self):
+        # The same literal in two shards must count once in uniques.
+        shard_a = SurveyJob(
+            job_id="v0", package_files=[["var a = /x(y)/;"]]
+        ).run()
+        shard_b = SurveyJob(
+            job_id="v1",
+            package_files=[["var b = /x(y)/; var c = /\\d+/;"]],
+        ).run()
+        merged = merge_survey([shard_a, shard_b])
+        assert merged.n_packages == 2
+        assert merged.total_regexes == 3
+        assert merged.unique_regexes == 2
+        assert merged.feature_uniques["capture_groups"] == 1
+
+
+class TestBatchReport:
+    def test_cache_totals_and_statuses(self):
+        report = BatchReport(
+            results=[
+                JobResult(
+                    job_id="a", kind="solve", status="ok",
+                    cache_hits=2, cache_misses=3,
+                ),
+                JobResult(job_id="b", kind="solve", status="error"),
+            ],
+            wall_time=30.0,
+            workers=2,
+        )
+        assert report.cache_hits == 2
+        assert report.cache_misses == 3
+        assert report.cache_hit_rate == 0.4
+        assert report.jobs_per_minute == 4.0
+        assert report.by_status() == {"ok": 1, "error": 1}
+        spec = report.to_spec()
+        assert spec["cache"]["hits"] == 2
+        assert len(spec["results"]) == 2
+
+    def test_format_full_report(self):
+        jobs = [
+            SurveyJob(job_id="v0", package_files=[["var a = /q(r)/;"]]),
+        ]
+        report = BatchRunner(workers=0).run(jobs)
+        text = format_batch_report(report)
+        assert "jobs:" in text
+        assert "query cache:" in text
+        assert "Total Regex" in text  # table 5 section
+
+    def test_format_lists_failed_jobs(self):
+        report = BatchReport(
+            results=[
+                JobResult(
+                    job_id="bad", kind="analyze", status="error",
+                    error="Boom\nlast line",
+                )
+            ],
+            wall_time=1.0,
+            workers=1,
+        )
+        text = format_batch_report(report)
+        assert "Failed jobs" in text
+        assert "bad [error]: last line" in text

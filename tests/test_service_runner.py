@@ -1,0 +1,91 @@
+"""Tests for the worker-pool batch runner."""
+
+import pytest
+
+from repro.service import (
+    AnalyzeJob,
+    BatchRunner,
+    RunnerConfig,
+    SolveJob,
+    SurveyJob,
+)
+
+PROGRAM = (
+    'var s = symbol("s", "");\n'
+    'if (/^x+$/.test(s)) { 1; } else { 2; }\n'
+)
+
+
+def small_jobs():
+    return [
+        SolveJob(job_id="s0", pattern="a+b"),
+        AnalyzeJob(
+            job_id="a0", source=PROGRAM, max_tests=4, time_budget=5.0
+        ),
+        SolveJob(job_id="s1", pattern="a+b"),  # duplicate → cache hit
+        SurveyJob(job_id="v0", package_files=[["var r = /a(b)/;"]]),
+    ]
+
+
+class TestInline:
+    def test_runs_all_kinds_in_order(self):
+        report = BatchRunner(workers=0).run(small_jobs())
+        assert [r.job_id for r in report.results] == ["s0", "a0", "s1", "v0"]
+        assert all(r.status == "ok" for r in report.results)
+        assert report.wall_time > 0
+        assert report.jobs_per_minute > 0
+
+    def test_cache_shared_across_jobs(self):
+        report = BatchRunner(workers=0).run(small_jobs())
+        assert report.cache_hits >= 1  # s1 replays s0's query
+        assert report.cache_misses >= 1
+
+    def test_cache_can_be_disabled(self):
+        report = BatchRunner(workers=0, use_cache=False).run(small_jobs())
+        assert report.cache_hits == 0
+        assert report.cache_misses == 0
+        assert all(r.status == "ok" for r in report.results)
+
+
+class TestPool:
+    def test_two_workers_deterministic_order(self):
+        jobs = small_jobs()
+        report = BatchRunner(workers=2, job_timeout=120.0).run(jobs)
+        assert [r.job_id for r in report.results] == [j.job_id for j in jobs]
+        assert all(r.status == "ok" for r in report.results)
+        assert report.workers == 2
+
+    def test_worker_persistent_cache_hits(self):
+        # One worker ⇒ every duplicate lands on the same process cache.
+        jobs = [
+            SolveJob(job_id=f"s{i}", pattern="(ab)+c") for i in range(3)
+        ]
+        report = BatchRunner(workers=1, job_timeout=120.0).run(jobs)
+        assert all(r.status == "ok" for r in report.results)
+        assert report.cache_hits >= 2
+
+    def test_shared_cache_across_workers(self):
+        jobs = [
+            SolveJob(job_id=f"s{i}", pattern="x[yz]+") for i in range(4)
+        ]
+        report = BatchRunner(
+            workers=2, shared_cache=True, job_timeout=120.0
+        ).run(jobs)
+        assert all(r.status == "ok" for r in report.results)
+        assert report.cache_hits >= 1
+
+    def test_failure_capture_does_not_poison_batch(self):
+        jobs = [
+            AnalyzeJob(job_id="bad", source="var = = ;"),
+            SolveJob(job_id="good", pattern="ok"),
+        ]
+        report = BatchRunner(workers=2, job_timeout=120.0).run(jobs)
+        assert report.results[0].status == "error"
+        assert report.results[1].status == "ok"
+        assert report.by_status() == {"error": 1, "ok": 1}
+
+
+class TestConfig:
+    def test_rejects_negative_workers(self):
+        with pytest.raises(ValueError):
+            BatchRunner(RunnerConfig(workers=-1))

@@ -34,6 +34,22 @@ def solve(formula, **kwargs):
 x, y, z, w = (StrVar(n) for n in "xyzw")
 
 
+class TestDefaultWords:
+    def test_candidate_list_is_pinned(self):
+        # The documented candidate pool for wholly unconstrained
+        # variables: the seed alphabet followed by "a"-runs of length 2-5.
+        expected = [
+            "", "a", "b", "0", "1", " ", "x", "ab", "a0", "-",
+            "aa", "aaa", "aaaa", "aaaaa",
+        ]
+        assert Solver().default_words(len(expected) + 10) == expected
+
+    def test_limit_truncates(self):
+        solver = Solver()
+        assert solver.default_words(3) == ["", "a", "b"]
+        assert solver.default_words(14) == solver.default_words(100)
+
+
 class TestEqualities:
     def test_var_equals_const(self):
         result = solve(Eq(x, StrConst("hello")))

@@ -1,0 +1,86 @@
+"""Tests for the solver_factory hooks and solver hoisting (service seam)."""
+
+from repro.dse.engine import DseEngine, EngineConfig, analyze
+from repro.dse.interpreter import RegexSupportLevel
+from repro.model.cegar import CegarSolver
+from repro.service import CachedSolver, QueryCache
+from repro.solver import Solver
+
+PROGRAM = (
+    'var s = symbol("s", "");\n'
+    'var m = /^(a+)=(b+)$/.exec(s);\n'
+    'if (m) { if (m[1] === "aa") { 1; } else { 2; } } else { 3; }\n'
+)
+
+
+class _CountingFactory:
+    def __init__(self):
+        self.calls = 0
+        self.solvers = []
+
+    def __call__(self, timeout):
+        self.calls += 1
+        solver = Solver(timeout=timeout)
+        self.solvers.append(solver)
+        return solver
+
+
+class TestEngineHoisting:
+    def test_factory_called_once_per_engine(self):
+        factory = _CountingFactory()
+        engine = DseEngine(
+            PROGRAM,
+            EngineConfig(max_tests=6, time_budget=5.0),
+            solver_factory=factory,
+        )
+        engine.run()
+        assert factory.calls == 1
+        assert factory.solvers[0].timeout == engine.config.solver_timeout
+        assert engine._base_solver is factory.solvers[0]
+        assert engine._cegar.solver is factory.solvers[0]
+
+    def test_lower_levels_share_the_hoisted_solver(self):
+        factory = _CountingFactory()
+        engine = DseEngine(
+            PROGRAM,
+            EngineConfig(
+                level=RegexSupportLevel.MODEL, max_tests=6, time_budget=5.0
+            ),
+            solver_factory=factory,
+        )
+        result = engine.run()
+        assert factory.calls == 1
+        assert result.tests_run >= 1
+
+    def test_default_behaviour_unchanged(self):
+        result = analyze(PROGRAM, max_tests=6, time_budget=5.0)
+        assert result.tests_run >= 1
+        assert result.coverage > 0
+
+    def test_cached_factory_reports_into_stats(self):
+        cache = QueryCache()
+        result = analyze(
+            PROGRAM,
+            max_tests=6,
+            time_budget=5.0,
+            solver_factory=lambda timeout: CachedSolver(
+                Solver(timeout=timeout), cache=cache
+            ),
+        )
+        stats = result.stats.cache_summary()
+        assert stats["lookups"] == cache.hits + cache.misses
+        assert stats["misses"] >= 1
+
+
+class TestCegarFactoryHook:
+    def test_factory_overrides_solver(self):
+        cache = QueryCache()
+        cegar = CegarSolver(
+            solver_factory=lambda: CachedSolver(Solver(), cache=cache)
+        )
+        assert isinstance(cegar.solver, CachedSolver)
+        assert cegar.solver.cache is cache
+
+    def test_without_factory_keeps_given_solver(self):
+        solver = Solver(timeout=1.0)
+        assert CegarSolver(solver=solver).solver is solver
