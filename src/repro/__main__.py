@@ -8,6 +8,11 @@ Commands:
 - ``analyze FILE`` — dynamic symbolic execution of a mini-JS program;
 - ``batch FILE... | batch --survey -n N`` — run many analyses across a
   worker pool with a shared solver query cache (the service layer);
+
+``solve``/``analyze``/``batch`` accept ``--backend SPEC`` to pick the
+solver backend (``native``, ``smtlib:z3``, ``portfolio:native+smtlib``,
+``cached:native``, ...) — see :mod:`repro.solver.backends`.
+
 - ``survey [-n N]`` — regenerate the §7.1 survey tables;
 - ``smtlib PATTERN [-f FLAGS]`` — print the membership model as SMT-LIB;
 - ``dot PATTERN`` — print the DFA of a classical regex as Graphviz DOT.
@@ -19,17 +24,39 @@ import argparse
 import sys
 
 
+def _check_backend_spec(spec) -> int:
+    """Validate a ``--backend`` spec up front; 0 ok, 2 on a bad spec."""
+    if spec is None:
+        return 0
+    from repro.solver.backends import BackendError, make_backend
+
+    try:
+        make_backend(spec)
+    except BackendError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def _cmd_solve(args: argparse.Namespace) -> int:
     from repro.model import find_matching_input, find_non_matching_input
 
+    if _check_backend_spec(args.backend):
+        return 2
+    if args.backend:
+        print(f"backend: {args.backend}")
     if args.negate:
-        word = find_non_matching_input(args.pattern, args.flags)
+        word = find_non_matching_input(
+            args.pattern, args.flags, backend=args.backend
+        )
         if word is None:
             print("no non-matching input found (pattern may match Σ*)")
             return 1
         print(f"input:  {word!r}")
         return 0
-    result = find_matching_input(args.pattern, args.flags)
+    result = find_matching_input(
+        args.pattern, args.flags, backend=args.backend
+    )
     if result is None:
         print("unsatisfiable (or solver budget exhausted)")
         return 1
@@ -59,6 +86,8 @@ def _cmd_exec(args: argparse.Namespace) -> int:
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.dse import RegexSupportLevel, analyze
 
+    if _check_backend_spec(args.backend):
+        return 2
     with open(args.file) as handle:
         source = handle.read()
     level = RegexSupportLevel[args.level.upper()]
@@ -67,6 +96,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         level=level,
         max_tests=args.max_tests,
         time_budget=args.time_budget,
+        backend=args.backend,
     )
     print(f"tests run:   {result.tests_run}")
     print(f"coverage:    {result.coverage:.1%} "
@@ -91,12 +121,15 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         survey_workload,
     )
 
+    if _check_backend_spec(args.backend):
+        return 2
     if args.survey:
         jobs = survey_workload(
             n_packages=args.packages,
             seed=args.seed,
             shards=max(1, args.workers) * 4,
             solve_cap=args.solve_cap,
+            backend=args.backend,
         )
     elif args.files:
         try:
@@ -105,6 +138,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                 level=args.level,
                 max_tests=args.max_tests,
                 time_budget=args.time_budget,
+                backend=args.backend,
             )
         except OSError as exc:
             print(f"batch: cannot read {exc.filename}: {exc.strerror}",
@@ -182,10 +216,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    backend_help = (
+        "solver backend spec: native, native?timeout=2, smtlib:z3, "
+        "portfolio:native+smtlib, cached:native, ... (nestable)"
+    )
+
     solve = sub.add_parser("solve", help="find a (non-)matching input")
     solve.add_argument("pattern")
     solve.add_argument("-f", "--flags", default="")
     solve.add_argument("--negate", action="store_true")
+    solve.add_argument("--backend", default=None, help=backend_help)
     solve.set_defaults(fn=_cmd_solve)
 
     exec_ = sub.add_parser("exec", help="concrete ES6 exec")
@@ -203,6 +243,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     analyze.add_argument("--max-tests", type=int, default=50)
     analyze.add_argument("--time-budget", type=float, default=30.0)
+    analyze.add_argument("--backend", default=None, help=backend_help)
     analyze.set_defaults(fn=_cmd_analyze)
 
     batch = sub.add_parser(
@@ -248,6 +289,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument("--max-tests", type=int, default=40)
     batch.add_argument("--time-budget", type=float, default=10.0)
+    batch.add_argument("--backend", default=None, help=backend_help)
     batch.add_argument("--json", help="also write the report as JSON")
     batch.set_defaults(fn=_cmd_batch)
 

@@ -27,43 +27,78 @@ from repro.constraints.formulas import (
 from repro.constraints.terms import Concat, StrConst, StrVar, Term, Undef
 
 
-def to_smtlib(formula: Formula, declare: bool = True) -> str:
-    """Render ``formula`` as an SMT-LIB script (declarations + assert)."""
-    body = _formula(formula)
+def to_smtlib(
+    formula: Formula,
+    declare: bool = True,
+    *,
+    guarded: bool = False,
+    get_values: bool = False,
+) -> str:
+    """Render ``formula`` as an SMT-LIB script (declarations + assert).
+
+    With ``guarded=True`` the rendering is *exact* with respect to our
+    ⊥-semantics: every atom whose native truth requires its variables to
+    be defined (memberships, equalities against constants/concatenations)
+    carries the corresponding ``|v.def|`` guards, so each native model
+    maps to an SMT model and a backend's ``unsat`` answer stays sound.
+    (The unguarded form is more readable and matches the historical
+    ``smtlib`` CLI output; it is only safe for inspection, not for
+    trusting ``unsat``.)
+
+    ``get_values=True`` appends ``(get-value ...)`` over every declared
+    symbol so a subprocess backend can parse a model back.
+    """
+    body = _formula(formula, guarded)
     if not declare:
         return body
     variables = sorted(_variables(formula), key=lambda v: v.name)
-    lines: List[str] = ["(set-logic QF_S)"]
+    lines: List[str] = []
+    if get_values:
+        lines.append("(set-option :produce-models true)")
+    lines.append("(set-logic QF_S)")
+    symbols: List[str] = []
     for var in variables:
+        symbols.append(_symbol(var.name))
+        symbols.append(_symbol(var.name + ".def"))
         lines.append(f"(declare-const {_symbol(var.name)} String)")
         lines.append(f"(declare-const {_symbol(var.name + '.def')} Bool)")
     lines.append(f"(assert {body})")
     lines.append("(check-sat)")
+    if get_values and symbols:
+        lines.append("(get-value (" + " ".join(symbols) + "))")
     return "\n".join(lines)
 
 
-def _formula(formula: Formula) -> str:
+def _formula(formula: Formula, guarded: bool = False) -> str:
     if isinstance(formula, BoolLit):
         return "true" if formula.value else "false"
     if isinstance(formula, Not):
-        return f"(not {_formula(formula.operand)})"
+        return f"(not {_formula(formula.operand, guarded)})"
     if isinstance(formula, And):
-        return "(and " + " ".join(map(_formula, formula.operands)) + ")"
+        return "(and " + " ".join(
+            _formula(op, guarded) for op in formula.operands
+        ) + ")"
     if isinstance(formula, Or):
-        return "(or " + " ".join(map(_formula, formula.operands)) + ")"
+        return "(or " + " ".join(
+            _formula(op, guarded) for op in formula.operands
+        ) + ")"
     if isinstance(formula, Implies):
         return (
-            f"(=> {_formula(formula.antecedent)} "
-            f"{_formula(formula.consequent)})"
+            f"(=> {_formula(formula.antecedent, guarded)} "
+            f"{_formula(formula.consequent, guarded)})"
         )
     if isinstance(formula, Eq):
-        return _equality(formula.left, formula.right)
+        return _equality(formula.left, formula.right, guarded)
     if isinstance(formula, InRe):
-        return f"(str.in_re {_term(formula.term)} {_regex(formula.regex)})"
+        atom = f"(str.in_re {_term(formula.term)} {_regex(formula.regex)})"
+        if guarded:
+            # t ∈ L(R) is false when any variable of t is ⊥.
+            return _with_def_guards(atom, _term_variables(formula.term))
+        return atom
     raise TypeError(f"cannot print {formula!r}")
 
 
-def _equality(left: Term, right: Term) -> str:
+def _equality(left: Term, right: Term, guarded: bool = False) -> str:
     # ⊥-aware equality: x = ⊥ becomes (not |x.def|); x = y over possibly-⊥
     # variables compares both the definedness guards and the payloads.
     if isinstance(right, Undef):
@@ -80,7 +115,38 @@ def _equality(left: Term, right: Term) -> str:
         return (
             f"(and (= {ldef} {rdef}) (= {_term(left)} {_term(right)}))"
         )
-    return f"(= {_term(left)} {_term(right)})"
+    atom = f"(= {_term(left)} {_term(right)})"
+    if guarded:
+        # Against a constant or concatenation, equality natively holds
+        # only when every participating variable is a defined string.
+        return _with_def_guards(
+            atom, _term_variables(left) + _term_variables(right)
+        )
+    return atom
+
+
+def _with_def_guards(atom: str, variables: List[StrVar]) -> str:
+    guards: List[str] = []
+    seen: Set[str] = set()
+    for var in variables:
+        symbol = _symbol(var.name + ".def")
+        if symbol not in seen:
+            seen.add(symbol)
+            guards.append(symbol)
+    if not guards:
+        return atom
+    return "(and " + " ".join(guards) + f" {atom})"
+
+
+def _term_variables(term: Term) -> List[StrVar]:
+    if isinstance(term, StrVar):
+        return [term]
+    if isinstance(term, Concat):
+        out: List[StrVar] = []
+        for part in term.parts:
+            out.extend(_term_variables(part))
+        return out
+    return []
 
 
 def _term(term: Term) -> str:
@@ -144,10 +210,17 @@ def _charset_regex(node: regex_ast.CharMatch) -> str:
 
 
 def _string_literal(value: str) -> str:
+    # SMT-LIB 2.6 string literals: `""` is the only quote escape, and
+    # `\u{...}` / `\uXXXX` are the character escapes of the strings
+    # theory.  A raw backslash would make a following `u` ambiguous, so
+    # backslashes are themselves `\u{5c}`-escaped, as are control and
+    # non-ASCII characters.
     out = ['"']
     for ch in value:
         if ch == '"':
             out.append('""')
+        elif ch == "\\":
+            out.append("\\u{5c}")
         elif 0x20 <= ord(ch) < 0x7F:
             out.append(ch)
         else:

@@ -25,6 +25,7 @@ from repro.dse.parser import parse_program
 from repro.dse.strategy import CupaScheduler, QueuedTest
 from repro.model.cegar import CegarSolver
 from repro.solver import SAT, Solver, SolverStats
+from repro.solver.backends import make_backend
 from repro.solver.stats import QueryRecord
 
 
@@ -37,6 +38,9 @@ class EngineConfig:
     solver_timeout: float = 3.0
     max_flips_per_trace: int = 24
     seed: int = 1909
+    #: Solver backend spec (``repro.solver.backends.make_backend``) used
+    #: when no explicit ``solver_factory``/``backend`` argument is given.
+    backend: Optional[str] = None
 
 
 @dataclass
@@ -75,12 +79,19 @@ def default_solver_factory(timeout: float) -> Solver:
 class DseEngine:
     """Dynamic symbolic execution of one mini-JS program.
 
-    ``solver_factory`` is the service layer's injection seam: it is
-    called once, with ``timeout=config.solver_timeout``, and the returned
-    solver is reused for every flipped branch of the run (the seed built
-    a fresh ``Solver`` per flip).  Passing a factory that returns a
-    :class:`repro.service.cache.CachedSolver` shares one solver query
-    cache across the whole run — and, in batch mode, across runs.
+    The solver is chosen through the pluggable backend API: ``backend``
+    (or ``config.backend``) is any spec accepted by
+    :func:`repro.solver.backends.make_backend` — ``native``,
+    ``smtlib:z3``, ``portfolio:native+smtlib``, ``cached:native``, or an
+    already-built backend object.  The backend is built once and reused
+    for every flipped branch of the run, with per-backend tallies
+    recorded into ``result.stats``.
+
+    ``solver_factory`` remains the service layer's lower-level injection
+    seam (it wins over ``backend``): called once with
+    ``timeout=config.solver_timeout``, e.g. to hand in a
+    :class:`repro.solver.backends.CachedBackend` sharing one query cache
+    across runs.
     """
 
     def __init__(
@@ -88,6 +99,7 @@ class DseEngine:
         source: str | Program,
         config: Optional[EngineConfig] = None,
         solver_factory: Optional[Callable[..., Solver]] = None,
+        backend: Optional[str] = None,
     ):
         self.program = (
             source if isinstance(source, Program) else parse_program(source)
@@ -97,8 +109,19 @@ class DseEngine:
             statement_count=self.program.statement_count,
             stats=SolverStats(),
         )
-        factory = solver_factory or default_solver_factory
-        self._base_solver = factory(timeout=self.config.solver_timeout)
+        if solver_factory is not None:
+            self._base_solver = solver_factory(
+                timeout=self.config.solver_timeout
+            )
+            binder = getattr(self._base_solver, "bind_stats", None)
+            if callable(binder):
+                binder(self.result.stats)
+        else:
+            self._base_solver = make_backend(
+                backend or self.config.backend,
+                timeout=self.config.solver_timeout,
+                stats=self.result.stats,
+            )
         self._cegar = CegarSolver(
             solver=self._base_solver,
             refinement_limit=self.config.refinement_limit,
@@ -129,12 +152,16 @@ class DseEngine:
         self.result.wall_time = (
             self.config.time_budget - max(0.0, deadline - time.monotonic())
         )
-        self.result.stats.cache_hits += (
-            getattr(self._base_solver, "hits", 0) - hits0
-        )
-        self.result.stats.cache_misses += (
-            getattr(self._base_solver, "misses", 0) - misses0
-        )
+        if getattr(self._base_solver, "stats", None) is not self.result.stats:
+            # A caching solver whose ``stats`` sink is already our stats
+            # object records its hits/misses itself (``record_cache``);
+            # the snapshot diff covers every other caching solver.
+            self.result.stats.cache_hits += (
+                getattr(self._base_solver, "hits", 0) - hits0
+            )
+            self.result.stats.cache_misses += (
+                getattr(self._base_solver, "misses", 0) - misses0
+            )
         return self.result
 
     def _execute(self, inputs: Dict[str, str]) -> Trace:
@@ -250,6 +277,7 @@ def analyze(
     time_budget: float = 30.0,
     seed: int = 1909,
     solver_factory: Optional[Callable[..., Solver]] = None,
+    backend: Optional[str] = None,
 ) -> EngineResult:
     """One-call analysis of a mini-JS program — the library entry point."""
     config = EngineConfig(
@@ -257,5 +285,6 @@ def analyze(
         max_tests=max_tests,
         time_budget=time_budget,
         seed=seed,
+        backend=backend,
     )
     return DseEngine(source, config, solver_factory=solver_factory).run()

@@ -244,17 +244,19 @@ def find_matching_input(
     extra: Tuple[Formula, ...] = (),
     config: Optional[ModelConfig] = None,
     cegar: Optional[CegarSolver] = None,
+    backend: Optional[str] = None,
 ) -> Optional[Tuple[str, Dict[int, Optional[str]]]]:
     """Solve for an input that the regex matches (CEGAR-validated).
 
     Returns ``(input, {i: capture_i})`` or ``None``.  The workhorse of the
     quickstart example and of tests: a one-call version of the paper's
-    pipeline (model → solve → refine)."""
+    pipeline (model → solve → refine).  ``backend`` is a solver backend
+    spec (ignored when an explicit ``cegar`` is supplied)."""
     regexp = SymbolicRegExp(source, flags, config)
     input_var = StrVar("input!gen")
     model = regexp.exec_model(input_var)
     problem = conj([model.match_formula, *extra])
-    solver = cegar or CegarSolver()
+    solver = cegar or CegarSolver(backend=backend)
     result = solver.solve(problem, [model.constraint])
     if result.status != SAT:
         return None
@@ -271,13 +273,14 @@ def find_non_matching_input(
     extra: Tuple[Formula, ...] = (),
     config: Optional[ModelConfig] = None,
     cegar: Optional[CegarSolver] = None,
+    backend: Optional[str] = None,
 ) -> Optional[str]:
     """Solve for an input the regex does *not* match (CEGAR-validated)."""
     regexp = SymbolicRegExp(source, flags, config)
     input_var = StrVar("input!gen")
     model = regexp.exec_model(input_var)
     problem = conj([model.no_match_formula, *extra])
-    solver = cegar or CegarSolver()
+    solver = cegar or CegarSolver(backend=backend)
     result = solver.solve(problem, [model.negative_constraint])
     if result.status != SAT:
         return None

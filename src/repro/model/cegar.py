@@ -87,10 +87,18 @@ class CegarSolver:
     #: use (e.g. a ``repro.service.cache.CachedSolver`` sharing a query
     #: cache across many CEGAR instances).  Overrides ``solver``.
     solver_factory: Optional[Callable[[], Solver]] = None
+    #: Solver backend spec (see :func:`repro.solver.backends.make_backend`),
+    #: e.g. ``"portfolio:native+smtlib"``.  Overrides ``solver`` but not
+    #: ``solver_factory``; per-backend tallies land in ``stats``.
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.solver_factory is not None:
             self.solver = self.solver_factory()
+        elif self.backend is not None:
+            from repro.solver.backends import make_backend
+
+            self.solver = make_backend(self.backend, stats=self.stats)
 
     def solve(
         self,

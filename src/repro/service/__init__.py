@@ -24,8 +24,10 @@ from repro.service.jobs import (
 from repro.service.report import (
     BatchReport,
     format_analyze_table,
+    format_backend_table,
     format_batch_report,
     merge_analyze,
+    merge_backend_tallies,
     merge_solve,
     merge_survey,
 )
@@ -45,9 +47,11 @@ __all__ = [
     "SurveyJob",
     "analyze_jobs_from_files",
     "format_analyze_table",
+    "format_backend_table",
     "format_batch_report",
     "job_from_spec",
     "merge_analyze",
+    "merge_backend_tallies",
     "merge_solve",
     "merge_survey",
     "survey_workload",

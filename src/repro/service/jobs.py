@@ -22,12 +22,36 @@ import traceback
 from dataclasses import asdict, dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.solver.core import Solver
+from repro.solver.backends import make_backend
 from repro.solver.stats import SolverStats
 
 
-def default_solver_factory(timeout: float = 20.0, **kwargs) -> Solver:
-    return Solver(timeout=timeout, **kwargs)
+def default_solver_factory(
+    timeout: float = 20.0,
+    backend: Optional[str] = None,
+    stats: Optional[SolverStats] = None,
+    **kwargs,
+):
+    """Build a solver through the backend registry (default: native).
+
+    ``backend`` is any :func:`repro.solver.backends.make_backend` spec;
+    ``stats`` is the per-backend tally sink.  Remaining kwargs are
+    native-solver options (backward compatibility with the pre-registry
+    factory) and are passed structurally — they cannot be combined with
+    an explicit ``backend`` spec, whose options belong in the spec
+    string itself.
+    """
+    if kwargs:
+        if backend is not None:
+            raise TypeError(
+                f"solver option(s) {sorted(kwargs)} cannot be combined "
+                f"with backend={backend!r}; encode them in the spec "
+                "(e.g. 'native?timeout=2')"
+            )
+        from repro.solver.backends import NativeBackend
+
+        return NativeBackend(stats=stats, timeout=timeout, **kwargs)
+    return make_backend(backend, timeout=timeout, stats=stats)
 
 
 class _RecordingFactory:
@@ -75,11 +99,21 @@ class JobResult:
 
 @dataclass
 class _JobBase:
-    """Shared spec/run plumbing; subclasses implement ``_run``."""
+    """Shared spec/run plumbing; subclasses implement ``_run``.
+
+    Every job kind carries a ``backend`` field — a solver backend spec
+    (``native``, ``smtlib:z3``, ``portfolio:native+smtlib``,
+    ``cached:native``, ...) that survives the JSON spec round-trip and
+    multiprocessing, so a whole batch can be pointed at any registered
+    backend.  ``None`` means the runner's default (native).
+    """
 
     job_id: str
 
     KIND = "?"
+    # Fallback so ``self.backend`` always resolves; subclasses declare
+    # the real (defaulted, spec-serialized) dataclass field.
+    backend = None
 
     def to_spec(self) -> dict:
         spec = asdict(self)
@@ -128,6 +162,7 @@ class AnalyzeJob(_JobBase):
     max_tests: int = 40
     time_budget: float = 10.0
     seed: int = 1909
+    backend: Optional[str] = None
 
     KIND = "analyze"
 
@@ -141,12 +176,20 @@ class AnalyzeJob(_JobBase):
             time_budget=self.time_budget,
             seed=self.seed,
         )
+
+        def engine_factory(timeout):
+            if self.backend is None:
+                return solver_factory(timeout=timeout)
+            return solver_factory(timeout=timeout, backend=self.backend)
+
         result = DseEngine(
-            self.source, config, solver_factory=solver_factory
+            self.source, config, solver_factory=engine_factory
         ).run()
         refined = [q for q in result.stats.queries if q.refinements > 0]
         return {
             "name": self.path or self.job_id,
+            "backend": self.backend or "native",
+            "backend_tallies": result.stats.backend_summary(),
             "covered": len(result.covered),
             "statement_count": result.statement_count,
             "coverage": result.coverage,
@@ -173,6 +216,7 @@ class SolveJob(_JobBase):
     negate: bool = False
     solver_timeout: float = 2.0
     refinement_limit: int = 20
+    backend: Optional[str] = None
 
     KIND = "solve"
 
@@ -184,8 +228,19 @@ class SolveJob(_JobBase):
         from repro.model.cegar import CegarSolver
 
         stats = SolverStats()
+        if self.backend is None:
+            solver = solver_factory(timeout=self.solver_timeout)
+            binder = getattr(solver, "bind_stats", None)
+            if callable(binder):
+                binder(stats)
+        else:
+            solver = solver_factory(
+                timeout=self.solver_timeout,
+                backend=self.backend,
+                stats=stats,
+            )
         cegar = CegarSolver(
-            solver=solver_factory(timeout=self.solver_timeout),
+            solver=solver,
             refinement_limit=self.refinement_limit,
             stats=stats,
         )
@@ -193,6 +248,7 @@ class SolveJob(_JobBase):
             "pattern": self.pattern,
             "flags": self.flags,
             "negate": self.negate,
+            "backend": self.backend or "native",
         }
         if self.negate:
             word = find_non_matching_input(
@@ -211,6 +267,7 @@ class SolveJob(_JobBase):
                 }
         payload["solver_queries"] = len(stats.queries)
         payload["solver_seconds"] = stats.total_time()
+        payload["backend_tallies"] = stats.backend_summary()
         return payload
 
 
@@ -225,6 +282,7 @@ class SurveyJob(_JobBase):
     """
 
     package_files: List[List[str]] = field(default_factory=list)
+    backend: Optional[str] = None  # unused (no solving), kept for spec shape
 
     KIND = "survey"
 
@@ -285,6 +343,7 @@ def survey_workload(
     seed: int = 1909,
     shards: int = 8,
     solve_cap: int = 48,
+    backend: Optional[str] = None,
 ) -> List[_JobBase]:
     """The batch-mode survey workload: survey shards + solve jobs.
 
@@ -329,6 +388,7 @@ def survey_workload(
                             "y", ""
                         ),
                         solver_timeout=1.0,
+                        backend=backend,
                     )
                 )
                 count += 1
@@ -341,6 +401,7 @@ def analyze_jobs_from_files(
     max_tests: int = 40,
     time_budget: float = 10.0,
     seed: int = 1909,
+    backend: Optional[str] = None,
 ) -> List[AnalyzeJob]:
     """One :class:`AnalyzeJob` per mini-JS file."""
     jobs = []
@@ -356,6 +417,7 @@ def analyze_jobs_from_files(
                 max_tests=max_tests,
                 time_budget=time_budget,
                 seed=seed,
+                backend=backend,
             )
         )
     return jobs

@@ -148,6 +148,47 @@ def merge_solve(results: Sequence[JobResult]) -> dict:
     }
 
 
+# -- backend merge ------------------------------------------------------------
+
+
+def merge_backend_tallies(results: Sequence[JobResult]) -> Dict[str, dict]:
+    """Sum per-backend outcome/latency tallies across job payloads.
+
+    Jobs that solved anything carry ``payload["backend_tallies"]``
+    (JSON-shaped :class:`repro.solver.stats.BackendTally` dicts keyed by
+    backend name); the merge is a plain per-name sum, so one corpus
+    table can compare e.g. ``native`` vs ``cached:native`` traffic.
+    """
+    from repro.solver.stats import BackendTally
+
+    totals: Dict[str, BackendTally] = {}
+    for result in results:
+        if result.status != "ok":
+            continue
+        tallies = result.payload.get("backend_tallies") or {}
+        for name, tally in tallies.items():
+            agg = totals.setdefault(name, BackendTally())
+            agg.merge_dict(tally)
+    return {name: tally.as_dict() for name, tally in sorted(totals.items())}
+
+
+def format_backend_table(tallies: Dict[str, dict]) -> str:
+    """Per-backend corpus table: outcomes, definitive rate, latency."""
+    lines = [
+        "Backend                        Queries   SAT  UNSAT   UNK  ERR"
+        "  Defin.%   Time(s)",
+    ]
+    for name, tally in tallies.items():
+        shown = name if len(name) <= 30 else "..." + name[-27:]
+        lines.append(
+            f"{shown:<30} {tally['queries']:>8} {tally['sat']:>5} "
+            f"{tally['unsat']:>6} {tally['unknown']:>5} "
+            f"{tally['errors']:>4} {100 * tally['definitive_rate']:>8.1f} "
+            f"{tally['seconds']:>9.2f}"
+        )
+    return "\n".join(lines)
+
+
 # -- survey merge -------------------------------------------------------------
 
 
@@ -234,6 +275,11 @@ def format_batch_report(report: BatchReport) -> str:
             f"{merged['solver_queries']} solver queries, "
             f"{merged['solver_seconds']:.2f}s"
         )
+
+    backend_tallies = merge_backend_tallies(report.results)
+    if backend_tallies:
+        lines += ["", "== Solver backends " + "=" * 45]
+        lines.append(format_backend_table(backend_tallies))
 
     survey = report.of_kind("survey")
     if survey:

@@ -29,9 +29,9 @@ import time
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
-from repro.service.cache import CachedSolver, QueryCache, SharedQueryCache
+from repro.service.cache import QueryCache, SharedQueryCache
 from repro.service.jobs import JobResult, _JobBase, job_from_spec
-from repro.solver.core import Solver
+from repro.solver.backends import CachedBackend, make_backend
 
 #: Per-worker-process state, installed by the pool initializer and
 #: reused by every job the worker executes.
@@ -49,11 +49,29 @@ def _worker_init(use_cache: bool, cache_size: int, shared_cache) -> None:
 
 
 def _make_solver_factory(cache) -> Callable[..., object]:
-    def factory(timeout: float = 20.0, **kwargs):
-        base = Solver(timeout=timeout, **kwargs)
+    """The factory handed to every job: backend spec in, solver out.
+
+    The job's ``backend`` spec resolves through the registry
+    (``native`` when unset); when the worker keeps a query cache, the
+    resolved backend is decorated with a :class:`CachedBackend` sharing
+    that cache across every job the worker executes.
+    """
+
+    def factory(timeout: float = 20.0, backend=None, stats=None):
+        spec = backend
+        if (
+            cache is not None
+            and isinstance(spec, str)
+            and spec.startswith("cached:")
+        ):
+            # The worker's (shared) cache *is* the decoration an outer
+            # ``cached:`` asks for — strip it instead of stacking a
+            # second, job-private cache in front of it.
+            spec = spec[len("cached:"):]
+        base = make_backend(spec, timeout=timeout, stats=stats)
         if cache is None:
             return base
-        return CachedSolver(base, cache=cache)
+        return CachedBackend(base, cache=cache, tally_stats=stats)
 
     return factory
 

@@ -3,13 +3,25 @@
 See :mod:`repro.solver.core` for the algorithm.  The public surface is
 :class:`Solver` (``solve(formula) -> SolverResult``) plus the status
 constants ``SAT``/``UNSAT``/``UNKNOWN`` and the :class:`Model` type.
+
+:mod:`repro.solver.backends` layers the pluggable backend API on top:
+``make_backend("native" | "smtlib:z3" | "portfolio:..." | "cached:...")``
+resolves a spec string into anything with the same ``solve`` protocol.
+(It is not imported here to keep this package import-light; import it
+directly.)
 """
 
 from repro.solver.core import SAT, Solver, SolverResult, UNKNOWN, UNSAT
 from repro.solver.model import EvalError, Model
-from repro.solver.stats import GLOBAL_STATS, QueryRecord, SolverStats
+from repro.solver.stats import (
+    BackendTally,
+    GLOBAL_STATS,
+    QueryRecord,
+    SolverStats,
+)
 
 __all__ = [
+    "BackendTally",
     "EvalError",
     "GLOBAL_STATS",
     "Model",

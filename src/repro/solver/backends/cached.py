@@ -1,0 +1,293 @@
+"""``cached:<inner>`` — the solver query cache as a backend decorator.
+
+The paper's evaluation re-decides the same string queries thousands of
+times: regex literals are heavily duplicated across npm packages
+(Table 5: 9.5M occurrences vs 306k unique), so batch analysis keeps
+producing structurally identical membership problems.  This module
+memoizes *definitive* solver answers across queries, engine runs, and —
+through the batch runner — across jobs, for **any** inner backend.
+
+Keying is by :func:`repro.constraints.printer.canonical_fingerprint`:
+variables are α-renamed in first-occurrence order, so two translations of
+the same regex (which draw fresh variable names from a global counter)
+map to the same entry.  Models are stored under canonical names and
+translated back through the bijection on a hit.
+
+Soundness rules:
+
+- only ``SAT`` (with its model) and ``UNSAT`` are cached — both are
+  definitive for every backend in this package by construction (an
+  SMT-LIB subprocess SAT is re-validated natively before it is
+  returned, and its UNSAT comes from the exact guarded encoding);
+- ``UNKNOWN`` is *never* cached: it depends on the budget/timeout of the
+  producing backend, so replaying it for another query (or another
+  backend configuration) could turn a solvable query into a permanent
+  unknown.
+
+(Historically this lived in ``repro.service.cache``, which now
+re-exports from here; the *decorator* :class:`CachedBackend` is what
+the ``cached:<inner>`` spec resolves to.)
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Dict, Optional, Tuple
+
+from repro.constraints.formulas import Formula
+from repro.constraints.printer import canonical_fingerprint
+from repro.constraints.terms import StrVar, Value
+from repro.solver.core import Solver, SolverResult, UNKNOWN
+from repro.solver.model import Model
+from repro.solver.stats import SolverStats
+
+
+@dataclass(frozen=True)
+class CachedResult:
+    """One cache entry: a definitive status plus the model's assignment
+    restricted to the formula's variables, under canonical names."""
+
+    status: str
+    assignment: Optional[Tuple[Tuple[str, Value], ...]] = None
+
+
+class QueryCache:
+    """An LRU map fingerprint → :class:`CachedResult` with counters.
+
+    Process-local.  In the batch runner each worker process keeps one
+    instance alive across all jobs it executes (see ``runner.py``), which
+    is where cross-job sharing happens.
+    """
+
+    def __init__(self, maxsize: int = 4096):
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[str, CachedResult]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def get(self, key: str) -> Optional[CachedResult]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: str, entry: CachedResult) -> None:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        elif len(self._entries) >= self.maxsize:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        self._entries[key] = entry
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def counters(self) -> dict:
+        return {
+            "size": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class SharedQueryCache:
+    """A cross-process cache client over ``multiprocessing.Manager``
+    proxies — the same get/put protocol as :class:`QueryCache`, so
+    :class:`CachedSolver` accepts either.
+
+    Entries live in the manager server process and are visible to every
+    worker; hit/miss counters are process-local (each worker reports its
+    own, the batch report sums them).  Eviction is FIFO-ish: when full,
+    the oldest inserted key goes.  Build one via :meth:`create` and ship
+    it to workers through the pool initializer.
+    """
+
+    def __init__(self, store, lock, maxsize: int = 4096):
+        self._store = store
+        self._lock = lock
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @classmethod
+    def create(cls, manager, maxsize: int = 4096) -> "SharedQueryCache":
+        return cls(manager.dict(), manager.Lock(), maxsize)
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def get(self, key: str) -> Optional[CachedResult]:
+        entry = self._store.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def put(self, key: str, entry: CachedResult) -> None:
+        with self._lock:
+            if key not in self._store and len(self._store) >= self.maxsize:
+                oldest = next(iter(self._store.keys()), None)
+                if oldest is not None:
+                    del self._store[oldest]
+                    self.evictions += 1
+            self._store[key] = entry
+
+    def counters(self) -> dict:
+        return {
+            "size": len(self._store),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class CachedSolver:
+    """Drop-in solver wrapper that memoizes definitive answers.
+
+    Satisfies the solver protocol the engine and CEGAR loop rely on
+    (``solve(formula) -> SolverResult``); per-instance ``hits``/``misses``
+    counters let each consumer report its own share of a shared cache's
+    traffic (e.g. one batch job among many on the same worker).
+
+    The inner ``solver`` may be anything with that protocol — a raw
+    :class:`Solver` or any backend from this package.
+    """
+
+    def __init__(
+        self,
+        solver: Optional[Solver] = None,
+        cache: Optional[QueryCache] = None,
+        stats: Optional[SolverStats] = None,
+    ):
+        self.solver = solver or Solver()
+        self.cache = cache if cache is not None else QueryCache()
+        self.stats = stats
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def timeout(self) -> float:
+        return self.solver.timeout
+
+    def solve(self, formula: Formula) -> SolverResult:
+        key, renaming = canonical_fingerprint(formula)
+        entry = self.cache.get(key)
+        if entry is not None:
+            self.hits += 1
+            if self.stats is not None:
+                self.stats.record_cache(hit=True)
+            return self._replay(entry, renaming)
+        self.misses += 1
+        if self.stats is not None:
+            self.stats.record_cache(hit=False)
+        result = self.solver.solve(formula)
+        if result.status != UNKNOWN:
+            self.cache.put(key, self._normalize(result, renaming))
+        return result
+
+    # -- model translation through the variable bijection -------------------
+
+    @staticmethod
+    def _normalize(
+        result: SolverResult, renaming: Dict[StrVar, str]
+    ) -> CachedResult:
+        """Restrict the model to the formula's variables and store it
+        under canonical names (internal solver-fresh variables never
+        escape to callers, so dropping them is safe)."""
+        if result.model is None:
+            return CachedResult(result.status, None)
+        assignment = tuple(
+            (canonical, result.model.assignment[var])
+            for var, canonical in renaming.items()
+            if var in result.model.assignment
+        )
+        return CachedResult(result.status, assignment)
+
+    @staticmethod
+    def _replay(
+        entry: CachedResult, renaming: Dict[StrVar, str]
+    ) -> SolverResult:
+        if entry.assignment is None:
+            return SolverResult(entry.status, None)
+        inverse = {canonical: var for var, canonical in renaming.items()}
+        model = Model(
+            {
+                inverse[name]: value
+                for name, value in entry.assignment
+                if name in inverse
+            }
+        )
+        return SolverResult(entry.status, model)
+
+
+class CachedBackend(CachedSolver):
+    """Memoizing decorator over any inner backend (``cached:<inner>``).
+
+    Adds the backend-API surface on top of :class:`CachedSolver`: a
+    ``name`` derived from the inner backend, recursive ``bind_stats``,
+    and per-backend outcome/latency tallies.  The tally sink is kept
+    deliberately distinct from ``CachedSolver.stats`` (which records
+    cache hit/miss events for consumers that track their own share of a
+    shared cache).
+    """
+
+    def __init__(
+        self,
+        inner,
+        cache: Optional[QueryCache] = None,
+        maxsize: int = 4096,
+        tally_stats: Optional[SolverStats] = None,
+        stats: Optional[SolverStats] = None,
+    ):
+        super().__init__(
+            inner,
+            cache=cache if cache is not None else QueryCache(maxsize=maxsize),
+            stats=stats if stats is not None else tally_stats,
+        )
+        self.tally_stats = tally_stats
+
+    @property
+    def name(self) -> str:
+        return f"cached:{getattr(self.solver, 'name', 'native')}"
+
+    def bind_stats(self, stats: SolverStats) -> None:
+        if self.tally_stats is None:
+            self.tally_stats = stats
+        if self.stats is None:
+            self.stats = stats  # hit/miss events reach cache_summary()
+        binder = getattr(self.solver, "bind_stats", None)
+        if callable(binder):
+            binder(stats)
+
+    def solve(self, formula: Formula) -> SolverResult:
+        started = perf_counter()
+        result = super().solve(formula)
+        if self.tally_stats is not None:
+            self.tally_stats.record_backend(
+                self.name, result.status, perf_counter() - started
+            )
+        return result

@@ -1,0 +1,189 @@
+"""Portfolio backend: race member backends, first definitive answer wins.
+
+The soundness argument mirrors the layering in Algorithm 1 (and the
+abstract-interpretation framing of Tiraboschi et al.): every member is
+individually sound — SAT comes with a validated model, UNSAT is
+definitive, UNKNOWN is always allowed — so whichever member answers
+first with a definitive verdict can be returned without consulting the
+rest.  Two invariants are enforced:
+
+- **UNKNOWN never masks a definitive answer** among the members racing
+  a query: the race keeps waiting until either some participant is
+  definitive or *every* participant has come back UNKNOWN (or failed).
+  Participation is single-flight per member (see ``_inflight``): a
+  member still busy with an abandoned straggler from an earlier query
+  sits the new query out, so a consistently-slower member (e.g. a
+  subprocess racing an in-process solver) contributes only to the
+  queries it can keep up with — the portfolio's answer is then the
+  best among the members that ran, never worse than them.
+- **Disagreeing definitive answers raise loudly.**  If two members
+  observably return SAT and UNSAT for the same formula, that is a
+  soundness bug somewhere and :class:`BackendDisagreement` is raised
+  instead of silently picking a winner.  After the first definitive
+  answer the race only waits ``agreement_grace`` seconds for
+  stragglers — racing would be pointless if it always joined the
+  slowest member — so a disagreement with a much slower member can go
+  unobserved by construction; the grace window is the knob.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
+from time import monotonic, perf_counter
+from typing import Optional, Sequence, Tuple
+
+from repro.constraints.formulas import Formula
+from repro.solver.core import SAT, SolverResult, UNKNOWN, UNSAT
+from repro.solver.stats import SolverStats
+
+from repro.solver.backends.base import (
+    BackendDisagreement,
+    BackendError,
+    SolverBackend,
+)
+
+
+class PortfolioBackend(SolverBackend):
+    """``portfolio:a+b+...`` — thread-race complementary backends."""
+
+    def __init__(
+        self,
+        members: Sequence[object],
+        *,
+        timeout: Optional[float] = None,
+        agreement_grace: float = 0.05,
+        stats: Optional[SolverStats] = None,
+    ):
+        super().__init__(stats)
+        self.members = list(members)
+        if not self.members:
+            raise BackendError("portfolio needs at least one member")
+        self.timeout = timeout
+        self.agreement_grace = agreement_grace
+        self.name = "portfolio:" + "+".join(
+            getattr(m, "name", type(m).__name__) for m in self.members
+        )
+        #: One long-lived executor per backend (not per query): a DSE
+        #: run issues hundreds of queries and thread spawn-per-solve
+        #: would dominate.
+        self._pool: Optional[ThreadPoolExecutor] = None
+        #: Single-flight guard, one slot per member.  Member backends
+        #: (like :class:`Solver` itself) are not re-entrant — a second
+        #: concurrent ``solve`` would race their per-query state — so a
+        #: member whose abandoned straggler from an earlier query is
+        #: still running simply sits this query out.  That also bounds
+        #: in-flight work to one task per member: stragglers can never
+        #: accumulate and starve later queries.
+        self._inflight: list = [None] * len(self.members)
+
+    def bind_stats(self, stats: SolverStats) -> None:
+        super().bind_stats(stats)
+        for member in self.members:
+            binder = getattr(member, "bind_stats", None)
+            if callable(binder):
+                binder(stats)
+
+    def solve(self, formula: Formula) -> SolverResult:
+        started = perf_counter()
+        try:
+            result = self._race(formula)
+        except BackendDisagreement:
+            self._tally("error", perf_counter() - started)
+            raise
+        self._tally(result.status, perf_counter() - started)
+        return result
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=len(self.members),
+                thread_name_prefix="portfolio",
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Release the worker threads (idempotent; mostly for tests)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def _race(self, formula: Formula) -> SolverResult:
+        deadline = (
+            monotonic() + self.timeout if self.timeout is not None else None
+        )
+        pool = self._ensure_pool()
+        futures = {}
+        for index, member in enumerate(self.members):
+            straggler = self._inflight[index]
+            if straggler is not None and not straggler.done():
+                continue  # still busy with an abandoned earlier query
+            future = pool.submit(member.solve, formula)
+            self._inflight[index] = future
+            futures[future] = member
+        if not futures:
+            # Every member is busy with a straggler (only possible for
+            # concurrent callers; a sequential caller always finds the
+            # member that answered its previous query free).
+            return SolverResult(UNKNOWN)
+        # Stragglers are abandoned, not joined: they run out their own
+        # timeouts on their member's slot and their late results are
+        # discarded with the future.
+        definitive = self._await_definitive(futures, deadline)
+        if definitive is None:
+            return SolverResult(UNKNOWN)
+        return definitive
+
+    def _await_definitive(
+        self, futures, deadline: Optional[float]
+    ) -> Optional[SolverResult]:
+        pending = set(futures)
+        while pending:
+            timeout = None
+            if deadline is not None:
+                timeout = max(0.0, deadline - monotonic())
+            done, pending = wait(
+                pending, timeout=timeout, return_when=FIRST_COMPLETED
+            )
+            if not done:  # overall portfolio timeout
+                return None
+            definitive = self._pick_definitive(done, futures)
+            if definitive is not None:
+                # Grace window: let near-simultaneous members land so a
+                # contradiction is caught rather than raced past.
+                done2, _ = wait(pending, timeout=self.agreement_grace)
+                self._pick_definitive(done2, futures, against=definitive)
+                return definitive
+        return None
+
+    def _pick_definitive(
+        self, done, futures, against: Optional[SolverResult] = None
+    ) -> Optional[SolverResult]:
+        """Scan finished futures; raise on contradiction, return the
+        first definitive result (respecting an earlier ``against``)."""
+        best: Optional[Tuple[SolverResult, object]] = None
+        if against is not None:
+            best = (against, None)
+        for future in done:
+            result = self._result_of(future)
+            if result is None or result.status not in (SAT, UNSAT):
+                continue
+            if best is not None and result.status != best[0].status:
+                raise BackendDisagreement(
+                    f"{self.name}: members disagree on the same formula — "
+                    f"{best[0].status} vs {result.status} "
+                    f"(from {getattr(futures[future], 'name', '?')})"
+                )
+            if best is None:
+                best = (result, futures[future])
+        if best is None or best[1] is None:
+            return None
+        return best[0]
+
+    @staticmethod
+    def _result_of(future: Future) -> Optional[SolverResult]:
+        exc = future.exception()
+        if exc is not None:
+            if isinstance(exc, BackendDisagreement):
+                raise exc  # nested portfolios stay loud
+            return None  # a crashed member is just UNKNOWN
+        return future.result()

@@ -1,0 +1,344 @@
+"""SMT-LIB subprocess backend: drive an external string solver (z3/cvc5).
+
+This is the paper's actual dispatch target: ExpoSE hands the
+capturing-language constraints to Z3's string theory.  The backend
+
+1. renders the query with the existing SMT-LIB printer in *guarded*
+   mode (``to_smtlib(..., guarded=True, get_values=True)`` — the exact
+   ⊥-aware encoding, so an external ``unsat`` is sound),
+2. runs the solver binary on a temp file with a wall-clock timeout,
+3. parses ``sat``/``unsat``/``unknown`` plus the ``(get-value ...)``
+   model back into our :class:`~repro.solver.model.Model`, mapping
+   ``|v.def| = false`` to ⊥,
+4. **re-validates** any SAT model against the formula with the native
+   evaluator before trusting it — a model that does not check out
+   degrades to UNKNOWN instead of poisoning DSE.
+
+Every failure mode — missing binary, timeout, crash, a formula outside
+the classical SMT-LIB regex fragment (lookaheads, backreferences), or
+unparsable output — degrades to UNKNOWN, which is always sound here.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import shlex
+import shutil
+import subprocess
+import tempfile
+from time import perf_counter
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.constraints.formulas import Formula, to_nnf
+from repro.constraints.printer import to_smtlib, _variables
+from repro.constraints.terms import UNDEF
+from repro.solver.core import SAT, SolverResult, UNKNOWN, UNSAT, _holds
+from repro.solver.model import Model
+from repro.solver.stats import SolverStats
+
+from repro.solver.backends.base import SolverBackend
+
+
+def _z3_argv(command: List[str], timeout: float) -> List[str]:
+    return command + ["-smt2", f"-T:{max(1, math.ceil(timeout))}"]
+
+
+def _cvc_argv(command: List[str], timeout: float) -> List[str]:
+    return command + [
+        "--lang", "smt2",
+        "--strings-exp",
+        f"--tlimit={max(1000, int(timeout * 1000))}",
+    ]
+
+
+#: Known solver command lines, keyed by executable basename.  Anything
+#: else runs generically as ``<command> <script-file>``.
+_ARGV_TEMPLATES = {
+    "z3": _z3_argv,
+    "cvc5": _cvc_argv,
+    "cvc4": _cvc_argv,
+}
+
+
+class SmtLibBackend(SolverBackend):
+    """``smtlib:<command>`` — an external SMT-LIB 2.6 string solver."""
+
+    def __init__(
+        self,
+        command: str = "z3",
+        *,
+        timeout: float = 5.0,
+        stats: Optional[SolverStats] = None,
+    ):
+        super().__init__(stats)
+        self.command = command or "z3"
+        self.timeout = timeout
+        self.name = f"smtlib:{self.command}"
+        self._argv_prefix = shlex.split(self.command)
+        self._available: Optional[bool] = None
+        #: Why the last query degraded to UNKNOWN (diagnostics only).
+        self.last_error: Optional[str] = None
+
+    @property
+    def available(self) -> bool:
+        """Whether the solver binary resolves on PATH.
+
+        Probed once per backend instance: a DSE run asks hundreds of
+        times on the hot solve path, and binaries do not appear
+        mid-run.
+        """
+        if self._available is None:
+            self._available = bool(self._argv_prefix) and (
+                shutil.which(self._argv_prefix[0]) is not None
+            )
+        return self._available
+
+    # -- solving -------------------------------------------------------------
+
+    def solve(self, formula: Formula) -> SolverResult:
+        started = perf_counter()
+        result = self._solve(formula)
+        self._tally(result.status, perf_counter() - started)
+        return result
+
+    def _solve(self, formula: Formula) -> SolverResult:
+        self.last_error = None
+        # Availability first: without a binary there is no point paying
+        # for script rendering on every query of a DSE run.
+        if not self.available:
+            return self._unknown(
+                f"solver binary {self._argv_prefix[0]!r} not installed"
+            )
+        try:
+            script = to_smtlib(formula, guarded=True, get_values=True)
+        except TypeError as exc:
+            # Lookaheads/backreferences/anchors have no classical
+            # SMT-LIB regex form; the native solver owns those queries.
+            return self._unknown(f"unprintable formula: {exc}")
+        output = self._run_subprocess(script)
+        if output is None:
+            return SolverResult(UNKNOWN)  # last_error already set
+        status, values = parse_solver_output(output)
+        if status == UNSAT:
+            # Sound thanks to the guarded (exact) encoding: every native
+            # model corresponds to an SMT model, so SMT-unsat ⟹ unsat.
+            return SolverResult(UNSAT)
+        if status != SAT:
+            return self._unknown(f"solver answered {status!r}")
+        model = build_model(formula, values)
+        try:
+            validated = _holds(to_nnf(formula), model)
+        except Exception as exc:  # defensive: never crash on bad output
+            return self._unknown(f"model evaluation failed: {exc}")
+        if not validated:
+            return self._unknown("solver model failed native re-validation")
+        return SolverResult(SAT, model)
+
+    def _run_subprocess(self, script: str) -> Optional[str]:
+        template = _ARGV_TEMPLATES.get(
+            os.path.basename(self._argv_prefix[0])
+        )
+        if template is not None:
+            argv = template(list(self._argv_prefix), self.timeout)
+        else:
+            argv = list(self._argv_prefix)
+        path = None
+        try:
+            fd, path = tempfile.mkstemp(suffix=".smt2", text=True)
+            with os.fdopen(fd, "w") as handle:
+                handle.write(script + "\n")
+            completed = subprocess.run(
+                argv + [path],
+                capture_output=True,
+                text=True,
+                timeout=self.timeout + 1.0,
+            )
+        except subprocess.TimeoutExpired:
+            self.last_error = f"timed out after {self.timeout}s"
+            return None
+        except OSError as exc:
+            self.last_error = f"could not run {argv[0]!r}: {exc}"
+            return None
+        finally:
+            if path is not None:
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+        # Solvers exit nonzero on errors but may still have printed a
+        # verdict (z3 does for get-value after unsat); parse regardless.
+        return completed.stdout
+
+    def _unknown(self, reason: str) -> SolverResult:
+        self.last_error = reason
+        return SolverResult(UNKNOWN)
+
+
+# -- output parsing -----------------------------------------------------------
+
+
+def parse_solver_output(text: str) -> Tuple[str, Dict[str, object]]:
+    """Extract the verdict and the ``(get-value ...)`` bindings.
+
+    Returns ``(status, {symbol: value})`` where values are strings or
+    booleans.  Error s-expressions and unparsable trailing output are
+    ignored — a missing model simply fails re-validation later.
+    """
+    status = UNKNOWN
+    values: Dict[str, object] = {}
+    for node in _read_sexprs(text):
+        if isinstance(node, str):
+            if node in (SAT, UNSAT, UNKNOWN) and not isinstance(node, _Str):
+                status = str(node)
+            continue
+        # ((sym val) (sym val) ...) — one get-value answer.
+        for pair in node:
+            if (
+                isinstance(pair, list)
+                and len(pair) == 2
+                and isinstance(pair[0], str)
+            ):
+                values[pair[0]] = pair[1]
+    return status, values
+
+
+def build_model(formula: Formula, values: Dict[str, object]) -> Model:
+    """Reconstruct a :class:`Model` from parsed ``get-value`` bindings.
+
+    ``|v.def| = false`` maps to ⊥; a variable with no binding defaults
+    to the defined empty string (matching the native model's default).
+    """
+    model = Model()
+    for var in _variables(formula):
+        defined = values.get(var.name + ".def", True)
+        if defined in ("false", False):
+            model.set(var, UNDEF)
+            continue
+        value = values.get(var.name, "")
+        model.set(var, value if isinstance(value, str) else "")
+    return model
+
+
+def unescape_smtlib_string(body: str) -> str:
+    """Decode the inside of an SMT-LIB 2.6 string literal.
+
+    Handles the ``""`` quote escape and both character-escape forms of
+    the strings theory: ``\\u{XH...}`` and ``\\uXXXX``.  This is the
+    round-trip inverse of the printer's ``_string_literal``.
+    """
+    out: List[str] = []
+    i = 0
+    while i < len(body):
+        ch = body[i]
+        if ch == '"':
+            # Only "" appears inside a literal's body.
+            out.append('"')
+            i += 2
+            continue
+        if ch == "\\" and body.startswith("\\u{", i):
+            end = body.find("}", i + 3)
+            if end != -1:
+                hex_digits = body[i + 3:end]
+                try:
+                    out.append(chr(int(hex_digits, 16)))
+                    i = end + 1
+                    continue
+                except ValueError:
+                    pass
+        if ch == "\\" and body.startswith("\\u", i) and len(body) >= i + 6:
+            hex_digits = body[i + 2:i + 6]
+            try:
+                out.append(chr(int(hex_digits, 16)))
+                i += 6
+                continue
+            except ValueError:
+                pass
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+SExpr = Union[str, List["SExpr"]]
+
+
+class _Str(str):
+    """A token that came from a string literal (never punctuation)."""
+
+
+def _read_sexprs(text: str) -> List[SExpr]:
+    """Tolerant s-expression reader for solver stdout.
+
+    Atoms are bare symbols, ``|piped symbols|`` (pipes stripped) and
+    string literals (decoded).  Anything that fails to balance at the
+    end is dropped.
+    """
+    tokens = _tokenize(text)
+    out: List[SExpr] = []
+    stack: List[List[SExpr]] = []
+    for token in tokens:
+        if isinstance(token, _Str):
+            if stack:
+                stack[-1].append(token)
+            else:
+                out.append(token)
+        elif token == "(":
+            stack.append([])
+        elif token == ")":
+            if not stack:
+                continue  # stray close: skip
+            done = stack.pop()
+            if stack:
+                stack[-1].append(done)
+            else:
+                out.append(done)
+        else:
+            if stack:
+                stack[-1].append(token)
+            else:
+                out.append(token)
+    return out
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch in "()":
+            tokens.append(ch)
+            i += 1
+        elif ch == '"':
+            j = i + 1
+            body: List[str] = []
+            while j < n:
+                if text[j] == '"':
+                    if j + 1 < n and text[j + 1] == '"':
+                        body.append('""')
+                        j += 2
+                        continue
+                    break
+                body.append(text[j])
+                j += 1
+            tokens.append(_Str(unescape_smtlib_string("".join(body))))
+            i = j + 1
+        elif ch == "|":
+            j = text.find("|", i + 1)
+            if j == -1:
+                break
+            tokens.append(text[i + 1:j])
+            i = j + 1
+        elif ch == ";":
+            # comment to end of line
+            j = text.find("\n", i)
+            i = n if j == -1 else j + 1
+        elif ch.isspace():
+            i += 1
+        else:
+            j = i
+            while j < n and not text[j].isspace() and text[j] not in '()|";':
+                j += 1
+            tokens.append(text[i:j])
+            i = j
+    return tokens

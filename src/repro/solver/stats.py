@@ -8,10 +8,11 @@ experiments read from.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 
 @dataclass
@@ -29,6 +30,58 @@ class QueryRecord:
 
 
 @dataclass
+class BackendTally:
+    """Outcome/latency counters for one solver backend (by spec name)."""
+
+    queries: int = 0
+    sat: int = 0
+    unsat: int = 0
+    unknown: int = 0
+    errors: int = 0
+    seconds: float = 0.0
+
+    @property
+    def definitive(self) -> int:
+        return self.sat + self.unsat
+
+    @property
+    def definitive_rate(self) -> float:
+        return self.definitive / self.queries if self.queries else 0.0
+
+    def add(self, status: str, seconds: float) -> None:
+        self.queries += 1
+        self.seconds += seconds
+        if status == "sat":
+            self.sat += 1
+        elif status == "unsat":
+            self.unsat += 1
+        elif status == "error":
+            self.errors += 1
+        else:
+            self.unknown += 1
+
+    def as_dict(self) -> dict:
+        return {
+            "queries": self.queries,
+            "sat": self.sat,
+            "unsat": self.unsat,
+            "unknown": self.unknown,
+            "errors": self.errors,
+            "seconds": self.seconds,
+            "definitive_rate": self.definitive_rate,
+        }
+
+    def merge_dict(self, other: dict) -> None:
+        """Fold a JSON-shaped tally (``as_dict`` output) into this one."""
+        self.queries += other.get("queries", 0)
+        self.sat += other.get("sat", 0)
+        self.unsat += other.get("unsat", 0)
+        self.unknown += other.get("unknown", 0)
+        self.errors += other.get("errors", 0)
+        self.seconds += other.get("seconds", 0.0)
+
+
+@dataclass
 class SolverStats:
     """Aggregated statistics across queries (reset per experiment)."""
 
@@ -37,6 +90,15 @@ class SolverStats:
     #: :class:`repro.service.cache.CachedSolver`).
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Per-backend outcome/latency tallies, keyed by backend name
+    #: (populated when solving through ``repro.solver.backends``).
+    backend_tallies: Dict[str, BackendTally] = field(default_factory=dict)
+    #: Backend tallies are the one path mutated from worker threads (a
+    #: portfolio's members — including abandoned stragglers finishing
+    #: late — all share this object), so they get their own lock.
+    _tally_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def record(self, record: QueryRecord) -> None:
         self.queries.append(record)
@@ -46,6 +108,21 @@ class SolverStats:
             self.cache_hits += 1
         else:
             self.cache_misses += 1
+
+    def record_backend(self, name: str, status: str, seconds: float) -> None:
+        with self._tally_lock:
+            tally = self.backend_tallies.get(name)
+            if tally is None:
+                tally = self.backend_tallies[name] = BackendTally()
+            tally.add(status, seconds)
+
+    def backend_summary(self) -> Dict[str, dict]:
+        """JSON-shaped per-backend tallies (for job payloads/reports)."""
+        with self._tally_lock:
+            return {
+                name: tally.as_dict()
+                for name, tally in sorted(self.backend_tallies.items())
+            }
 
     def cache_summary(self) -> dict:
         """Hit/miss counters of the solver query cache, if one was used."""

@@ -18,6 +18,33 @@ class TestSolveCommand:
     def test_solve_unsat(self, capsys):
         assert main(["solve", "^(?=b)a$"]) == 1
 
+    def test_solve_with_portfolio_backend(self, capsys):
+        # smtlib degrades to UNKNOWN without a binary; native still wins.
+        assert main(
+            ["solve", r"(a+)b", "--backend", "portfolio:native+smtlib"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "backend: portfolio:native+smtlib" in out
+        assert "input:" in out
+
+    def test_solve_with_cached_backend(self, capsys):
+        assert main(["solve", "^a+$", "--negate",
+                     "--backend", "cached:native"]) == 0
+        assert "input:" in capsys.readouterr().out
+
+    def test_solve_with_bad_backend_spec(self, capsys):
+        assert main(["solve", "a", "--backend", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown solver backend" in err
+
+    def test_analyze_with_bad_backend_spec(self, tmp_path, capsys):
+        program = tmp_path / "p.js"
+        program.write_text("var x = 1;\n")
+        assert main(
+            ["analyze", str(program), "--backend", "native?nope=1"]
+        ) == 2
+        assert "error:" in capsys.readouterr().err
+
 
 class TestExecCommand:
     def test_match(self, capsys):
@@ -91,6 +118,24 @@ class TestBatchCommand:
 
     def test_batch_without_input_errors(self, capsys):
         assert main(["batch"]) == 2
+
+    def test_batch_with_backend_spec(self, tmp_path, capsys):
+        program = tmp_path / "p.js"
+        program.write_text(
+            'var s = symbol("s", "");\n'
+            'if (/^ab?$/.test(s)) { 1; } else { 2; }\n'
+        )
+        code = main(
+            [
+                "batch", str(program),
+                "--workers", "0", "--max-tests", "6",
+                "--time-budget", "5", "--backend", "cached:native",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Solver backends" in out
+        assert "cached:native" in out
 
 
 class TestSurveyCommand:

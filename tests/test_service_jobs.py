@@ -35,6 +35,27 @@ class TestSpecs:
         with pytest.raises(ValueError, match="unknown job kind"):
             job_from_spec({"kind": "nope", "job_id": "x"})
 
+    def test_backend_field_survives_the_spec_round_trip(self):
+        jobs = [
+            AnalyzeJob(job_id="a", source=PROGRAM,
+                       backend="portfolio:native+smtlib"),
+            SolveJob(job_id="s", pattern="a+b", backend="cached:native"),
+            SurveyJob(job_id="v", package_files=[],
+                      backend="native?timeout=1"),
+        ]
+        for job in jobs:
+            spec = json.loads(json.dumps(job.to_spec()))
+            rebuilt = job_from_spec(spec)
+            assert rebuilt == job
+            assert rebuilt.backend == job.backend
+
+    def test_specs_without_backend_default_to_none(self):
+        # Old (pre-backend) job specs must still rebuild.
+        job = job_from_spec(
+            {"kind": "solve", "job_id": "s", "pattern": "a"}
+        )
+        assert job.backend is None
+
     def test_result_round_trip(self):
         result = JobResult(
             job_id="a", kind="solve", status="ok", payload={"found": True}
@@ -76,6 +97,53 @@ class TestSolveJob:
         result = SolveJob(job_id="s", pattern="^(?=b)a$").run()
         assert result.status == "ok"
         assert not result.payload["found"]
+
+
+class TestDefaultSolverFactory:
+    def test_legacy_native_options_apply_structurally(self):
+        from repro.service.jobs import default_solver_factory
+
+        backend = default_solver_factory(timeout=2.0, max_word_length=7)
+        assert backend.timeout == 2.0
+        assert backend.solver.max_word_length == 7
+
+    def test_options_with_explicit_backend_raise_instead_of_dropping(self):
+        from repro.service.jobs import default_solver_factory
+
+        with pytest.raises(TypeError, match="cannot be combined"):
+            default_solver_factory(
+                backend="smtlib:z3", max_word_length=7
+            )
+
+
+class TestJobBackends:
+    def test_solve_job_runs_on_every_backend_spec(self):
+        for spec in ("native", "cached:native", "portfolio:native+smtlib"):
+            result = SolveJob(
+                job_id="s", pattern="(a+)b", backend=spec
+            ).run()
+            assert result.status == "ok"
+            assert result.payload["found"]
+            assert result.payload["backend"] == spec
+            assert result.payload["backend_tallies"]
+
+    def test_analyze_job_reports_backend_tallies(self):
+        result = AnalyzeJob(
+            job_id="a",
+            source=PROGRAM,
+            max_tests=6,
+            time_budget=5.0,
+            backend="cached:native",
+        ).run()
+        assert result.status == "ok"
+        tallies = result.payload["backend_tallies"]
+        assert "cached:native" in tallies
+        assert tallies["cached:native"]["queries"] > 0
+
+    def test_bad_backend_spec_is_a_job_error_not_a_crash(self):
+        result = SolveJob(job_id="s", pattern="a", backend="bogus").run()
+        assert result.status == "error"
+        assert "unknown solver backend" in result.error
 
 
 class TestSurveyJob:

@@ -5,8 +5,10 @@ from repro.service import (
     BatchRunner,
     JobResult,
     SurveyJob,
+    format_backend_table,
     format_batch_report,
     merge_analyze,
+    merge_backend_tallies,
     merge_solve,
     merge_survey,
 )
@@ -76,6 +78,60 @@ class TestMergeSolve:
         assert merged["unsolved"] == 1
         assert merged["failed_jobs"] == 1
         assert merged["solver_queries"] == 3
+
+
+class TestMergeBackendTallies:
+    def _result(self, job_id, tallies, status="ok"):
+        return JobResult(
+            job_id=job_id, kind="solve", status=status,
+            payload={"backend_tallies": tallies},
+        )
+
+    def test_per_backend_sums_across_jobs(self):
+        tally = {
+            "queries": 3, "sat": 2, "unsat": 1, "unknown": 0,
+            "errors": 0, "seconds": 0.5, "definitive_rate": 1.0,
+        }
+        other = {
+            "queries": 1, "sat": 0, "unsat": 0, "unknown": 1,
+            "errors": 0, "seconds": 0.2, "definitive_rate": 0.0,
+        }
+        merged = merge_backend_tallies(
+            [
+                self._result("a", {"native": tally}),
+                self._result("b", {"native": tally, "smtlib:z3": other}),
+                self._result("c", {"native": tally}, status="error"),
+            ]
+        )
+        assert merged["native"]["queries"] == 6
+        assert merged["native"]["sat"] == 4
+        assert merged["native"]["definitive_rate"] == 1.0
+        assert merged["smtlib:z3"]["unknown"] == 1
+        assert merged["smtlib:z3"]["definitive_rate"] == 0.0
+
+    def test_jobs_without_tallies_are_fine(self):
+        assert merge_backend_tallies(
+            [JobResult(job_id="a", kind="survey", status="ok")]
+        ) == {}
+
+    def test_table_has_one_row_per_backend(self):
+        merged = merge_backend_tallies(
+            [
+                self._result(
+                    "a",
+                    {
+                        "native": {
+                            "queries": 2, "sat": 1, "unsat": 1,
+                            "unknown": 0, "errors": 0, "seconds": 0.1,
+                        }
+                    },
+                )
+            ]
+        )
+        table = format_backend_table(merged)
+        assert "Backend" in table and "Defin.%" in table
+        assert "native" in table
+        assert "100.0" in table
 
 
 class TestMergeSurvey:
