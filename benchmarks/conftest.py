@@ -5,11 +5,15 @@ are printed (visible with ``pytest benchmarks/ --benchmark-only -s``) and
 written to ``benchmarks/out/`` so EXPERIMENTS.md can quote them.
 """
 
+import json
 import os
 
 import pytest
 
 OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+#: Quick mode for the CI perf-smoke job: fewer repetitions, same shape.
+PERF_SMOKE = os.environ.get("PERF_SMOKE") == "1"
 
 
 def write_result(name: str, content: str) -> None:
@@ -17,6 +21,21 @@ def write_result(name: str, content: str) -> None:
     path = os.path.join(OUT_DIR, name)
     with open(path, "w") as f:
         f.write(content + "\n")
+
+
+def update_json_result(name: str, section: str, data: dict) -> None:
+    """Merge one benchmark's numbers into a JSON trajectory file."""
+    os.makedirs(OUT_DIR, exist_ok=True)
+    path = os.path.join(OUT_DIR, name)
+    try:
+        with open(path) as f:
+            merged = json.load(f)
+    except (OSError, ValueError):
+        merged = {}
+    merged[section] = data
+    with open(path, "w") as f:
+        json.dump(merged, f, indent=2)
+        f.write("\n")
 
 
 @pytest.fixture
@@ -27,3 +46,19 @@ def record_table():
         write_result(name, content)
 
     return _record
+
+
+@pytest.fixture
+def clean_automata():
+    """A pristine automata cache before *and* after the benchmark.
+
+    The canonical way for benchmarks to get cold-compilation state:
+    resets node caches, the fingerprint interner, and detaches any
+    on-disk store handle (re-attach inside the benchmark when the disk
+    path is part of the measurement).
+    """
+    from repro.automata import clear_caches
+
+    clear_caches()
+    yield
+    clear_caches()

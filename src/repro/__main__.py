@@ -11,7 +11,10 @@ Commands:
 
 ``solve``/``analyze``/``batch`` accept ``--backend SPEC`` to pick the
 solver backend (``native``, ``smtlib:z3``, ``portfolio:native+smtlib``,
-``cached:native``, ...) — see :mod:`repro.solver.backends`.
+``cached:native``, ...) — see :mod:`repro.solver.backends` — and
+``--automata-cache DIR`` to persist compiled DFAs across processes and
+invocations; ``batch --dedup`` additionally coalesces jobs posing
+identical canonical queries into single-flight executions.
 
 - ``survey [-n N]`` — regenerate the §7.1 survey tables;
 - ``smtlib PATTERN [-f FLAGS]`` — print the membership model as SMT-LIB;
@@ -43,6 +46,10 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 
     if _check_backend_spec(args.backend):
         return 2
+    if args.automata_cache:
+        from repro.automata import configure_automata_cache
+
+        configure_automata_cache(args.automata_cache)
     if args.backend:
         print(f"backend: {args.backend}")
     if args.negate:
@@ -97,6 +104,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         max_tests=args.max_tests,
         time_budget=args.time_budget,
         backend=args.backend,
+        automata_cache=args.automata_cache,
     )
     print(f"tests run:   {result.tests_run}")
     print(f"coverage:    {result.coverage:.1%} "
@@ -154,6 +162,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             use_cache=not args.no_cache,
             cache_size=args.cache_size,
             shared_cache=args.shared_cache,
+            automata_cache=args.automata_cache,
+            dedup=args.dedup,
         )
     )
     report = runner.run(jobs)
@@ -220,12 +230,19 @@ def build_parser() -> argparse.ArgumentParser:
         "solver backend spec: native, native?timeout=2, smtlib:z3, "
         "portfolio:native+smtlib, cached:native, ... (nestable)"
     )
+    automata_cache_help = (
+        "directory of the persistent automata compilation cache "
+        "(compiled DFAs are reused across processes and invocations)"
+    )
 
     solve = sub.add_parser("solve", help="find a (non-)matching input")
     solve.add_argument("pattern")
     solve.add_argument("-f", "--flags", default="")
     solve.add_argument("--negate", action="store_true")
     solve.add_argument("--backend", default=None, help=backend_help)
+    solve.add_argument(
+        "--automata-cache", default=None, help=automata_cache_help
+    )
     solve.set_defaults(fn=_cmd_solve)
 
     exec_ = sub.add_parser("exec", help="concrete ES6 exec")
@@ -244,6 +261,9 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--max-tests", type=int, default=50)
     analyze.add_argument("--time-budget", type=float, default=30.0)
     analyze.add_argument("--backend", default=None, help=backend_help)
+    analyze.add_argument(
+        "--automata-cache", default=None, help=automata_cache_help
+    )
     analyze.set_defaults(fn=_cmd_analyze)
 
     batch = sub.add_parser(
@@ -290,6 +310,15 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--max-tests", type=int, default=40)
     batch.add_argument("--time-budget", type=float, default=10.0)
     batch.add_argument("--backend", default=None, help=backend_help)
+    batch.add_argument(
+        "--automata-cache", default=None, help=automata_cache_help
+    )
+    batch.add_argument(
+        "--dedup",
+        action="store_true",
+        help="coalesce jobs posing identical canonical queries into "
+        "single-flight executions before dispatch",
+    )
     batch.add_argument("--json", help="also write the report as JSON")
     batch.set_defaults(fn=_cmd_batch)
 

@@ -8,11 +8,19 @@ candidate generation).
 """
 
 from repro.automata.build import NotRegularError, erase_captures, to_nfa
+from repro.automata.cache import (
+    AutomataInterner,
+    DfaDiskStore,
+    node_fingerprint,
+)
 from repro.automata.dfa import Dfa, determinize
+from repro.automata.lazy import LazyProduct, lazy_intersect_all
 from repro.automata.nfa import Nfa
 from repro.automata.ops import (
+    automata_cache_counters,
     clear_caches,
     complement_dfa_for,
+    configure_automata_cache,
     dfa_for,
     dfa_for_pattern,
     intersect_all,
@@ -22,18 +30,25 @@ from repro.automata.ops import (
 from repro.automata.visualize import to_dot
 
 __all__ = [
+    "AutomataInterner",
     "Dfa",
+    "DfaDiskStore",
+    "LazyProduct",
     "Nfa",
     "NotRegularError",
+    "automata_cache_counters",
     "clear_caches",
     "complement_dfa_for",
+    "configure_automata_cache",
     "determinize",
     "dfa_for",
     "dfa_for_pattern",
     "erase_captures",
     "intersect_all",
+    "lazy_intersect_all",
     "membership_witness",
     "nfa_for",
+    "node_fingerprint",
     "to_dot",
     "to_nfa",
 ]

@@ -8,11 +8,15 @@ model's non-membership constraints (§4.4) compile to.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.regex.charclass import CharSet, partition
 from repro.automata.nfa import Nfa
+
+#: Per-state step index: parallel sorted arrays (lows, highs, targets).
+_StateIndex = Tuple[List[int], List[int], List[int]]
 
 
 @dataclass
@@ -27,13 +31,38 @@ class Dfa:
     start: int
     accepts: FrozenSet[int]
     transitions: Dict[int, List[Tuple[CharSet, int]]]
+    #: Lazily-built per-state sorted-range index for :meth:`step` (bisect
+    #: over interval bounds instead of a linear label scan).  Views that
+    #: share ``transitions`` (complement, quotients) share the index too.
+    _step_index: Dict[int, _StateIndex] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     # -- core queries --------------------------------------------------------
 
+    def _state_index(self, state: int) -> _StateIndex:
+        index = self._step_index.get(state)
+        if index is None:
+            flat = [
+                (lo, hi, target)
+                for label, target in self.transitions[state]
+                for lo, hi in label.intervals
+            ]
+            flat.sort()
+            index = (
+                [lo for lo, _, _ in flat],
+                [hi for _, hi, _ in flat],
+                [target for _, _, target in flat],
+            )
+            self._step_index[state] = index
+        return index
+
     def step(self, state: int, ch: str) -> int:
-        for label, target in self.transitions[state]:
-            if ch in label:
-                return target
+        lows, highs, targets = self._state_index(state)
+        cp = ord(ch)
+        i = bisect_right(lows, cp) - 1
+        if i >= 0 and cp <= highs[i]:
+            return targets[i]
         raise AssertionError("complete DFA is missing a transition")
 
     def accepts_word(self, word: str) -> bool:
@@ -79,6 +108,7 @@ class Dfa:
             start=state,
             accepts=self.accepts,
             transitions=self.transitions,
+            _step_index=self._step_index,
         )
 
     def quotient_right(self, suffix: str) -> "Dfa":
@@ -93,6 +123,7 @@ class Dfa:
             start=self.start,
             accepts=accepts,
             transitions=self.transitions,
+            _step_index=self._step_index,
         )
 
     def _runs_to_accept(self, state: int, word: str) -> bool:
@@ -100,14 +131,67 @@ class Dfa:
             state = self.step(state, ch)
         return state in self.accepts
 
+    # -- totality ------------------------------------------------------------
+
+    def is_total(self) -> bool:
+        """True iff every state's outgoing labels cover the universe.
+
+        All construction paths in this package produce total DFAs, but
+        hand-built (or deserialized) automata may be partial — and
+        complementing a partial DFA by flipping accepting states is
+        unsound (words that "fall off" a missing transition are rejected
+        by both the automaton and its naive complement).
+        """
+        for state in range(self.n_states):
+            covered = CharSet.empty()
+            for label, _ in self.transitions.get(state, ()):
+                covered = covered.union(label)
+            if not covered.complement().is_empty():
+                return False
+        return True
+
+    def completed(self) -> "Dfa":
+        """A total DFA for the same language (self when already total).
+
+        Missing transitions are routed to a fresh absorbing dead state,
+        which makes the boolean algebra (complement in particular) sound
+        on partial automata.
+        """
+        gaps: Dict[int, CharSet] = {}
+        for state in range(self.n_states):
+            covered = CharSet.empty()
+            for label, _ in self.transitions.get(state, ()):
+                covered = covered.union(label)
+            missing = covered.complement()
+            if not missing.is_empty():
+                gaps[state] = missing
+        if not gaps:
+            return self
+        dead = self.n_states
+        transitions = {
+            state: list(self.transitions.get(state, ()))
+            for state in range(self.n_states)
+        }
+        for state, missing in gaps.items():
+            transitions[state].append((missing, dead))
+        transitions[dead] = [(CharSet.any(), dead)]
+        return Dfa(
+            n_states=self.n_states + 1,
+            start=self.start,
+            accepts=self.accepts,
+            transitions=transitions,
+        )
+
     # -- boolean algebra -----------------------------------------------------
 
     def complement(self) -> "Dfa":
+        base = self.completed()
         return Dfa(
-            n_states=self.n_states,
-            start=self.start,
-            accepts=frozenset(range(self.n_states)) - self.accepts,
-            transitions=self.transitions,
+            n_states=base.n_states,
+            start=base.start,
+            accepts=frozenset(range(base.n_states)) - base.accepts,
+            transitions=base.transitions,
+            _step_index=base._step_index,
         )
 
     def intersect(self, other: "Dfa") -> "Dfa":
@@ -148,27 +232,31 @@ class Dfa:
         alive = self.live_states()
         if self.start not in alive:
             return
-        frontier: List[Tuple[int, str]] = [(self.start, "")]
+        # Frontier prefixes are tuples of characters, joined only when a
+        # word is yielded — extending a string prefix per edge re-copies
+        # the whole prefix for every sampled character (quadratic in the
+        # word length across a BFS level).
+        frontier: List[Tuple[int, Tuple[str, ...]]] = [(self.start, ())]
         if self.start in self.accepts:
             yield ""
             emitted += 1
             if max_count is not None and emitted >= max_count:
                 return
         for _ in range(max_length):
-            next_frontier: List[Tuple[int, str]] = []
+            next_frontier: List[Tuple[int, Tuple[str, ...]]] = []
             for state, prefix in frontier:
                 for label, target in self.transitions[state]:
                     if target not in alive:
                         continue
                     for ch in label.sample_chars(samples_per_edge):
-                        word = prefix + ch
+                        extended = prefix + (ch,)
                         if target in self.accepts:
-                            yield word
+                            yield "".join(extended)
                             emitted += 1
                             if max_count is not None and emitted >= max_count:
                                 return
                         if len(next_frontier) < frontier_cap:
-                            next_frontier.append((target, word))
+                            next_frontier.append((target, extended))
             frontier = next_frontier
             if not frontier:
                 return

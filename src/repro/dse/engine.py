@@ -41,6 +41,10 @@ class EngineConfig:
     #: Solver backend spec (``repro.solver.backends.make_backend``) used
     #: when no explicit ``solver_factory``/``backend`` argument is given.
     backend: Optional[str] = None
+    #: Directory for the persistent automata compilation cache
+    #: (``repro.automata.configure_automata_cache``); ``None`` keeps the
+    #: in-memory interner only.  Process-global once attached.
+    automata_cache: Optional[str] = None
 
 
 @dataclass
@@ -134,6 +138,15 @@ class DseEngine:
     # -- main loop ---------------------------------------------------------
 
     def run(self) -> EngineResult:
+        from repro.automata import (
+            automata_cache_counters,
+            configure_automata_cache,
+        )
+        from repro.automata.cache import counters_delta
+
+        if self.config.automata_cache:
+            configure_automata_cache(self.config.automata_cache)
+        automata0 = automata_cache_counters()
         deadline = time.monotonic() + self.config.time_budget
         # The factory may hand us a (possibly shared) caching solver;
         # snapshot its counters so the run's stats report only its own
@@ -162,6 +175,9 @@ class DseEngine:
             self.result.stats.cache_misses += (
                 getattr(self._base_solver, "misses", 0) - misses0
             )
+        self.result.stats.record_automata(
+            counters_delta(automata0, automata_cache_counters())
+        )
         return self.result
 
     def _execute(self, inputs: Dict[str, str]) -> Trace:
@@ -278,6 +294,7 @@ def analyze(
     seed: int = 1909,
     solver_factory: Optional[Callable[..., Solver]] = None,
     backend: Optional[str] = None,
+    automata_cache: Optional[str] = None,
 ) -> EngineResult:
     """One-call analysis of a mini-JS program — the library entry point."""
     config = EngineConfig(
@@ -286,5 +303,6 @@ def analyze(
         time_budget=time_budget,
         seed=seed,
         backend=backend,
+        automata_cache=automata_cache,
     )
     return DseEngine(source, config, solver_factory=solver_factory).run()

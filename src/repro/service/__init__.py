@@ -27,6 +27,7 @@ from repro.service.report import (
     format_backend_table,
     format_batch_report,
     merge_analyze,
+    merge_automata_counters,
     merge_backend_tallies,
     merge_solve,
     merge_survey,
@@ -51,6 +52,7 @@ __all__ = [
     "format_batch_report",
     "job_from_spec",
     "merge_analyze",
+    "merge_automata_counters",
     "merge_backend_tallies",
     "merge_solve",
     "merge_survey",

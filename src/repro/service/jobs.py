@@ -26,6 +26,37 @@ from repro.solver.backends import make_backend
 from repro.solver.stats import SolverStats
 
 
+#: (pattern, flags, negate) → canonical query fingerprint (or None for
+#: unparsable patterns).  Duplicated solve jobs are the designed dedup
+#: case, and the scheduler computes keys serially before dispatch —
+#: byte-identical jobs must pay for one model build, not N.
+_SOLVE_FINGERPRINTS: Dict[tuple, Optional[str]] = {}
+
+
+def _solve_query_fingerprint(
+    pattern: str, flags: str, negate: bool
+) -> Optional[str]:
+    key = (pattern, flags, negate)
+    if key in _SOLVE_FINGERPRINTS:
+        return _SOLVE_FINGERPRINTS[key]
+    try:
+        from repro.constraints import StrVar
+        from repro.constraints.printer import canonical_fingerprint
+        from repro.model.api import SymbolicRegExp
+
+        model = SymbolicRegExp(pattern, flags).exec_model(
+            StrVar("input!dedup")
+        )
+        formula = model.no_match_formula if negate else model.match_formula
+        fingerprint, _ = canonical_fingerprint(formula)
+    except Exception:
+        fingerprint = None
+    if len(_SOLVE_FINGERPRINTS) >= 4096:
+        _SOLVE_FINGERPRINTS.clear()
+    _SOLVE_FINGERPRINTS[key] = fingerprint
+    return fingerprint
+
+
 def default_solver_factory(
     timeout: float = 20.0,
     backend: Optional[str] = None,
@@ -111,14 +142,26 @@ class _JobBase:
     job_id: str
 
     KIND = "?"
-    # Fallback so ``self.backend`` always resolves; subclasses declare
-    # the real (defaulted, spec-serialized) dataclass field.
+    # Fallbacks so ``self.backend``/``self.automata_cache`` always
+    # resolve; subclasses declare the real (defaulted, spec-serialized)
+    # dataclass fields.
     backend = None
+    automata_cache = None
 
     def to_spec(self) -> dict:
         spec = asdict(self)
         spec["kind"] = self.KIND
         return spec
+
+    def dedup_key(self) -> Optional[str]:
+        """A key under which this job may be coalesced with identical ones.
+
+        ``None`` means "never coalesce".  Two jobs returning the same
+        key must be *observationally identical*: same kind, same inputs,
+        same bounds, same backend — so the runner can execute one and
+        fan its result out to the rest (see ``runner.py``).
+        """
+        return None
 
     def run(
         self, solver_factory: Optional[Callable[..., object]] = None
@@ -163,8 +206,23 @@ class AnalyzeJob(_JobBase):
     time_budget: float = 10.0
     seed: int = 1909
     backend: Optional[str] = None
+    automata_cache: Optional[str] = None
 
     KIND = "analyze"
+
+    def dedup_key(self) -> Optional[str]:
+        """Analysis is deterministic in (source, config): exact-field key."""
+        return "|".join(
+            [
+                "analyze",
+                self.level,
+                str(self.max_tests),
+                str(self.time_budget),
+                str(self.seed),
+                str(self.backend),
+                self.source,
+            ]
+        )
 
     def _run(self, solver_factory) -> Dict[str, object]:
         from repro.dse.engine import DseEngine, EngineConfig
@@ -175,6 +233,7 @@ class AnalyzeJob(_JobBase):
             max_tests=self.max_tests,
             time_budget=self.time_budget,
             seed=self.seed,
+            automata_cache=self.automata_cache,
         )
 
         def engine_factory(timeout):
@@ -190,6 +249,7 @@ class AnalyzeJob(_JobBase):
             "name": self.path or self.job_id,
             "backend": self.backend or "native",
             "backend_tallies": result.stats.backend_summary(),
+            "automata_cache": result.stats.automata_summary(),
             "covered": len(result.covered),
             "statement_count": result.statement_count,
             "coverage": result.coverage,
@@ -217,16 +277,52 @@ class SolveJob(_JobBase):
     solver_timeout: float = 2.0
     refinement_limit: int = 20
     backend: Optional[str] = None
+    automata_cache: Optional[str] = None
 
     KIND = "solve"
 
+    def dedup_key(self) -> Optional[str]:
+        """Canonical *query* identity, not pattern-text identity.
+
+        Builds the job's initial solver formula and fingerprints it with
+        :func:`repro.constraints.printer.canonical_fingerprint` (variables
+        α-renamed, language-preserving regex normalisation), so jobs whose
+        pattern texts differ only in non-capturing syntax — or whose
+        models drew different fresh variable names — still coalesce.
+        Unparsable patterns return ``None`` and run individually (the
+        worker then reports the parse error per job).
+        """
+        fingerprint = _solve_query_fingerprint(
+            self.pattern, self.flags, self.negate
+        )
+        if fingerprint is None:
+            return None
+        return "|".join(
+            [
+                "solve",
+                str(self.negate),
+                str(self.solver_timeout),
+                str(self.refinement_limit),
+                str(self.backend),
+                fingerprint,
+            ]
+        )
+
     def _run(self, solver_factory) -> Dict[str, object]:
+        from repro.automata import (
+            automata_cache_counters,
+            configure_automata_cache,
+        )
+        from repro.automata.cache import counters_delta
         from repro.model.api import (
             find_matching_input,
             find_non_matching_input,
         )
         from repro.model.cegar import CegarSolver
 
+        if self.automata_cache:
+            configure_automata_cache(self.automata_cache)
+        automata0 = automata_cache_counters()
         stats = SolverStats()
         if self.backend is None:
             solver = solver_factory(timeout=self.solver_timeout)
@@ -268,6 +364,10 @@ class SolveJob(_JobBase):
         payload["solver_queries"] = len(stats.queries)
         payload["solver_seconds"] = stats.total_time()
         payload["backend_tallies"] = stats.backend_summary()
+        stats.record_automata(
+            counters_delta(automata0, automata_cache_counters())
+        )
+        payload["automata_cache"] = stats.automata_summary()
         return payload
 
 
@@ -282,7 +382,9 @@ class SurveyJob(_JobBase):
     """
 
     package_files: List[List[str]] = field(default_factory=list)
-    backend: Optional[str] = None  # unused (no solving), kept for spec shape
+    # Unused (no solving/compilation), kept for a uniform spec shape.
+    backend: Optional[str] = None
+    automata_cache: Optional[str] = None
 
     KIND = "survey"
 

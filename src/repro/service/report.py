@@ -22,8 +22,18 @@ class BatchReport:
     results: List[JobResult] = field(default_factory=list)
     wall_time: float = 0.0
     workers: int = 0
+    #: Scheduler-level dedup accounting: how many jobs were submitted
+    #: vs actually dispatched (the rest were coalesced onto identical
+    #: single-flight executions).  Zero/zero when the runner predates
+    #: the counters or dedup never ran.
+    jobs_submitted: int = 0
+    jobs_executed: int = 0
 
     # -- batch-level aggregates ---------------------------------------------
+
+    @property
+    def jobs_coalesced(self) -> int:
+        return max(0, self.jobs_submitted - self.jobs_executed)
 
     @property
     def jobs_per_minute(self) -> float:
@@ -63,6 +73,12 @@ class BatchReport:
                 "misses": self.cache_misses,
                 "hit_rate": self.cache_hit_rate,
             },
+            "dedup": {
+                "submitted": self.jobs_submitted,
+                "executed": self.jobs_executed,
+                "coalesced": self.jobs_coalesced,
+            },
+            "automata_cache": merge_automata_counters(self.results),
             "statuses": self.by_status(),
             "results": [r.to_spec() for r in self.results],
         }
@@ -146,6 +162,30 @@ def merge_solve(results: Sequence[JobResult]) -> dict:
             r.payload.get("solver_seconds", 0.0) for r in ok
         ),
     }
+
+
+# -- automata-cache merge -----------------------------------------------------
+
+
+def merge_automata_counters(results: Sequence[JobResult]) -> dict:
+    """Sum per-job automata compilation-cache counters.
+
+    Jobs that compiled anything carry ``payload["automata_cache"]``
+    (their run's share of the process-global interner counters);
+    coalesced duplicates carry an empty dict and contribute nothing.
+    """
+    totals = {"hits": 0, "misses": 0, "disk_hits": 0, "disk_stores": 0}
+    for result in results:
+        if result.status != "ok":
+            continue
+        counters = result.payload.get("automata_cache") or {}
+        for key in totals:
+            totals[key] += counters.get(key, 0)
+    lookups = totals["hits"] + totals["disk_hits"] + totals["misses"]
+    totals["hit_rate"] = (
+        (totals["hits"] + totals["disk_hits"]) / lookups if lookups else 0.0
+    )
+    return totals
 
 
 # -- backend merge ------------------------------------------------------------
@@ -252,6 +292,21 @@ def format_batch_report(report: BatchReport) -> str:
         f"{report.cache_misses} misses "
         f"({100 * report.cache_hit_rate:.1f}% hit rate)",
     ]
+    automata = merge_automata_counters(report.results)
+    if any(automata[key] for key in ("hits", "misses", "disk_hits")):
+        lines.append(
+            f"automata:    {automata['hits']} hits / "
+            f"{automata['misses']} compiles / "
+            f"{automata['disk_hits']} disk loads / "
+            f"{automata['disk_stores']} disk stores "
+            f"({100 * automata['hit_rate']:.1f}% hit rate)"
+        )
+    if report.jobs_submitted:
+        lines.append(
+            f"dedup:       {report.jobs_submitted} submitted, "
+            f"{report.jobs_executed} executed, "
+            f"{report.jobs_coalesced} coalesced"
+        )
 
     analyze = report.of_kind("analyze")
     if analyze:

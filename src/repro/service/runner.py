@@ -9,7 +9,17 @@ points:
   keeps it alive across every job it executes, so duplicated queries
   from different jobs hit.  With ``shared_cache=True`` a single
   manager-backed :class:`~repro.service.cache.SharedQueryCache` is
-  shared by *all* workers instead.
+  shared by *all* workers instead.  With ``automata_cache=PATH`` every
+  worker also attaches the persistent on-disk automata compilation
+  store, so corpus regexes are compiled once per *path*, not once per
+  process per invocation.
+- **Scheduler-level dedup.**  With ``dedup=True`` jobs are coalesced
+  *before* dispatch by their :meth:`~repro.service.jobs._JobBase.dedup_key`
+  (for solve jobs: the canonical fingerprint of the query they pose) —
+  N submitted jobs sharing a key become one single-flight execution
+  whose result is fanned back out to every submitter.  This removes
+  whole solves the query cache would otherwise still have to replay
+  per job, and it works across workers without shared state.
 - **Graceful failure capture.**  Jobs trap their own exceptions
   (``Job.run``) and come back as ``status="error"`` results; a lost or
   overdue worker task becomes ``status="timeout"``.  One bad program
@@ -27,7 +37,7 @@ from __future__ import annotations
 import multiprocessing
 import time
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.service.cache import QueryCache, SharedQueryCache
 from repro.service.jobs import JobResult, _JobBase, job_from_spec
@@ -38,7 +48,9 @@ from repro.solver.backends import CachedBackend, make_backend
 _WORKER_CACHE: Optional[object] = None
 
 
-def _worker_init(use_cache: bool, cache_size: int, shared_cache) -> None:
+def _worker_init(
+    use_cache: bool, cache_size: int, shared_cache, automata_cache
+) -> None:
     global _WORKER_CACHE
     if shared_cache is not None:
         _WORKER_CACHE = shared_cache
@@ -46,6 +58,10 @@ def _worker_init(use_cache: bool, cache_size: int, shared_cache) -> None:
         _WORKER_CACHE = QueryCache(maxsize=cache_size)
     else:
         _WORKER_CACHE = None
+    if automata_cache:
+        from repro.automata import configure_automata_cache
+
+        configure_automata_cache(automata_cache)
 
 
 def _make_solver_factory(cache) -> Callable[..., object]:
@@ -92,6 +108,13 @@ class RunnerConfig:
     use_cache: bool = True
     cache_size: int = 4096
     shared_cache: bool = False  # one manager-backed cache for all workers
+    #: Directory of the persistent automata compilation store; attached
+    #: in every worker (and inline) so batch invocations pointed at the
+    #: same path share compiled DFAs across processes and runs.
+    automata_cache: Optional[str] = None
+    #: Coalesce jobs with identical ``dedup_key()`` into single-flight
+    #: executions before dispatch (scheduler-level query dedup).
+    dedup: bool = False
 
 
 class BatchRunner:
@@ -106,19 +129,31 @@ class BatchRunner:
         from repro.service.report import BatchReport
 
         started = time.monotonic()
-        if self.config.workers == 0:
-            results = self._run_inline(jobs)
+        jobs = list(jobs)
+        if self.config.dedup:
+            unique_jobs, assignment = _coalesce(jobs)
         else:
-            results = self._run_pool(jobs)
+            unique_jobs, assignment = jobs, list(range(len(jobs)))
+        if self.config.workers == 0:
+            executed = self._run_inline(unique_jobs)
+        else:
+            executed = self._run_pool(unique_jobs)
+        results = _fan_out(jobs, unique_jobs, executed, assignment)
         return BatchReport(
             results=results,
             wall_time=time.monotonic() - started,
             workers=self.config.workers,
+            jobs_submitted=len(jobs),
+            jobs_executed=len(unique_jobs),
         )
 
     # -- execution strategies ------------------------------------------------
 
     def _run_inline(self, jobs: Sequence[_JobBase]) -> List[JobResult]:
+        if self.config.automata_cache:
+            from repro.automata import configure_automata_cache
+
+            configure_automata_cache(self.config.automata_cache)
         cache = (
             QueryCache(maxsize=self.config.cache_size)
             if self.config.use_cache
@@ -144,6 +179,7 @@ class BatchRunner:
                     self.config.use_cache,
                     self.config.cache_size,
                     shared,
+                    self.config.automata_cache,
                 ),
             ) as pool:
                 pending = [
@@ -183,3 +219,78 @@ class BatchRunner:
         finally:
             if manager is not None:
                 manager.shutdown()
+
+
+# -- scheduler-level dedup ----------------------------------------------------
+
+
+def _coalesce(
+    jobs: Sequence[_JobBase],
+) -> Tuple[List[_JobBase], List[int]]:
+    """Group jobs by ``dedup_key``; return (representatives, assignment).
+
+    ``assignment[i]`` is the representative index executing submitted
+    job ``i``.  Jobs whose key is ``None`` always represent themselves.
+    """
+    by_key: Dict[str, int] = {}
+    unique: List[_JobBase] = []
+    assignment: List[int] = []
+    for job in jobs:
+        key = job.dedup_key()
+        slot = by_key.get(key) if key is not None else None
+        if slot is None:
+            slot = len(unique)
+            unique.append(job)
+            if key is not None:
+                by_key[key] = slot
+        assignment.append(slot)
+    return unique, assignment
+
+
+def _fan_out(
+    jobs: Sequence[_JobBase],
+    unique_jobs: Sequence[_JobBase],
+    executed: Sequence[JobResult],
+    assignment: Sequence[int],
+) -> List[JobResult]:
+    """Expand representative results back to submission order.
+
+    A coalesced job receives a copy of its representative's result with
+    its own ``job_id``, zeroed work counters (it performed no solves of
+    its own — that is the point), and a ``deduped_from`` marker so the
+    report can tell replayed results from executed ones.
+    """
+    results: List[JobResult] = []
+    for job, slot in zip(jobs, assignment):
+        rep_result = executed[slot]
+        if unique_jobs[slot] is job:
+            results.append(rep_result)
+            continue
+        payload = dict(rep_result.payload)
+        payload["deduped_from"] = unique_jobs[slot].job_id
+        if "name" in payload:
+            # Analyze payloads carry a display name derived from the
+            # job's own path; a replayed copy must not keep the
+            # representative's (reports would list one program twice).
+            payload["name"] = getattr(job, "path", None) or job.job_id
+        for zeroed, value in (
+            ("solver_queries", 0),
+            ("solver_seconds", 0.0),
+            ("backend_tallies", {}),
+            ("automata_cache", {}),
+        ):
+            if zeroed in payload:
+                payload[zeroed] = value
+        results.append(
+            JobResult(
+                job_id=job.job_id,
+                kind=rep_result.kind,
+                status=rep_result.status,
+                seconds=0.0,
+                payload=payload,
+                error=rep_result.error,
+                cache_hits=0,
+                cache_misses=0,
+            )
+        )
+    return results

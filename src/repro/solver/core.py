@@ -29,7 +29,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from repro.automata import complement_dfa_for, dfa_for, intersect_all
+from repro.automata import complement_dfa_for, dfa_for, lazy_intersect_all
 from repro.automata.dfa import Dfa
 from repro.constraints.formulas import (
     And,
@@ -109,7 +109,8 @@ class _Core:
         #: the parts (this is how several Lc constraints over the same input
         #: coexist, and how CEGAR's word-pinning refinements propagate).
         self.splits: List[Tuple[StrVar, Tuple[Term, ...]]] = []
-        self._split_dfa_cache: Dict[StrVar, Optional[Dfa]] = {}
+        #: Class rep → lazy/eager constraint automaton (or ``None``).
+        self._split_dfa_cache: Dict[StrVar, Optional[object]] = {}
 
     # -- union-find ----------------------------------------------------------
 
@@ -464,7 +465,7 @@ class _Core:
                 work.extend(part_cls.definition)
         free_enumerated = [cls for cls in free if cls.rep not in deferred]
 
-        automata: Dict[StrVar, Optional[Dfa]] = {}
+        automata: Dict[StrVar, Optional[object]] = {}
         for cls in free:
             dfa = self._automaton_for(cls)
             if dfa is not None and dfa.is_empty():
@@ -502,11 +503,19 @@ class _Core:
         if cls.const in cls.excluded:
             raise _UnsatCore()
 
-    def _automaton_for(self, cls: _Class) -> Optional[Dfa]:
+    def _automaton_for(self, cls: _Class):
+        """The class's constraint automaton — a *lazy* intersection.
+
+        Returns ``None`` (unconstrained), a plain :class:`Dfa`, or a
+        :class:`~repro.automata.lazy.LazyProduct`; all downstream uses
+        (emptiness, word enumeration, membership of hints and split
+        candidates) go through the query surface the product mirrors,
+        so the full product automaton is never materialized.
+        """
         dfas: List[Dfa] = [dfa_for(r) for r in cls.pos_regexes]
         dfas.extend(complement_dfa_for(r) for r in cls.neg_regexes)
         dfas.extend(cls.extra_dfas)
-        return intersect_all(dfas)
+        return lazy_intersect_all(dfas)
 
     def _propagate_quotients(self) -> None:
         """Transfer memberships through single-unknown definitions.
@@ -558,7 +567,7 @@ class _Core:
         self,
         free: List[_Class],
         defined: List[_Class],
-        automata: Dict[StrVar, Optional[Dfa]],
+        automata: Dict[StrVar, Optional[object]],
         limit: int,
         deadline: float,
     ) -> Tuple[str, Optional[Model], bool]:
@@ -797,7 +806,7 @@ class _Core:
         respecting constants, prior assignments, per-class automata and
         exclusions.  Yields {class-rep: substring} assignments."""
 
-        def part_dfa(rep: StrVar) -> Optional[Dfa]:
+        def part_dfa(rep: StrVar) -> Optional[object]:
             if rep not in self._split_dfa_cache:
                 self._split_dfa_cache[rep] = self._automaton_for(
                     self._class(rep)

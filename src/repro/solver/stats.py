@@ -93,6 +93,13 @@ class SolverStats:
     #: Per-backend outcome/latency tallies, keyed by backend name
     #: (populated when solving through ``repro.solver.backends``).
     backend_tallies: Dict[str, BackendTally] = field(default_factory=dict)
+    #: Automata compilation-cache counters (this run's share of the
+    #: process-global interner; populated by the engine and the service
+    #: jobs from :func:`repro.automata.automata_cache_counters` deltas).
+    automata_hits: int = 0
+    automata_misses: int = 0
+    automata_disk_hits: int = 0
+    automata_disk_stores: int = 0
     #: Backend tallies are the one path mutated from worker threads (a
     #: portfolio's members — including abandoned stragglers finishing
     #: late — all share this object), so they get their own lock.
@@ -115,6 +122,31 @@ class SolverStats:
             if tally is None:
                 tally = self.backend_tallies[name] = BackendTally()
             tally.add(status, seconds)
+
+    def record_automata(self, delta: Dict[str, int]) -> None:
+        """Fold a compilation-cache counters delta into this collector."""
+        self.automata_hits += delta.get("hits", 0)
+        self.automata_misses += delta.get("misses", 0)
+        self.automata_disk_hits += delta.get("disk_hits", 0)
+        self.automata_disk_stores += delta.get("disk_stores", 0)
+
+    def automata_summary(self) -> dict:
+        """JSON-shaped compilation-cache counters (for payloads/reports)."""
+        lookups = (
+            self.automata_hits + self.automata_disk_hits
+            + self.automata_misses
+        )
+        return {
+            "hits": self.automata_hits,
+            "misses": self.automata_misses,
+            "disk_hits": self.automata_disk_hits,
+            "disk_stores": self.automata_disk_stores,
+            "hit_rate": (
+                (self.automata_hits + self.automata_disk_hits) / lookups
+                if lookups
+                else 0.0
+            ),
+        }
 
     def backend_summary(self) -> Dict[str, dict]:
         """JSON-shaped per-backend tallies (for job payloads/reports)."""

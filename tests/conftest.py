@@ -1,0 +1,20 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.automata import clear_caches
+
+
+@pytest.fixture
+def clean_automata():
+    """A pristine automata cache before *and* after the test.
+
+    Resets the node caches, the fingerprint interner, and any attached
+    on-disk store handle — tests exercising compilation, cache counters,
+    or disk persistence should depend on this instead of calling
+    ``clear_caches()`` ad hoc (which would leak a configured store into
+    later tests if the test fails midway).
+    """
+    clear_caches()
+    yield
+    clear_caches()

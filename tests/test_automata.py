@@ -4,6 +4,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.automata import (
+    Dfa,
     NotRegularError,
     dfa_for,
     dfa_for_pattern,
@@ -14,6 +15,7 @@ from repro.automata import (
     to_nfa,
 )
 from repro.regex import parse_regex
+from repro.regex.charclass import CharSet
 from repro.regex.matcher import RegExp
 
 
@@ -136,6 +138,54 @@ class TestBooleanAlgebra:
         assert not combined.accepts_word("b")
         assert intersect_all([]) is None
 
+    def test_intersect_all_short_circuits_on_empty(self):
+        # a+ ∩ b+ is already empty; the huge third component must never
+        # be multiplied in (its states cannot appear in the result).
+        wide = dfa("[a-z]{1,8}")
+        combined = intersect_all([dfa("a+"), dfa("b+"), wide])
+        assert combined.is_empty()
+        assert combined.n_states < wide.n_states
+
+
+class TestPartialDfa:
+    """Hand-built partial automata (no construction path makes these,
+    but deserialization or tests can) must not break the algebra."""
+
+    def partial(self):
+        # One state, only 'a' has a transition; accepts a*.
+        return Dfa(
+            n_states=1,
+            start=0,
+            accepts=frozenset({0}),
+            transitions={0: [(CharSet.of("a"), 0)]},
+        )
+
+    def test_is_total(self):
+        assert not self.partial().is_total()
+        assert dfa("a*").is_total()
+
+    def test_completed_preserves_language(self):
+        total = self.partial().completed()
+        assert total.is_total()
+        for word, expected in (("", True), ("aa", True), ("b", False)):
+            assert total.accepts_word(word) == expected
+
+    def test_complement_of_partial_dfa_is_sound(self):
+        # Flipping accepting states of a *partial* DFA would classify
+        # "b" (which falls off the missing transition) as rejected by
+        # both the automaton and its complement.
+        comp = self.partial().complement()
+        assert comp.is_total()
+        assert comp.accepts_word("b")
+        assert comp.accepts_word("ab")
+        assert not comp.accepts_word("")
+        assert not comp.accepts_word("aa")
+
+    def test_complement_of_total_dfa_stays_a_view(self):
+        total = dfa("a+")
+        comp = total.complement()
+        assert comp.transitions is total.transitions
+
 
 class TestEmptinessAndWitness:
     def test_emptiness(self):
@@ -171,6 +221,16 @@ class TestEnumeration:
     def test_max_length_respected(self):
         words = list(dfa("a*").words(max_length=3))
         assert words == ["", "a", "aa", "aaa"]
+
+    def test_enumeration_order_is_pinned(self):
+        # The tuple-prefix frontier must preserve the historical order
+        # exactly: breadth-first by length, edges in transition order,
+        # characters in sample order.  The solver's iterative deepening
+        # and refinement exclusions key off this order being stable.
+        words = list(dfa("[ab]c?").words(max_count=6))
+        assert words == ["a", "b", "ac", "bc"]
+        words = list(dfa("(?:a|bb)*").words(max_count=6))
+        assert words == ["", "a", "aa", "bb", "aaa", "abb"]
 
 
 class TestMinimization:

@@ -1,0 +1,175 @@
+"""Lazy-vs-eager equivalence for the on-demand DFA algebra."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.automata import LazyProduct, dfa_for_pattern, lazy_intersect_all
+
+# A pool of classical patterns with overlapping alphabets, so random
+# pairs produce non-trivial (sometimes empty) intersections.
+PATTERN_POOL = [
+    "a*b*",
+    "(?:ab)*",
+    "a+",
+    "[ab]{1,4}",
+    "(?:a|b)*abb",
+    ".{2,3}",
+    "a*",
+    "b+a?",
+    "(?:aa)*",
+    "a(?:aa)*",  # odd-length a-chains: empty against (aa)*
+    "[a-c]*",
+    "c?[ab]+",
+]
+
+WORDS = ["", "a", "b", "ab", "ba", "aa", "abb", "aab", "abab", "aaa", "cab"]
+
+
+def pool_dfa(index):
+    return dfa_for_pattern(PATTERN_POOL[index % len(PATTERN_POOL)])
+
+
+class TestAgainstEager:
+    @given(
+        i=st.integers(0, len(PATTERN_POOL) - 1),
+        j=st.integers(0, len(PATTERN_POOL) - 1),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_language_equality(self, i, j):
+        a, b = pool_dfa(i), pool_dfa(j)
+        eager = a.intersect(b)
+        assert LazyProduct([a, b]).materialize().equivalent(eager)
+
+    @given(
+        i=st.integers(0, len(PATTERN_POOL) - 1),
+        j=st.integers(0, len(PATTERN_POOL) - 1),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_shortest_word_lengths_agree(self, i, j):
+        a, b = pool_dfa(i), pool_dfa(j)
+        eager_witness = a.intersect(b).shortest_word()
+        lazy_witness = LazyProduct([a, b]).shortest_word()
+        if eager_witness is None:
+            assert lazy_witness is None
+        else:
+            assert lazy_witness is not None
+            assert len(lazy_witness) == len(eager_witness)
+
+    @given(
+        i=st.integers(0, len(PATTERN_POOL) - 1),
+        j=st.integers(0, len(PATTERN_POOL) - 1),
+        word=st.sampled_from(WORDS),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_membership_agrees(self, i, j, word):
+        a, b = pool_dfa(i), pool_dfa(j)
+        assert LazyProduct([a, b]).accepts_word(word) == (
+            a.accepts_word(word) and b.accepts_word(word)
+        )
+
+    @given(
+        i=st.integers(0, len(PATTERN_POOL) - 1),
+        j=st.integers(0, len(PATTERN_POOL) - 1),
+        k=st.integers(0, len(PATTERN_POOL) - 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_three_way_emptiness_agrees(self, i, j, k):
+        dfas = [pool_dfa(i), pool_dfa(j), pool_dfa(k)]
+        eager = dfas[0].intersect(dfas[1]).intersect(dfas[2])
+        assert LazyProduct(dfas).is_empty() == eager.is_empty()
+
+    @given(
+        i=st.integers(0, len(PATTERN_POOL) - 1),
+        j=st.integers(0, len(PATTERN_POOL) - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_enumerated_words_are_members(self, i, j):
+        a, b = pool_dfa(i), pool_dfa(j)
+        lazy = LazyProduct([a, b])
+        for word in lazy.words(max_count=10, max_length=8):
+            assert a.accepts_word(word) and b.accepts_word(word)
+
+
+class TestWords:
+    def test_length_ordered(self):
+        lazy = LazyProduct(
+            [dfa_for_pattern("a*"), dfa_for_pattern("(?:a|b)*")]
+        )
+        words = list(lazy.words(max_count=5))
+        assert words == ["", "a", "aa", "aaa", "aaaa"]
+
+    def test_empty_product_yields_nothing(self):
+        lazy = LazyProduct([dfa_for_pattern("a+"), dfa_for_pattern("b+")])
+        assert list(lazy.words(max_count=5)) == []
+
+    def test_component_dead_states_pruned_in_finite_language(self):
+        lazy = LazyProduct(
+            [dfa_for_pattern("[ab]{2}"), dfa_for_pattern("a.")]
+        )
+        words = sorted(lazy.words(max_count=10))
+        assert words == ["aa", "ab"]
+
+    def test_product_dead_regions_pruned_exactly(self):
+        # Every component state is live, but the a-parity region of the
+        # product is dead: even- vs odd-length a-chains before 'b' never
+        # reconcile.  Component-wise pruning alone would walk that
+        # region for all max_length levels; the exact co-accessibility
+        # filter must cut it at the first step, like Dfa.words' exact
+        # live-state filter does on the eager product.
+        a = dfa_for_pattern("c|(?:aa)*b")
+        b = dfa_for_pattern("c|a(?:aa)*b")
+        lazy = LazyProduct([a, b])
+        assert list(lazy.words(max_count=10)) == ["c"]
+        assert not lazy.co_accessible(lazy.step(lazy.start, "a"))
+        # ...and the dead verdict is memoized for the whole region.
+        assert lazy._co_accessible[lazy.step(lazy.start, "a")] is False
+
+
+class TestMaterializationCounter:
+    def test_materialize_counts_every_reachable_state(self):
+        a, b = dfa_for_pattern("a*b*"), dfa_for_pattern(".{3}")
+        lazy = LazyProduct([a, b])
+        eager = lazy.materialize()
+        assert lazy.states_visited == eager.n_states
+
+    def test_early_exit_materializes_fewer_states_than_eager(self):
+        # Both components accept short words near the start, but the
+        # full product space is much larger: the BFS must stop early.
+        a = dfa_for_pattern("[ab]{0,6}")
+        b = dfa_for_pattern("(?:a|b|c)*")
+        eager = a.intersect(b)
+        lazy = LazyProduct([a, b])
+        assert lazy.shortest_word() == ""
+        assert lazy.states_visited < eager.n_states
+
+    def test_traversals_never_exceed_eager_product(self):
+        for i in range(len(PATTERN_POOL)):
+            a = pool_dfa(i)
+            b = pool_dfa(i + 1)
+            eager = a.intersect(b)
+            lazy = LazyProduct([a, b])
+            lazy.shortest_word()
+            list(lazy.words(max_count=8, max_length=6))
+            assert lazy.states_visited <= eager.n_states
+
+
+class TestIntersectAllFacade:
+    def test_empty_input_is_none(self):
+        assert lazy_intersect_all([]) is None
+
+    def test_single_component_passes_through(self):
+        dfa = dfa_for_pattern("ab")
+        assert lazy_intersect_all([dfa]) is dfa
+
+    def test_many_components(self):
+        lazy = lazy_intersect_all(
+            [
+                dfa_for_pattern(r"\w+"),
+                dfa_for_pattern(".{2,3}"),
+                dfa_for_pattern("a.*"),
+            ]
+        )
+        assert isinstance(lazy, LazyProduct)
+        assert lazy.accepts_word("ab")
+        assert not lazy.accepts_word("b")
+        assert not lazy.is_empty()
