@@ -1,0 +1,245 @@
+"""Query-pipeline benchmarks: persistent query cache + incremental sessions.
+
+Backs the two acceptance claims of the solver fast path and writes the
+``BENCH_query.json`` trajectory the CI perf-smoke job uploads:
+
+- **Cold vs warm batch with ``--query-cache``** — the same solve batch
+  executed against an empty persistent store and then re-executed in a
+  "fresh process" (cleared in-memory caches, same directory).  The warm
+  run must be ≥5× faster: every definitive answer replays from disk
+  instead of re-entering the CEGAR loop.
+- **Session spawn amortization** — a query stream through the
+  incremental ``session:`` backend must average *under one subprocess
+  spawn per 10 queries* (the one-shot ``smtlib:`` backend is pinned at
+  exactly one per query); measured with a fake solver binary so the CI
+  machine needs no z3.
+"""
+
+import stat
+import textwrap
+import time
+
+from conftest import PERF_SMOKE, update_json_result
+
+from repro.automata import clear_caches
+from repro.constraints.printer import canonical_regex
+from repro.service import BatchRunner, RunnerConfig, SolveJob
+
+#: The corpus-flavoured pattern set of bench_automata_cache, doubled
+#: into match + non-match jobs: solving (not model building) dominates.
+PATTERNS = [
+    r"(?:[a-z0-9]+[-._])*[a-z0-9]+@[a-z]+\.[a-z]{2,3}",
+    r"[0-9]{1,3}\.[0-9]{1,3}\.[0-9]{1,3}\.[0-9]{1,3}",
+    r"v?[0-9]+\.[0-9]+(?:\.[0-9]+)?(?:-[a-z0-9]+)?",
+    r"(?:/[a-zA-Z0-9_.-]+)+/?",
+    r"[A-Za-z_][A-Za-z0-9_]*(?:\.[A-Za-z_][A-Za-z0-9_]*)*",
+    r"#?[0-9a-fA-F]{6}|#?[0-9a-fA-F]{3}",
+    r"[a-z]+(?:-[a-z]+)*\.(?:js|json|min\.js)",
+    r"(?:0|[1-9][0-9]*)(?:\.[0-9]+)?(?:[eE][-+]?[0-9]+)?",
+]
+if PERF_SMOKE:
+    PATTERNS = PATTERNS[:5]
+
+SESSION_QUERIES = 20 if PERF_SMOKE else 40
+
+
+def _solve_jobs(tag):
+    jobs = []
+    for i, pattern in enumerate(PATTERNS):
+        jobs.append(
+            SolveJob(
+                job_id=f"{tag}-m{i}", pattern=pattern, solver_timeout=5.0
+            )
+        )
+        jobs.append(
+            SolveJob(
+                job_id=f"{tag}-n{i}",
+                pattern=pattern,
+                negate=True,
+                solver_timeout=5.0,
+            )
+        )
+    return jobs
+
+
+def _fresh_process_state():
+    """Simulate a new invocation: no warm in-memory caches survive."""
+    clear_caches()
+    canonical_regex.cache_clear()
+
+
+def test_cold_vs_warm_query_cache(benchmark, record_table, tmp_path):
+    store = str(tmp_path / "queries")
+
+    def measure():
+        def run(tag):
+            _fresh_process_state()
+            started = time.perf_counter()
+            report = BatchRunner(
+                RunnerConfig(workers=0, query_cache=store)
+            ).run(_solve_jobs(tag))
+            elapsed = time.perf_counter() - started
+            assert all(r.status == "ok" for r in report.results)
+            return elapsed, report
+
+        cold_s, cold_report = run("cold")
+        warm_times = []
+        for round_no in range(2 if PERF_SMOKE else 3):
+            warm_s, warm_report = run(f"warm{round_no}")
+            warm_times.append(warm_s)
+            assert warm_report.cache_misses == 0  # all replayed from disk
+        return cold_s, min(warm_times), cold_report, warm_report
+
+    cold_s, warm_s, cold_report, warm_report = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    speedup = cold_s / warm_s if warm_s else 0.0
+    data = {
+        "jobs": len(PATTERNS) * 2,
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "speedup": speedup,
+        "cold_cache_misses": cold_report.cache_misses,
+        "warm_cache_hits": warm_report.cache_hits,
+    }
+    update_json_result("BENCH_query.json", "query_cache", data)
+    record_table(
+        "query_cache.txt",
+        f"Persistent query cache: cold vs warm batch "
+        f"({len(PATTERNS) * 2} solve jobs)\n"
+        f"cold:  {1000 * cold_s:8.2f} ms "
+        f"({cold_report.cache_misses} misses)\n"
+        f"warm:  {1000 * warm_s:8.2f} ms "
+        f"({warm_report.cache_hits} disk replays, {speedup:.1f}x)",
+    )
+    assert speedup >= 5.0
+
+
+#: A fake solver usable both one-shot (file argument) and as an
+#: interactive session (stdin dialogue) — answers every query ``unsat``.
+_FAKE_SOLVER = textwrap.dedent(
+    '''\
+    #!/usr/bin/env python3
+    import re, sys
+    if len(sys.argv) > 1:           # one-shot: smtlib:<cmd> script.smt2
+        print("unsat")
+        sys.exit(0)
+    for line in sys.stdin:          # incremental: session:<cmd>
+        line = line.strip()
+        if line == "(check-sat)":
+            print("unsat", flush=True)
+        else:
+            m = re.match(r'\\(echo "(.*)"\\)', line)
+            if m:
+                print(m.group(1), flush=True)
+    '''
+)
+
+
+def test_session_spawn_amortization(benchmark, record_table, tmp_path):
+    from repro.automata.build import erase_captures
+    from repro.constraints import InRe, StrVar
+    from repro.regex import parse_regex
+    from repro.solver import SolverStats
+    from repro.solver.backends import SessionBackend, SmtLibBackend
+
+    fake = tmp_path / "fakesolver"
+    fake.write_text(_FAKE_SOLVER)
+    fake.chmod(fake.stat().st_mode | stat.S_IXUSR)
+
+    formulas = [
+        InRe(
+            StrVar(f"v{i}"),
+            erase_captures(
+                parse_regex(PATTERNS[i % len(PATTERNS)], "").body
+            ),
+        )
+        for i in range(SESSION_QUERIES)
+    ]
+
+    def measure():
+        stats = SolverStats()
+        session = SessionBackend(str(fake), stats=stats, timeout=10.0)
+        started = time.perf_counter()
+        for formula in formulas:
+            assert session.solve(formula).status == "unsat"
+        session_s = time.perf_counter() - started
+        session.close()
+
+        oneshot = SmtLibBackend(str(fake), timeout=10.0)
+        started = time.perf_counter()
+        for formula in formulas:
+            assert oneshot.solve(formula).status == "unsat"
+        oneshot_s = time.perf_counter() - started
+        return session, session_s, oneshot_s, stats
+
+    session, session_s, oneshot_s, stats = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    spawns_per_query = session.spawns / len(formulas)
+    speedup = oneshot_s / session_s if session_s else 0.0
+    tally = stats.session_summary()[session.name]
+    data = {
+        "queries": len(formulas),
+        "spawns": session.spawns,
+        "spawns_per_query": spawns_per_query,
+        "queries_per_spawn": tally["queries_per_spawn"],
+        "session_s": session_s,
+        "oneshot_s": oneshot_s,
+        "session_speedup_vs_oneshot": speedup,
+    }
+    update_json_result("BENCH_query.json", "session", data)
+    record_table(
+        "query_session.txt",
+        f"Incremental session vs spawn-per-query "
+        f"({len(formulas)} queries, fake solver)\n"
+        f"session:  {1000 * session_s:8.2f} ms "
+        f"({session.spawns} spawns, "
+        f"{tally['queries_per_spawn']:.0f} queries/spawn)\n"
+        f"one-shot: {1000 * oneshot_s:8.2f} ms "
+        f"({len(formulas)} spawns, {speedup:.1f}x slower than session)",
+    )
+    # Acceptance: the session amortizes to < 1 spawn per 10 queries.
+    assert spawns_per_query < 0.1
+    assert session.spawns >= 1
+
+
+def test_routed_pipeline_composes(benchmark, record_table, tmp_path):
+    """``cached:route:`` end to end: the composed fast path stays
+    correct with no solver binary installed, and the routing tallies
+    land in the report."""
+    from repro.service import merge_route_tallies
+
+    store = str(tmp_path / "routed-queries")
+
+    def measure():
+        _fresh_process_state()
+        report = BatchRunner(
+            RunnerConfig(workers=0, query_cache=store)
+        ).run(
+            [
+                SolveJob(
+                    job_id=f"r{i}",
+                    pattern=pattern,
+                    solver_timeout=5.0,
+                    backend="cached:route:z3",
+                )
+                for i, pattern in enumerate(PATTERNS)
+            ]
+        )
+        assert all(r.status == "ok" for r in report.results)
+        return report
+
+    report = benchmark.pedantic(measure, rounds=1, iterations=1)
+    routes = merge_route_tallies(report.results)
+    update_json_result(
+        "BENCH_query.json",
+        "routing",
+        {"jobs": len(PATTERNS), "routes": routes},
+    )
+    record_table(
+        "query_routing.txt",
+        "Routed pipeline (cached:route:z3, no binary installed)\n"
+        + "\n".join(f"{key}: {count}" for key, count in routes.items()),
+    )
+    assert sum(routes.values()) >= len(PATTERNS)

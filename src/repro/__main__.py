@@ -10,11 +10,14 @@ Commands:
   worker pool with a shared solver query cache (the service layer);
 
 ``solve``/``analyze``/``batch`` accept ``--backend SPEC`` to pick the
-solver backend (``native``, ``smtlib:z3``, ``portfolio:native+smtlib``,
-``cached:native``, ...) — see :mod:`repro.solver.backends` — and
-``--automata-cache DIR`` to persist compiled DFAs across processes and
-invocations; ``batch --dedup`` additionally coalesces jobs posing
-identical canonical queries into single-flight executions.
+solver backend (``native``, ``smtlib:z3``, ``session:z3``,
+``portfolio:auto``, ``route:z3``, ``cached:native``, ...) — see
+:mod:`repro.solver.backends` — ``--automata-cache DIR`` to persist
+compiled DFAs across processes and invocations, and ``--query-cache
+DIR`` to persist definitive solver answers the same way (implies a
+``cached:`` level when the spec lacks one); ``batch --dedup``
+additionally coalesces jobs posing identical canonical queries into
+single-flight executions.
 
 - ``survey [-n N]`` — regenerate the §7.1 survey tables;
 - ``smtlib PATTERN [-f FLAGS]`` — print the membership model as SMT-LIB;
@@ -41,6 +44,27 @@ def _check_backend_spec(spec) -> int:
     return 0
 
 
+def _resolve_backend(spec, query_cache, timeout=None):
+    """The backend argument for one-shot commands.
+
+    Without ``--query-cache`` the spec string is handed through
+    unchanged (downstream resolves it lazily).  With it, the backend is
+    built here so the persistent query store is attached — implying a
+    ``cached:`` level when the spec lacks one, since a store nobody
+    consults would be pointless.  ``timeout`` must mirror whatever the
+    downstream consumer would have threaded into a lazy resolution, so
+    adding the flag never changes solve semantics.
+    """
+    if query_cache is None:
+        return spec
+    from repro.solver.backends import make_backend
+
+    spec = spec or "native"
+    if not spec.startswith("cached:"):
+        spec = "cached:" + spec
+    return make_backend(spec, timeout=timeout, query_cache=query_cache)
+
+
 def _cmd_solve(args: argparse.Namespace) -> int:
     from repro.model import find_matching_input, find_non_matching_input
 
@@ -52,9 +76,10 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         configure_automata_cache(args.automata_cache)
     if args.backend:
         print(f"backend: {args.backend}")
+    backend = _resolve_backend(args.backend, args.query_cache)
     if args.negate:
         word = find_non_matching_input(
-            args.pattern, args.flags, backend=args.backend
+            args.pattern, args.flags, backend=backend
         )
         if word is None:
             print("no non-matching input found (pattern may match Σ*)")
@@ -62,7 +87,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         print(f"input:  {word!r}")
         return 0
     result = find_matching_input(
-        args.pattern, args.flags, backend=args.backend
+        args.pattern, args.flags, backend=backend
     )
     if result is None:
         print("unsatisfiable (or solver budget exhausted)")
@@ -92,6 +117,7 @@ def _cmd_exec(args: argparse.Namespace) -> int:
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.dse import RegexSupportLevel, analyze
+    from repro.dse.engine import EngineConfig
 
     if _check_backend_spec(args.backend):
         return 2
@@ -103,7 +129,12 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         level=level,
         max_tests=args.max_tests,
         time_budget=args.time_budget,
-        backend=args.backend,
+        backend=_resolve_backend(
+            args.backend,
+            args.query_cache,
+            # what the engine would thread into a lazy spec resolution
+            timeout=EngineConfig().solver_timeout,
+        ),
         automata_cache=args.automata_cache,
     )
     print(f"tests run:   {result.tests_run}")
@@ -163,6 +194,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             cache_size=args.cache_size,
             shared_cache=args.shared_cache,
             automata_cache=args.automata_cache,
+            query_cache=args.query_cache,
             dedup=args.dedup,
         )
     )
@@ -228,11 +260,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     backend_help = (
         "solver backend spec: native, native?timeout=2, smtlib:z3, "
-        "portfolio:native+smtlib, cached:native, ... (nestable)"
+        "session:z3, portfolio:native+smtlib, portfolio:auto, route:z3, "
+        "cached:native, ... (nestable)"
     )
     automata_cache_help = (
         "directory of the persistent automata compilation cache "
         "(compiled DFAs are reused across processes and invocations)"
+    )
+    query_cache_help = (
+        "directory of the persistent solver query cache (definitive "
+        "answers are replayed across processes and invocations; implies "
+        "a cached: level when the spec lacks one)"
     )
 
     solve = sub.add_parser("solve", help="find a (non-)matching input")
@@ -242,6 +280,9 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--backend", default=None, help=backend_help)
     solve.add_argument(
         "--automata-cache", default=None, help=automata_cache_help
+    )
+    solve.add_argument(
+        "--query-cache", default=None, help=query_cache_help
     )
     solve.set_defaults(fn=_cmd_solve)
 
@@ -263,6 +304,9 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--backend", default=None, help=backend_help)
     analyze.add_argument(
         "--automata-cache", default=None, help=automata_cache_help
+    )
+    analyze.add_argument(
+        "--query-cache", default=None, help=query_cache_help
     )
     analyze.set_defaults(fn=_cmd_analyze)
 
@@ -312,6 +356,9 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--backend", default=None, help=backend_help)
     batch.add_argument(
         "--automata-cache", default=None, help=automata_cache_help
+    )
+    batch.add_argument(
+        "--query-cache", default=None, help=query_cache_help
     )
     batch.add_argument(
         "--dedup",

@@ -37,6 +37,13 @@ class Dfa:
     _step_index: Dict[int, _StateIndex] = field(
         default_factory=dict, repr=False, compare=False
     )
+    #: Memoized :meth:`live_states` result.  Depends on ``accepts`` as
+    #: well as ``transitions``, so views with different accepting sets
+    #: (complement, right quotients) must NOT share it — they start
+    #: fresh; left quotients keep both and may inherit the memo.
+    _live_states: Optional[FrozenSet[int]] = field(
+        default=None, repr=False, compare=False
+    )
 
     # -- core queries --------------------------------------------------------
 
@@ -72,7 +79,15 @@ class Dfa:
         return state in self.accepts
 
     def live_states(self) -> FrozenSet[int]:
-        """States from which some accepting state is reachable."""
+        """States from which some accepting state is reachable.
+
+        Memoized per instance: emptiness checks, ``words`` enumerations,
+        and repeated CEGAR candidate proposals all re-ask this of the
+        same (immutable once built) automaton, and the backward
+        reachability sweep is O(states + edges) each time.
+        """
+        if self._live_states is not None:
+            return self._live_states
         reverse: Dict[int, set] = {s: set() for s in range(self.n_states)}
         for src, edges in self.transitions.items():
             for _, dst in edges:
@@ -85,7 +100,8 @@ class Dfa:
                 if pred not in alive:
                     alive.add(pred)
                     stack.append(pred)
-        return frozenset(alive)
+        self._live_states = frozenset(alive)
+        return self._live_states
 
     def is_empty(self) -> bool:
         return self.start not in self.live_states()
@@ -109,6 +125,7 @@ class Dfa:
             accepts=self.accepts,
             transitions=self.transitions,
             _step_index=self._step_index,
+            _live_states=self._live_states,
         )
 
     def quotient_right(self, suffix: str) -> "Dfa":

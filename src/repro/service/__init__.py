@@ -10,6 +10,7 @@ from repro.service.cache import (
     CachedResult,
     CachedSolver,
     QueryCache,
+    QueryDiskStore,
     SharedQueryCache,
 )
 from repro.service.jobs import (
@@ -26,9 +27,13 @@ from repro.service.report import (
     format_analyze_table,
     format_backend_table,
     format_batch_report,
+    format_route_table,
+    format_session_table,
     merge_analyze,
     merge_automata_counters,
     merge_backend_tallies,
+    merge_route_tallies,
+    merge_session_tallies,
     merge_solve,
     merge_survey,
 )
@@ -42,6 +47,7 @@ __all__ = [
     "CachedSolver",
     "JobResult",
     "QueryCache",
+    "QueryDiskStore",
     "RunnerConfig",
     "SharedQueryCache",
     "SolveJob",
@@ -50,10 +56,14 @@ __all__ = [
     "format_analyze_table",
     "format_backend_table",
     "format_batch_report",
+    "format_route_table",
+    "format_session_table",
     "job_from_spec",
     "merge_analyze",
     "merge_automata_counters",
     "merge_backend_tallies",
+    "merge_route_tallies",
+    "merge_session_tallies",
     "merge_solve",
     "merge_survey",
     "survey_workload",

@@ -13,6 +13,7 @@ from repro.solver.backends.cached import (
     CachedResult,
     CachedSolver,
     QueryCache,
+    QueryDiskStore,
     SharedQueryCache,
 )
 
@@ -21,5 +22,6 @@ __all__ = [
     "CachedResult",
     "CachedSolver",
     "QueryCache",
+    "QueryDiskStore",
     "SharedQueryCache",
 ]

@@ -61,16 +61,18 @@ def default_solver_factory(
     timeout: float = 20.0,
     backend: Optional[str] = None,
     stats: Optional[SolverStats] = None,
+    query_cache: Optional[str] = None,
     **kwargs,
 ):
     """Build a solver through the backend registry (default: native).
 
     ``backend`` is any :func:`repro.solver.backends.make_backend` spec;
-    ``stats`` is the per-backend tally sink.  Remaining kwargs are
-    native-solver options (backward compatibility with the pre-registry
-    factory) and are passed structurally — they cannot be combined with
-    an explicit ``backend`` spec, whose options belong in the spec
-    string itself.
+    ``stats`` is the per-backend tally sink; ``query_cache`` is the
+    persistent query-store directory threaded into any ``cached:`` level
+    of the spec.  Remaining kwargs are native-solver options (backward
+    compatibility with the pre-registry factory) and are passed
+    structurally — they cannot be combined with an explicit ``backend``
+    spec, whose options belong in the spec string itself.
     """
     if kwargs:
         if backend is not None:
@@ -82,7 +84,25 @@ def default_solver_factory(
         from repro.solver.backends import NativeBackend
 
         return NativeBackend(stats=stats, timeout=timeout, **kwargs)
-    return make_backend(backend, timeout=timeout, stats=stats)
+    built = make_backend(
+        backend, timeout=timeout, stats=stats, query_cache=query_cache
+    )
+    if query_cache and not (
+        isinstance(backend, str) and backend.startswith("cached:")
+    ):
+        # A query-cache directory without an explicit ``cached:`` level
+        # still means "cache persistently": wrap the resolved backend so
+        # the store is actually consulted (mirrors the batch runner,
+        # which satisfies the outer ``cached:`` with its worker cache).
+        from repro.solver.backends import CachedBackend, QueryCache
+
+        built = CachedBackend(
+            built,
+            cache=QueryCache(store_path=query_cache),
+            tally_stats=stats,
+            stats=stats,
+        )
+    return built
 
 
 class _RecordingFactory:
@@ -142,11 +162,12 @@ class _JobBase:
     job_id: str
 
     KIND = "?"
-    # Fallbacks so ``self.backend``/``self.automata_cache`` always
-    # resolve; subclasses declare the real (defaulted, spec-serialized)
-    # dataclass fields.
+    # Fallbacks so ``self.backend``/``self.automata_cache``/
+    # ``self.query_cache`` always resolve; subclasses declare the real
+    # (defaulted, spec-serialized) dataclass fields.
     backend = None
     automata_cache = None
+    query_cache = None
 
     def to_spec(self) -> dict:
         spec = asdict(self)
@@ -207,6 +228,7 @@ class AnalyzeJob(_JobBase):
     seed: int = 1909
     backend: Optional[str] = None
     automata_cache: Optional[str] = None
+    query_cache: Optional[str] = None
 
     KIND = "analyze"
 
@@ -237,9 +259,13 @@ class AnalyzeJob(_JobBase):
         )
 
         def engine_factory(timeout):
-            if self.backend is None:
+            if self.backend is None and self.query_cache is None:
                 return solver_factory(timeout=timeout)
-            return solver_factory(timeout=timeout, backend=self.backend)
+            return solver_factory(
+                timeout=timeout,
+                backend=self.backend,
+                query_cache=self.query_cache,
+            )
 
         result = DseEngine(
             self.source, config, solver_factory=engine_factory
@@ -249,6 +275,8 @@ class AnalyzeJob(_JobBase):
             "name": self.path or self.job_id,
             "backend": self.backend or "native",
             "backend_tallies": result.stats.backend_summary(),
+            "session_tallies": result.stats.session_summary(),
+            "route_tallies": result.stats.route_summary(),
             "automata_cache": result.stats.automata_summary(),
             "covered": len(result.covered),
             "statement_count": result.statement_count,
@@ -278,6 +306,7 @@ class SolveJob(_JobBase):
     refinement_limit: int = 20
     backend: Optional[str] = None
     automata_cache: Optional[str] = None
+    query_cache: Optional[str] = None
 
     KIND = "solve"
 
@@ -324,7 +353,7 @@ class SolveJob(_JobBase):
             configure_automata_cache(self.automata_cache)
         automata0 = automata_cache_counters()
         stats = SolverStats()
-        if self.backend is None:
+        if self.backend is None and self.query_cache is None:
             solver = solver_factory(timeout=self.solver_timeout)
             binder = getattr(solver, "bind_stats", None)
             if callable(binder):
@@ -334,6 +363,7 @@ class SolveJob(_JobBase):
                 timeout=self.solver_timeout,
                 backend=self.backend,
                 stats=stats,
+                query_cache=self.query_cache,
             )
         cegar = CegarSolver(
             solver=solver,
@@ -364,6 +394,8 @@ class SolveJob(_JobBase):
         payload["solver_queries"] = len(stats.queries)
         payload["solver_seconds"] = stats.total_time()
         payload["backend_tallies"] = stats.backend_summary()
+        payload["session_tallies"] = stats.session_summary()
+        payload["route_tallies"] = stats.route_summary()
         stats.record_automata(
             counters_delta(automata0, automata_cache_counters())
         )
@@ -385,6 +417,7 @@ class SurveyJob(_JobBase):
     # Unused (no solving/compilation), kept for a uniform spec shape.
     backend: Optional[str] = None
     automata_cache: Optional[str] = None
+    query_cache: Optional[str] = None
 
     KIND = "survey"
 

@@ -79,6 +79,8 @@ class BatchReport:
                 "coalesced": self.jobs_coalesced,
             },
             "automata_cache": merge_automata_counters(self.results),
+            "routes": merge_route_tallies(self.results),
+            "sessions": merge_session_tallies(self.results),
             "statuses": self.by_status(),
             "results": [r.to_spec() for r in self.results],
         }
@@ -212,6 +214,64 @@ def merge_backend_tallies(results: Sequence[JobResult]) -> Dict[str, dict]:
     return {name: tally.as_dict() for name, tally in sorted(totals.items())}
 
 
+def merge_session_tallies(results: Sequence[JobResult]) -> Dict[str, dict]:
+    """Sum incremental-session lifecycle tallies across job payloads.
+
+    Jobs that solved through a ``session:`` (or ``route:``) backend
+    carry ``payload["session_tallies"]`` — JSON-shaped
+    :class:`repro.solver.stats.SessionTally` dicts keyed by session
+    name; the merged ``queries_per_spawn`` is the batch-level
+    amortization figure (a one-shot ``smtlib:`` backend would sit at 1).
+    """
+    from repro.solver.stats import SessionTally
+
+    totals: Dict[str, SessionTally] = {}
+    for result in results:
+        if result.status != "ok":
+            continue
+        tallies = result.payload.get("session_tallies") or {}
+        for name, tally in tallies.items():
+            agg = totals.setdefault(name, SessionTally())
+            agg.merge_dict(tally)
+    return {name: tally.as_dict() for name, tally in sorted(totals.items())}
+
+
+def merge_route_tallies(results: Sequence[JobResult]) -> Dict[str, int]:
+    """Sum routing decision counts (``feature->target``) across payloads."""
+    totals: Dict[str, int] = {}
+    for result in results:
+        if result.status != "ok":
+            continue
+        for key, count in (result.payload.get("route_tallies") or {}).items():
+            totals[key] = totals.get(key, 0) + count
+    return dict(sorted(totals.items()))
+
+
+def format_session_table(tallies: Dict[str, dict]) -> str:
+    """Per-session corpus table: spawns, restarts, amortization."""
+    lines = [
+        "Session                        Queries  Spawns  Restarts  Resets"
+        "  Q/spawn   Life(s)",
+    ]
+    for name, tally in tallies.items():
+        shown = name if len(name) <= 30 else "..." + name[-27:]
+        lines.append(
+            f"{shown:<30} {tally['queries']:>8} {tally['spawns']:>7} "
+            f"{tally['restarts']:>9} {tally['resets']:>7} "
+            f"{tally['queries_per_spawn']:>8.1f} {tally['seconds']:>9.2f}"
+        )
+    return "\n".join(lines)
+
+
+def format_route_table(tallies: Dict[str, int]) -> str:
+    """Routing decisions: which feature class went to which target."""
+    total = sum(tallies.values()) or 1
+    lines = ["Route                          Queries   Share"]
+    for key, count in tallies.items():
+        lines.append(f"{key:<30} {count:>8} {100 * count / total:>6.1f}%")
+    return "\n".join(lines)
+
+
 def format_backend_table(tallies: Dict[str, dict]) -> str:
     """Per-backend corpus table: outcomes, definitive rate, latency."""
     lines = [
@@ -335,6 +395,16 @@ def format_batch_report(report: BatchReport) -> str:
     if backend_tallies:
         lines += ["", "== Solver backends " + "=" * 45]
         lines.append(format_backend_table(backend_tallies))
+
+    route_tallies = merge_route_tallies(report.results)
+    if route_tallies:
+        lines += ["", "== Query routing " + "=" * 47]
+        lines.append(format_route_table(route_tallies))
+
+    session_tallies = merge_session_tallies(report.results)
+    if session_tallies:
+        lines += ["", "== Incremental sessions " + "=" * 40]
+        lines.append(format_session_table(session_tallies))
 
     survey = report.of_kind("survey")
     if survey:

@@ -49,15 +49,21 @@ _WORKER_CACHE: Optional[object] = None
 
 
 def _worker_init(
-    use_cache: bool, cache_size: int, shared_cache, automata_cache
+    use_cache: bool,
+    cache_size: int,
+    shared_cache,
+    automata_cache,
+    query_cache=None,
 ) -> None:
     global _WORKER_CACHE
     if shared_cache is not None:
         _WORKER_CACHE = shared_cache
-    elif use_cache:
+    elif use_cache or query_cache:
         _WORKER_CACHE = QueryCache(maxsize=cache_size)
     else:
         _WORKER_CACHE = None
+    if query_cache and _WORKER_CACHE is not None:
+        _WORKER_CACHE.attach_store(query_cache)
     if automata_cache:
         from repro.automata import configure_automata_cache
 
@@ -70,10 +76,17 @@ def _make_solver_factory(cache) -> Callable[..., object]:
     The job's ``backend`` spec resolves through the registry
     (``native`` when unset); when the worker keeps a query cache, the
     resolved backend is decorated with a :class:`CachedBackend` sharing
-    that cache across every job the worker executes.
+    that cache across every job the worker executes.  A *job-level*
+    ``query_cache`` directory stays job-private: the runner-wide cache
+    is shared by unrelated jobs, so one job's persistence request must
+    not silently leak answers to (or from) the rest — unless the runner
+    itself was configured with the same directory, in which case the
+    worker store already covers it.
     """
 
-    def factory(timeout: float = 20.0, backend=None, stats=None):
+    def factory(
+        timeout: float = 20.0, backend=None, stats=None, query_cache=None
+    ):
         spec = backend
         if (
             cache is not None
@@ -84,7 +97,26 @@ def _make_solver_factory(cache) -> Callable[..., object]:
             # ``cached:`` asks for — strip it instead of stacking a
             # second, job-private cache in front of it.
             spec = spec[len("cached:"):]
-        base = make_backend(spec, timeout=timeout, stats=stats)
+        base = make_backend(
+            spec, timeout=timeout, stats=stats, query_cache=query_cache
+        )
+        worker_store = getattr(cache, "store", None)
+        if query_cache and (
+            worker_store is None or worker_store.root != query_cache
+        ):
+            had_cached_spec = isinstance(backend, str) and backend.startswith(
+                "cached:"
+            )
+            if cache is not None or not had_cached_spec:
+                # A job-private persistent tier (under the worker
+                # decoration, when there is one).  Skipped only when the
+                # job's own ``cached:`` level already carries the store
+                # (no worker cache stripped it away).
+                base = CachedBackend(
+                    base,
+                    cache=QueryCache(store_path=query_cache),
+                    tally_stats=stats,
+                )
         if cache is None:
             return base
         return CachedBackend(base, cache=cache, tally_stats=stats)
@@ -112,6 +144,11 @@ class RunnerConfig:
     #: in every worker (and inline) so batch invocations pointed at the
     #: same path share compiled DFAs across processes and runs.
     automata_cache: Optional[str] = None
+    #: Directory of the persistent solver *query* store; attached to
+    #: every worker's query cache (and the inline cache) so definitive
+    #: answers survive across batch invocations pointed at the same
+    #: path — the warm second batch replays solves from disk.
+    query_cache: Optional[str] = None
     #: Coalesce jobs with identical ``dedup_key()`` into single-flight
     #: executions before dispatch (scheduler-level query dedup).
     dedup: bool = False
@@ -156,9 +193,11 @@ class BatchRunner:
             configure_automata_cache(self.config.automata_cache)
         cache = (
             QueryCache(maxsize=self.config.cache_size)
-            if self.config.use_cache
+            if self.config.use_cache or self.config.query_cache
             else None
         )
+        if cache is not None and self.config.query_cache:
+            cache.attach_store(self.config.query_cache)
         factory = _make_solver_factory(cache)
         return [job.run(solver_factory=factory) for job in jobs]
 
@@ -180,6 +219,7 @@ class BatchRunner:
                     self.config.cache_size,
                     shared,
                     self.config.automata_cache,
+                    self.config.query_cache,
                 ),
             ) as pool:
                 pending = [
@@ -277,6 +317,8 @@ def _fan_out(
             ("solver_queries", 0),
             ("solver_seconds", 0.0),
             ("backend_tallies", {}),
+            ("session_tallies", {}),
+            ("route_tallies", {}),
             ("automata_cache", {}),
         ):
             if zeroed in payload:

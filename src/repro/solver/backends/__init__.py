@@ -13,8 +13,14 @@ solver.  This package makes the choice a first-class, *pluggable* API:
   ``native?timeout=2``       same, with options
   ``smtlib:z3``              external SMT-LIB solver subprocess (z3/cvc5);
                              degrades to UNKNOWN when no binary exists
+  ``session:z3``             one live incremental solver process
+                             (push/pop per query instead of spawn-per-query)
   ``portfolio:native+smtlib``  race members, first definitive answer wins
+  ``portfolio:auto``         native + a session per installed binary
+  ``route:z3``               per-query feature routing (captures→native,
+                             classical→session, mixed→portfolio)
   ``cached:<inner>``         memoize definitive answers of any inner spec
+                             (persistently, with a ``query_cache`` dir)
   ========================   ==============================================
 
 - :func:`register_backend` — add new schemes at runtime.
@@ -30,14 +36,21 @@ from repro.solver.backends.base import (
     BackendError,
     SolverBackend,
 )
-from repro.solver.backends.cached import CachedBackend
+from repro.solver.backends.cached import (
+    CachedBackend,
+    QueryCache,
+    QueryDiskStore,
+)
 from repro.solver.backends.native import NativeBackend
 from repro.solver.backends.portfolio import PortfolioBackend
 from repro.solver.backends.registry import (
+    detect_solver_binaries,
     make_backend,
     register_backend,
     registered_backends,
 )
+from repro.solver.backends.router import RouterBackend, classify_formula
+from repro.solver.backends.session import SessionBackend
 from repro.solver.backends.smtlib import SmtLibBackend
 
 __all__ = [
@@ -46,8 +59,14 @@ __all__ = [
     "CachedBackend",
     "NativeBackend",
     "PortfolioBackend",
+    "QueryCache",
+    "QueryDiskStore",
+    "RouterBackend",
+    "SessionBackend",
     "SmtLibBackend",
     "SolverBackend",
+    "classify_formula",
+    "detect_solver_binaries",
     "make_backend",
     "register_backend",
     "registered_backends",

@@ -31,6 +31,9 @@ the ``cached:<inner>`` spec resolves to.)
 
 from __future__ import annotations
 
+import hashlib
+import os
+import pickle
 from collections import OrderedDict
 from dataclasses import dataclass
 from time import perf_counter
@@ -43,6 +46,10 @@ from repro.solver.core import Solver, SolverResult, UNKNOWN
 from repro.solver.model import Model
 from repro.solver.stats import SolverStats
 
+#: Bump when the on-disk entry layout changes; old entries are ignored.
+QUERY_STORE_VERSION = 1
+_MAGIC = "repro-query"
+
 
 @dataclass(frozen=True)
 class CachedResult:
@@ -53,20 +60,157 @@ class CachedResult:
     assignment: Optional[Tuple[Tuple[str, Value], ...]] = None
 
 
+class QueryDiskStore:
+    """Fingerprint-keyed directory of definitive solver answers.
+
+    The query-cache sibling of
+    :class:`repro.automata.cache.DfaDiskStore`: layout is
+    ``<path>/v<QUERY_STORE_VERSION>/<sha256(fingerprint)>.qry`` (the
+    canonical fingerprint is arbitrary-length text, so entries are named
+    by its hash and carry the full fingerprint inside the blob, verified
+    on load against hash collisions and foreign files).  Entries are
+    written atomically (temp file + ``os.replace``) and read
+    defensively: truncated, corrupted, or version-mismatched entries are
+    evicted as misses, never errors — the store is a cache, a bad
+    directory degrades to solving.
+    """
+
+    def __init__(self, path: str):
+        self.root = path
+        self.path = os.path.join(path, f"v{QUERY_STORE_VERSION}")
+        os.makedirs(self.path, exist_ok=True)
+        self.loads = 0
+        self.stores = 0
+        self.failures = 0
+
+    def _entry(self, fingerprint: str) -> str:
+        digest = hashlib.sha256(fingerprint.encode("utf-8")).hexdigest()
+        return os.path.join(self.path, f"{digest}.qry")
+
+    def get(self, fingerprint: str) -> Optional[CachedResult]:
+        entry = self._entry(fingerprint)
+        try:
+            with open(entry, "rb") as handle:
+                blob = pickle.load(handle)
+            magic, version, stored_fp, status, assignment = blob
+            if (
+                magic != _MAGIC
+                or version != QUERY_STORE_VERSION
+                or stored_fp != fingerprint
+            ):
+                raise ValueError("mismatched query-store entry")
+            result = CachedResult(
+                str(status),
+                None
+                if assignment is None
+                else tuple((str(n), v) for n, v in assignment),
+            )
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # Truncated write, foreign file, stale format, hash
+            # collision: drop and re-solve.
+            self.failures += 1
+            try:
+                os.unlink(entry)
+            except OSError:
+                pass
+            return None
+        self.loads += 1
+        return result
+
+    def put(self, fingerprint: str, entry: CachedResult) -> None:
+        path = self._entry(fingerprint)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "wb") as handle:
+                pickle.dump(
+                    (
+                        _MAGIC,
+                        QUERY_STORE_VERSION,
+                        fingerprint,
+                        entry.status,
+                        entry.assignment,
+                    ),
+                    handle,
+                    protocol=4,
+                )
+            os.replace(tmp, path)  # atomic: readers never see partials
+            self.stores += 1
+        except OSError:
+            self.failures += 1
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def __len__(self) -> int:
+        try:
+            return sum(
+                1 for name in os.listdir(self.path) if name.endswith(".qry")
+            )
+        except OSError:
+            return 0
+
+
+def _attached_store(
+    current: Optional[QueryDiskStore], path: Optional[str]
+) -> Optional[QueryDiskStore]:
+    """The store handle for ``attach_store(path)`` on either cache tier.
+
+    Re-attaching the same path keeps the existing handle (its counters
+    survive across jobs in one process); an unusable path degrades to
+    memory-only caching, never to failure.
+    """
+    if path is None:
+        return None
+    if current is not None and current.root == path:
+        return current
+    try:
+        return QueryDiskStore(path)
+    except OSError:
+        return None
+
+
+def _disk_counters(
+    store: Optional[QueryDiskStore], disk_hits: int
+) -> Dict[str, int]:
+    """The shared disk-tier block of both caches' ``counters()``."""
+    return {
+        "disk_hits": disk_hits,
+        "disk_loads": store.loads if store else 0,
+        "disk_stores": store.stores if store else 0,
+        "disk_failures": store.failures if store else 0,
+    }
+
+
 class QueryCache:
-    """An LRU map fingerprint → :class:`CachedResult` with counters.
+    """An LRU map fingerprint → :class:`CachedResult` with counters,
+    optionally backed by a persistent :class:`QueryDiskStore`.
 
     Process-local.  In the batch runner each worker process keeps one
     instance alive across all jobs it executes (see ``runner.py``), which
-    is where cross-job sharing happens.
+    is where cross-job sharing happens; with a store attached
+    (``attach_store``) definitive answers additionally persist across
+    *invocations* — the warm second batch replays yesterday's solves
+    from disk.  A memory miss consults the store; a disk hit is promoted
+    into memory and counted as a hit (it avoided a solve).
     """
 
-    def __init__(self, maxsize: int = 4096):
+    def __init__(self, maxsize: int = 4096, store_path: Optional[str] = None):
         self.maxsize = maxsize
         self._entries: "OrderedDict[str, CachedResult]" = OrderedDict()
+        self.store: Optional[QueryDiskStore] = None
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.disk_hits = 0
+        if store_path:
+            self.attach_store(store_path)
+
+    def attach_store(self, path: Optional[str]) -> None:
+        """Attach (or with ``None`` detach) the on-disk store."""
+        self.store = _attached_store(self.store, path)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -78,14 +222,28 @@ class QueryCache:
 
     def get(self, key: str) -> Optional[CachedResult]:
         entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+        if self.store is not None:
+            entry = self.store.get(key)
+            if entry is not None:
+                self._insert(key, entry)
+                self.disk_hits += 1
+                self.hits += 1
+                return entry
+        self.misses += 1
+        return None
 
     def put(self, key: str, entry: CachedResult) -> None:
+        self._insert(key, entry)
+        if self.store is not None:
+            self.store.put(key, entry)
+
+    def _insert(self, key: str, entry: CachedResult) -> None:
+        """Memory-only insert with LRU eviction (no store write-through:
+        disk-hit promotion must not rewrite the entry it just read)."""
         if key in self._entries:
             self._entries.move_to_end(key)
         elif len(self._entries) >= self.maxsize:
@@ -103,6 +261,7 @@ class QueryCache:
             "misses": self.misses,
             "evictions": self.evictions,
             "hit_rate": self.hit_rate,
+            **_disk_counters(self.store, self.disk_hits),
         }
 
 
@@ -113,22 +272,35 @@ class SharedQueryCache:
 
     Entries live in the manager server process and are visible to every
     worker; hit/miss counters are process-local (each worker reports its
-    own, the batch report sums them).  Eviction is FIFO-ish: when full,
-    the oldest inserted key goes.  Build one via :meth:`create` and ship
-    it to workers through the pool initializer.
+    own, the batch report sums them).  Eviction is LRU: a hit re-inserts
+    the key under the manager lock (the managed dict preserves insertion
+    order, so the front of the iteration order is always the
+    least-recently-*used* key, not merely the oldest-inserted one), and
+    a full cache drops that front key.  A disk store may be attached per
+    worker (``attach_store``): entries missing from the manager are
+    pulled from disk and promoted, definitive answers are written
+    through — atomic renames make concurrent workers safe.  Build one
+    via :meth:`create` and ship it to workers through the pool
+    initializer.
     """
 
     def __init__(self, store, lock, maxsize: int = 4096):
         self._store = store
         self._lock = lock
         self.maxsize = maxsize
+        self.store: Optional[QueryDiskStore] = None
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.disk_hits = 0
 
     @classmethod
     def create(cls, manager, maxsize: int = 4096) -> "SharedQueryCache":
         return cls(manager.dict(), manager.Lock(), maxsize)
+
+    def attach_store(self, path: Optional[str]) -> None:
+        """Attach (or with ``None`` detach) a per-process disk store."""
+        self.store = _attached_store(self.store, path)
 
     def __len__(self) -> int:
         return len(self._store)
@@ -139,7 +311,18 @@ class SharedQueryCache:
         return self.hits / lookups if lookups else 0.0
 
     def get(self, key: str) -> Optional[CachedResult]:
-        entry = self._store.get(key)
+        with self._lock:
+            entry = self._store.get(key)
+            if entry is not None:
+                # LRU touch: move the key to the back of the insertion
+                # order so eviction always drops the least-recently-used.
+                del self._store[key]
+                self._store[key] = entry
+        if entry is None and self.store is not None:
+            entry = self.store.get(key)
+            if entry is not None:
+                self.disk_hits += 1
+                self._put_shared(key, entry)
         if entry is None:
             self.misses += 1
             return None
@@ -147,6 +330,11 @@ class SharedQueryCache:
         return entry
 
     def put(self, key: str, entry: CachedResult) -> None:
+        self._put_shared(key, entry)
+        if self.store is not None:
+            self.store.put(key, entry)
+
+    def _put_shared(self, key: str, entry: CachedResult) -> None:
         with self._lock:
             if key not in self._store and len(self._store) >= self.maxsize:
                 oldest = next(iter(self._store.keys()), None)
@@ -162,6 +350,7 @@ class SharedQueryCache:
             "misses": self.misses,
             "evictions": self.evictions,
             "hit_rate": self.hit_rate,
+            **_disk_counters(self.store, self.disk_hits),
         }
 
 

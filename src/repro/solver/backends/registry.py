@@ -3,7 +3,8 @@
 Spec grammar (one line, no spaces)::
 
     spec     ::= scheme [":" argument] ["?" key "=" value ("&" ...)*]
-    scheme   ::= "native" | "smtlib" | "portfolio" | "cached" | <registered>
+    scheme   ::= "native" | "smtlib" | "session" | "portfolio"
+               | "route" | "cached" | <registered>
 
 Examples::
 
@@ -11,29 +12,41 @@ Examples::
     native?timeout=2               with a per-query wall budget
     smtlib:z3                      z3 subprocess over SMT-LIB (default cmd)
     smtlib:cvc5?timeout=10         cvc5, 10s budget
+    session:z3                     one live z3 process, incremental push/pop
+    session:z3?reset_every=128     with a (reset) cadence
     portfolio:native+smtlib:z3     race members; '+' separates them
+    portfolio:auto                 native + a session per installed binary
+    route:z3                       per-query feature routing (see router.py)
     cached:native                  memoize definitive answers
     cached:portfolio:native+smtlib nesting composes left-to-right
 
 ``make_backend`` also accepts an existing backend object (returned
 unchanged) and ``None`` (the native default), so every consumer can
-take "a spec" without caring which form it got.
+take "a spec" without caring which form it got.  The ``query_cache``
+keyword is a directory path threaded down to every ``cached:`` level of
+a composite spec: its :class:`~repro.solver.backends.cached.QueryCache`
+then persists definitive answers on disk across invocations.
 """
 
 from __future__ import annotations
 
 import re
+import shutil
+import warnings
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.solver.stats import SolverStats
 
 from repro.solver.backends.base import BackendError
-from repro.solver.backends.cached import CachedBackend
+from repro.solver.backends.cached import CachedBackend, QueryCache
 from repro.solver.backends.native import NativeBackend
 from repro.solver.backends.portfolio import PortfolioBackend
+from repro.solver.backends.router import RouterBackend
+from repro.solver.backends.session import SessionBackend
 from repro.solver.backends.smtlib import SmtLibBackend
 
-#: A scheme factory: (rest-of-spec, default timeout, stats sink) → backend.
+#: A scheme factory: (rest-of-spec, default timeout, stats sink,
+#: query-cache dir) → backend.
 BackendFactory = Callable[..., object]
 
 _REGISTRY: Dict[str, BackendFactory] = {}
@@ -44,9 +57,10 @@ _SCHEME_RE = re.compile(r"^([A-Za-z0-9_-]+)(.*)$", re.S)
 def register_backend(scheme: str, factory: BackendFactory) -> None:
     """Register a new spec scheme.
 
-    ``factory(rest, timeout=..., stats=...)`` receives everything after
-    the scheme name (starting with ``:`` or ``?`` when present) and must
-    return an object with ``solve(formula) -> SolverResult``.
+    ``factory(rest, timeout=..., stats=..., query_cache=...)`` receives
+    everything after the scheme name (starting with ``:`` or ``?`` when
+    present) and must return an object with
+    ``solve(formula) -> SolverResult``.
     """
     _REGISTRY[scheme] = factory
 
@@ -60,13 +74,16 @@ def make_backend(
     *,
     timeout: Optional[float] = None,
     stats: Optional[SolverStats] = None,
+    query_cache: Optional[str] = None,
 ):
     """Resolve ``spec`` into a solver backend.
 
     ``timeout`` is a *default* per-query budget, threaded down into
     every constructed backend that does not set its own ``?timeout=``
     option.  ``stats`` is the per-backend tally sink, shared by every
-    backend in a composite spec.
+    backend in a composite spec.  ``query_cache`` is the directory of
+    the persistent query store, picked up by every ``cached:`` level of
+    the spec (and ignored by specs without one).
     """
     if spec is None or spec == "":
         spec = "native"
@@ -92,7 +109,27 @@ def make_backend(
             f"unknown solver backend {scheme!r}; registered schemes: "
             + ", ".join(registered_backends())
         )
+    if query_cache is not None and _accepts_query_cache(factory):
+        return factory(
+            rest, timeout=timeout, stats=stats, query_cache=query_cache
+        )
+    # Factories registered against the pre-query-cache contract
+    # (``factory(rest, timeout=..., stats=...)``) keep working: they
+    # are simply not offered the store directory (only a ``cached:``
+    # level could consume it anyway).
     return factory(rest, timeout=timeout, stats=stats)
+
+
+def _accepts_query_cache(factory: BackendFactory) -> bool:
+    import inspect
+
+    try:
+        parameters = inspect.signature(factory).parameters
+    except (TypeError, ValueError):  # builtins/C callables: assume legacy
+        return False
+    return "query_cache" in parameters or any(
+        p.kind == p.VAR_KEYWORD for p in parameters.values()
+    )
 
 
 # -- spec-string helpers ------------------------------------------------------
@@ -145,7 +182,7 @@ def _require_numeric_options(scheme: str, options: Dict[str, object]) -> None:
 # -- built-in schemes ---------------------------------------------------------
 
 
-def _native_factory(rest, *, timeout=None, stats=None):
+def _native_factory(rest, *, timeout=None, stats=None, query_cache=None):
     body, options = _split_rest(rest)
     if body:
         raise BackendError(
@@ -157,7 +194,7 @@ def _native_factory(rest, *, timeout=None, stats=None):
     return NativeBackend(stats=stats, **options)
 
 
-def _smtlib_factory(rest, *, timeout=None, stats=None):
+def _smtlib_factory(rest, *, timeout=None, stats=None, query_cache=None):
     command, options = _split_rest(rest)
     unknown = set(options) - {"timeout"}
     if unknown:
@@ -170,33 +207,112 @@ def _smtlib_factory(rest, *, timeout=None, stats=None):
     return SmtLibBackend(command or "z3", stats=stats, **options)
 
 
-def _portfolio_factory(rest, *, timeout=None, stats=None):
+def _session_factory(rest, *, timeout=None, stats=None, query_cache=None):
+    command, options = _split_rest(rest)
+    unknown = set(options) - {"timeout", "reset_every"}
+    if unknown:
+        raise BackendError(
+            f"session backend does not accept option(s) {sorted(unknown)}"
+        )
+    _require_numeric_options("session", options)
+    if timeout is not None:
+        options.setdefault("timeout", timeout)
+    return SessionBackend(command or "z3", stats=stats, **options)
+
+
+def detect_solver_binaries() -> List[str]:
+    """The known SMT string-solver binaries resolvable on PATH."""
+    return [name for name in ("z3", "cvc5", "cvc4") if shutil.which(name)]
+
+
+def _portfolio_factory(rest, *, timeout=None, stats=None, query_cache=None):
     # Members are full specs (each may carry its own ``?options``), so
     # the body is split on '+' only; there are no portfolio-level query
     # options — the shared default ``timeout`` flows into every member.
     body = rest[1:] if rest.startswith(":") else rest
-    member_specs = [m for m in body.split("+") if m]
+    if body == "auto":
+        # Auto-detect installed solver binaries; each one races the
+        # native solver through an incremental session (the fast path).
+        member_specs = ["native"] + [
+            f"session:{binary}" for binary in detect_solver_binaries()
+        ]
+        if len(member_specs) == 1:
+            warnings.warn(
+                "portfolio:auto found no SMT solver binary on PATH "
+                "(looked for z3, cvc5, cvc4); degrading to native alone",
+                stacklevel=2,
+            )
+            return make_backend(
+                "native", timeout=timeout, stats=stats
+            )
+    else:
+        member_specs = [m for m in body.split("+") if m]
     if not member_specs:
         raise BackendError(
             "portfolio needs members, e.g. portfolio:native+smtlib"
         )
     members = [
-        make_backend(member, timeout=timeout, stats=stats)
+        make_backend(
+            member, timeout=timeout, stats=stats, query_cache=query_cache
+        )
         for member in member_specs
     ]
     return PortfolioBackend(members, stats=stats)
 
 
-def _cached_factory(rest, *, timeout=None, stats=None):
+def _route_factory(rest, *, timeout=None, stats=None, query_cache=None):
+    command, options = _split_rest(rest)
+    unknown = set(options) - {"timeout", "reset_every"}
+    if unknown:
+        raise BackendError(
+            f"route backend does not accept option(s) {sorted(unknown)}"
+        )
+    _require_numeric_options("route", options)
+    if timeout is not None:
+        options.setdefault("timeout", timeout)
+    command = command or "z3"
+    session_options = dict(options)
+    native_timeout = options.get("timeout")
+    native_options = (
+        {} if native_timeout is None else {"timeout": native_timeout}
+    )
+
+    def native():
+        return NativeBackend(stats=stats, **native_options)
+
+    def session():
+        return SessionBackend(command, stats=stats, **session_options)
+
+    # The portfolio gets its own member instances: its abandoned
+    # stragglers may still run when the router dispatches the next
+    # query straight to `native`/`session`, which are not re-entrant.
+    return RouterBackend(
+        native(),
+        session(),
+        PortfolioBackend([native(), session()], stats=stats),
+        stats=stats,
+    )
+
+
+def _cached_factory(rest, *, timeout=None, stats=None, query_cache=None):
     if not rest.startswith(":") or len(rest) == 1:
         raise BackendError(
             "cached needs an inner backend, e.g. cached:native"
         )
-    inner = make_backend(rest[1:], timeout=timeout, stats=stats)
-    return CachedBackend(inner, tally_stats=stats, stats=stats)
+    inner = make_backend(
+        rest[1:], timeout=timeout, stats=stats, query_cache=query_cache
+    )
+    return CachedBackend(
+        inner,
+        cache=QueryCache(store_path=query_cache) if query_cache else None,
+        tally_stats=stats,
+        stats=stats,
+    )
 
 
 register_backend("native", _native_factory)
 register_backend("smtlib", _smtlib_factory)
+register_backend("session", _session_factory)
 register_backend("portfolio", _portfolio_factory)
+register_backend("route", _route_factory)
 register_backend("cached", _cached_factory)

@@ -1,0 +1,202 @@
+"""Feature-based query routing: send each formula to the backend that
+is actually good at it.
+
+The paper's Table 5 observation — most regexes are classical, but the
+hard minority (captures, backreferences, lookaheads) is what breaks
+classical solvers — becomes a dispatch policy here.  Instead of one
+backend for a whole run, ``route:`` inspects every query's formula
+features and picks per query (cf. the configurable sensitivity knobs of
+JSAI: the routing policy is a first-class, benchmarkable trade-off):
+
+================  ========================================================
+``captures``      a regex with capture groups or backreferences — only
+                  the native solver models those; external solvers would
+                  degrade to UNKNOWN after paying rendering costs
+``classical``     every regex atom is in the classical SMT-LIB fragment —
+                  the incremental ``session:`` backend decides these
+                  without a per-query subprocess spawn
+``mixed``         anything else (lookaheads, anchors, word boundaries) —
+                  raced by a portfolio, since neither side dominates
+``unroutable``    a formula the classifier cannot walk — defensively
+                  handed to native, which accepts every formula
+================  ========================================================
+
+When the session's solver binary is not installed, classical queries
+fall back to native instead (recorded as ``classical->native``), so a
+``route:`` spec works — fully, not degraded to UNKNOWN — on machines
+with no SMT solver at all.
+
+Per-route decision counts land in
+:class:`~repro.solver.stats.SolverStats.route_tallies`; each target
+also keeps its ordinary per-backend tally under its own name, so the
+backend table shows the traffic split the router produced.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Optional, Set, Type
+
+from repro.regex import ast as regex_ast
+from repro.constraints.formulas import (
+    And,
+    BoolLit,
+    Eq,
+    Formula,
+    Implies,
+    InRe,
+    Not,
+    Or,
+)
+from repro.solver.core import SolverResult, UNKNOWN
+from repro.solver.stats import SolverStats
+
+from repro.solver.backends.base import SolverBackend
+
+#: Regex constructs the classical SMT-LIB fragment can express (capture
+#: groups print transparently, but their *meaning* — capture extraction,
+#: backreference consistency — only the native solver models, so
+#: ``Group`` routes to native rather than riding along classically).
+_CLASSICAL_NODES = (
+    regex_ast.Empty,
+    regex_ast.CharMatch,
+    regex_ast.Concat,
+    regex_ast.Alternation,
+    regex_ast.Quantifier,
+    regex_ast.NonCapGroup,
+)
+
+CAPTURES = "captures"
+CLASSICAL = "classical"
+MIXED = "mixed"
+UNROUTABLE = "unroutable"
+
+
+def classify_formula(formula: Formula) -> str:
+    """The routing feature class of ``formula`` (see module docstring)."""
+    try:
+        features: Set[str] = set()
+        _walk_formula(formula, features)
+    except TypeError:
+        return UNROUTABLE
+    if CAPTURES in features:
+        return CAPTURES
+    if MIXED in features:
+        return MIXED
+    return CLASSICAL
+
+
+def _walk_formula(formula: Formula, features: Set[str]) -> None:
+    if isinstance(formula, (BoolLit, Eq)):
+        return
+    if isinstance(formula, Not):
+        _walk_formula(formula.operand, features)
+    elif isinstance(formula, (And, Or)):
+        for op in formula.operands:
+            _walk_formula(op, features)
+    elif isinstance(formula, Implies):
+        _walk_formula(formula.antecedent, features)
+        _walk_formula(formula.consequent, features)
+    elif isinstance(formula, InRe):
+        _walk_regex(formula.regex, features)
+    else:
+        raise TypeError(f"cannot classify {formula!r}")
+
+
+def _walk_regex(node: regex_ast.Node, features: Set[str]) -> None:
+    if isinstance(node, (regex_ast.Group, regex_ast.Backreference)):
+        features.add(CAPTURES)
+        child = getattr(node, "child", None)
+        if child is not None:
+            _walk_regex(child, features)
+    elif isinstance(node, _CLASSICAL_NODES):
+        for attr in ("child",):
+            child = getattr(node, attr, None)
+            if child is not None:
+                _walk_regex(child, features)
+        for attr in ("parts", "options"):
+            children = getattr(node, attr, None)
+            if children is not None:
+                for child in children:
+                    _walk_regex(child, features)
+    elif isinstance(
+        node,
+        (
+            regex_ast.Lookahead,
+            regex_ast.Anchor,
+            regex_ast.WordBoundary,
+        ),
+    ):
+        features.add(MIXED)
+        child = getattr(node, "child", None)
+        if child is not None:
+            _walk_regex(child, features)
+    else:
+        raise TypeError(f"cannot classify regex node {node!r}")
+
+
+class RouterBackend(SolverBackend):
+    """``route:<command>`` — per-query feature dispatch over three targets.
+
+    ``native``, ``session``, and ``portfolio`` are ordinary backends
+    (the registry builds the defaults; tests inject stubs).  The
+    portfolio must own its *own* member instances rather than sharing
+    ``native``/``session``: abandoned portfolio stragglers may still be
+    running when the router dispatches the next query directly, and
+    member backends are not re-entrant.
+    """
+
+    def __init__(
+        self,
+        native,
+        session,
+        portfolio,
+        *,
+        stats: Optional[SolverStats] = None,
+    ):
+        super().__init__(stats)
+        self.native = native
+        self.session = session
+        self.portfolio = portfolio
+        self.name = f"route:{getattr(session, 'command', '?')}"
+
+    def bind_stats(self, stats: SolverStats) -> None:
+        super().bind_stats(stats)
+        for target in (self.native, self.session, self.portfolio):
+            binder = getattr(target, "bind_stats", None)
+            if callable(binder):
+                binder(stats)
+
+    def route(self, formula: Formula):
+        """Pick ``(feature, target_name, backend)`` for one formula."""
+        feature = classify_formula(formula)
+        if feature == CLASSICAL:
+            if getattr(self.session, "available", True):
+                return feature, "session", self.session
+            # No solver binary: classical queries still deserve a
+            # definitive answer, which only native can give here.
+            return feature, "native", self.native
+        if feature == MIXED:
+            return feature, "portfolio", self.portfolio
+        # captures and unroutable formulas both belong to native.
+        return feature, "native", self.native
+
+    def solve(self, formula: Formula) -> SolverResult:
+        started = perf_counter()
+        feature, target_name, target = self.route(formula)
+        if self.stats is not None:
+            self.stats.record_route(feature, target_name)
+        try:
+            result = target.solve(formula)
+        except Exception:
+            self._tally("error", perf_counter() - started)
+            raise
+        self._tally(result.status, perf_counter() - started)
+        return result
+
+    def close(self) -> None:
+        """Release target resources (session processes, portfolio pools)."""
+        for target in (self.native, self.session, self.portfolio):
+            closer = getattr(target, "close", None)
+            if callable(closer):
+                closer()

@@ -82,6 +82,62 @@ class BackendTally:
 
 
 @dataclass
+class SessionTally:
+    """Lifecycle counters for one incremental solver session (by name).
+
+    ``seconds`` is cumulative subprocess lifetime: each spawn's clock is
+    added when the process ends (crash, reset-kill, or close).  The
+    amortization claim of the session backend is ``queries_per_spawn``:
+    a healthy session answers many queries per subprocess spawn, where
+    the one-shot ``smtlib:`` backend is pinned at 1.
+    """
+
+    spawns: int = 0
+    restarts: int = 0
+    resets: int = 0
+    queries: int = 0
+    seconds: float = 0.0
+
+    @property
+    def queries_per_spawn(self) -> float:
+        return self.queries / self.spawns if self.spawns else 0.0
+
+    def add(
+        self,
+        spawns: int = 0,
+        restarts: int = 0,
+        resets: int = 0,
+        queries: int = 0,
+        seconds: float = 0.0,
+    ) -> None:
+        self.spawns += spawns
+        self.restarts += restarts
+        self.resets += resets
+        self.queries += queries
+        self.seconds += seconds
+
+    def as_dict(self) -> dict:
+        return {
+            "spawns": self.spawns,
+            "restarts": self.restarts,
+            "resets": self.resets,
+            "queries": self.queries,
+            "seconds": self.seconds,
+            "queries_per_spawn": self.queries_per_spawn,
+        }
+
+    def merge_dict(self, other: dict) -> None:
+        """Fold a JSON-shaped tally (``as_dict`` output) into this one."""
+        self.add(
+            spawns=other.get("spawns", 0),
+            restarts=other.get("restarts", 0),
+            resets=other.get("resets", 0),
+            queries=other.get("queries", 0),
+            seconds=other.get("seconds", 0.0),
+        )
+
+
+@dataclass
 class SolverStats:
     """Aggregated statistics across queries (reset per experiment)."""
 
@@ -93,6 +149,12 @@ class SolverStats:
     #: Per-backend outcome/latency tallies, keyed by backend name
     #: (populated when solving through ``repro.solver.backends``).
     backend_tallies: Dict[str, BackendTally] = field(default_factory=dict)
+    #: Incremental-session lifecycle counters, keyed by session backend
+    #: name (populated by ``repro.solver.backends.session``).
+    session_tallies: Dict[str, SessionTally] = field(default_factory=dict)
+    #: Routing decision counters, keyed by ``"<feature>-><target>"``
+    #: (populated by ``repro.solver.backends.router``).
+    route_tallies: Dict[str, int] = field(default_factory=dict)
     #: Automata compilation-cache counters (this run's share of the
     #: process-global interner; populated by the engine and the service
     #: jobs from :func:`repro.automata.automata_cache_counters` deltas).
@@ -122,6 +184,26 @@ class SolverStats:
             if tally is None:
                 tally = self.backend_tallies[name] = BackendTally()
             tally.add(status, seconds)
+
+    def record_session(self, name: str, **delta: float) -> None:
+        """Fold session lifecycle counters for backend ``name``.
+
+        Keyword counters are those of :meth:`SessionTally.add`
+        (``spawns``, ``restarts``, ``resets``, ``queries``, ``seconds``).
+        Sessions share the tally lock with backend tallies: a session
+        racing inside a portfolio reports from a worker thread.
+        """
+        with self._tally_lock:
+            tally = self.session_tallies.get(name)
+            if tally is None:
+                tally = self.session_tallies[name] = SessionTally()
+            tally.add(**delta)
+
+    def record_route(self, feature: str, target: str) -> None:
+        """Count one routing decision ``feature -> target``."""
+        key = f"{feature}->{target}"
+        with self._tally_lock:
+            self.route_tallies[key] = self.route_tallies.get(key, 0) + 1
 
     def record_automata(self, delta: Dict[str, int]) -> None:
         """Fold a compilation-cache counters delta into this collector."""
@@ -155,6 +237,19 @@ class SolverStats:
                 name: tally.as_dict()
                 for name, tally in sorted(self.backend_tallies.items())
             }
+
+    def session_summary(self) -> Dict[str, dict]:
+        """JSON-shaped per-session tallies (for job payloads/reports)."""
+        with self._tally_lock:
+            return {
+                name: tally.as_dict()
+                for name, tally in sorted(self.session_tallies.items())
+            }
+
+    def route_summary(self) -> Dict[str, int]:
+        """JSON-shaped routing decision counts (for payloads/reports)."""
+        with self._tally_lock:
+            return dict(sorted(self.route_tallies.items()))
 
     def cache_summary(self) -> dict:
         """Hit/miss counters of the solver query cache, if one was used."""

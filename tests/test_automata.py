@@ -200,6 +200,31 @@ class TestEmptinessAndWitness:
         pattern = parse_regex("a").body
         assert dfa_for(pattern).intersect(dfa("b")).shortest_word() is None
 
+    def test_live_states_memoized_per_instance(self):
+        """Regression: repeated emptiness checks must not recompute the
+        backward reachability sweep — the result is interned on the
+        instance (identity, not just equality, on the second call)."""
+        d = dfa("a*b|c+")
+        first = d.live_states()
+        assert d.live_states() is first
+        d.is_empty()
+        d.is_empty()
+        assert d.live_states() is first
+
+    def test_live_states_memo_not_shared_with_complement(self):
+        # Complement changes the accepting set, so its liveness differs;
+        # the memo must start fresh on the derived view.
+        d = dfa("a+").intersect(dfa("b+"))  # empty language
+        assert d.is_empty()
+        c = d.complement()
+        assert not c.is_empty()
+        assert c.live_states() is not d.live_states()
+
+    def test_left_quotient_shares_the_memo(self):
+        d = dfa("ab*")
+        alive = d.live_states()
+        assert d.quotient_left("a").live_states() is alive
+
 
 class TestEnumeration:
     def test_words_in_length_order(self):

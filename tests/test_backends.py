@@ -121,6 +121,28 @@ class TestRegistry:
         ]
         assert member_timeouts == [1, 3]
 
+    def test_legacy_factory_signature_still_resolves(self):
+        # Factories registered against the pre-query-cache contract
+        # (no query_cache kwarg) must keep working for ordinary calls.
+        marker = NativeBackend()
+
+        def legacy(rest, *, timeout=None, stats=None):
+            return marker
+
+        register_backend("legacy-scheme", legacy)
+        try:
+            assert make_backend("legacy-scheme") is marker
+            # Even with a query-cache dir in play: the legacy factory
+            # is simply not offered the kwarg, never crashed by it.
+            assert (
+                make_backend("legacy-scheme", query_cache="/tmp/qc")
+                is marker
+            )
+        finally:
+            from repro.solver.backends import registry
+
+            registry._REGISTRY.pop("legacy-scheme")
+
     def test_register_backend_extends_the_grammar(self):
         marker = NativeBackend()
         register_backend("always-native", lambda rest, **kw: marker)

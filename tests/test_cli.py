@@ -37,6 +37,20 @@ class TestSolveCommand:
         err = capsys.readouterr().err
         assert "unknown solver backend" in err
 
+    def test_solve_with_route_backend(self, capsys):
+        # Works fully without any SMT binary (classical → native).
+        assert main(["solve", r"(a+)b", "--backend", "route:z3"]) == 0
+        out = capsys.readouterr().out
+        assert "input:" in out and "C1" in out
+
+    def test_solve_with_query_cache(self, tmp_path, capsys):
+        store = tmp_path / "queries"
+        argv = ["solve", "^a+b$", "--query-cache", str(store)]
+        assert main(argv) == 0
+        assert any(store.rglob("*.qry"))
+        assert main(argv) == 0  # warm run replays the stored answer
+        assert "input:" in capsys.readouterr().out
+
     def test_analyze_with_bad_backend_spec(self, tmp_path, capsys):
         program = tmp_path / "p.js"
         program.write_text("var x = 1;\n")
@@ -118,6 +132,46 @@ class TestBatchCommand:
 
     def test_batch_without_input_errors(self, capsys):
         assert main(["batch"]) == 2
+
+    def test_batch_query_cache_persists_across_invocations(
+        self, tmp_path, capsys
+    ):
+        store = tmp_path / "queries"
+        argv = [
+            "batch", "--survey", "-n", "30", "--workers", "0",
+            "--solve-cap", "6", "--query-cache", str(store),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert any(store.rglob("*.qry"))  # the store was populated
+        assert main(argv) == 0  # warm invocation replays from disk
+        out = capsys.readouterr().out
+        assert "0 misses" in out
+
+    def test_batch_with_routed_backend(self, capsys):
+        code = main(
+            [
+                "batch", "--survey", "-n", "30", "--workers", "0",
+                "--solve-cap", "6", "--backend", "cached:route:z3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Query routing" in out
+        assert "cached:route:z3" in out
+
+    def test_batch_with_session_backend_degrades(self, capsys):
+        # No z3 binary: every session query answers UNKNOWN, jobs still
+        # complete (found=False), and the batch exits cleanly.
+        code = main(
+            [
+                "batch", "--survey", "-n", "20", "--workers", "0",
+                "--solve-cap", "4", "--backend", "session:z3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "session:z3" in out
 
     def test_batch_with_backend_spec(self, tmp_path, capsys):
         program = tmp_path / "p.js"

@@ -1,0 +1,352 @@
+"""Tests for feature-based query routing (``route:``) and
+``portfolio:auto`` binary detection.
+
+Routing policy under test: captures/backreferences → native,
+classical-regex-only → the incremental session, anything else (mixed
+lookaheads/anchors) → the portfolio; unroutable formulas and classical
+queries with no installed solver binary fall back to native.
+"""
+
+import stat
+
+import pytest
+
+from repro.automata.build import erase_captures
+from repro.constraints import Eq, InRe, Not, StrConst, StrVar, conj
+from repro.constraints.formulas import Formula
+from repro.regex import parse_regex
+from repro.solver import SAT, Model, SolverResult, SolverStats, UNKNOWN, UNSAT
+from repro.solver.backends import (
+    NativeBackend,
+    RouterBackend,
+    classify_formula,
+    detect_solver_binaries,
+    make_backend,
+)
+from repro.solver.backends.router import (
+    CAPTURES,
+    CLASSICAL,
+    MIXED,
+    UNROUTABLE,
+)
+
+
+def membership(pattern: str, var_name: str = "x", keep_captures=False):
+    node = parse_regex(pattern, "").body
+    if not keep_captures:
+        node = erase_captures(node)
+    return InRe(StrVar(var_name), node)
+
+
+X = StrVar("x")
+
+
+class _Target:
+    """A scriptable routing target that remembers what it saw."""
+
+    def __init__(self, status=SAT, name="target", model=None, available=True):
+        self.status = status
+        self.name = name
+        self.model = model
+        self.available = available
+        self.calls = 0
+
+    def solve(self, formula):
+        self.calls += 1
+        return SolverResult(self.status, self.model)
+
+
+class TestClassifier:
+    def test_classical(self):
+        assert classify_formula(membership("a+b")) == CLASSICAL
+        assert classify_formula(
+            conj([membership("[0-9]{2}"), Eq(X, StrConst("42"))])
+        ) == CLASSICAL
+        assert classify_formula(Not(membership("(?:ab)+"))) == CLASSICAL
+
+    def test_captures(self):
+        assert (
+            classify_formula(membership("(a+)b", keep_captures=True))
+            == CAPTURES
+        )
+
+    def test_backreference(self):
+        assert (
+            classify_formula(membership(r"(a)\1", keep_captures=True))
+            == CAPTURES
+        )
+
+    def test_mixed(self):
+        assert (
+            classify_formula(membership("(?=a)a", keep_captures=True))
+            == MIXED
+        )
+        assert (
+            classify_formula(membership(r"a\b", keep_captures=True)) == MIXED
+        )
+
+    def test_captures_beat_mixed(self):
+        # A formula with both features belongs to native: external
+        # solvers cannot answer the capture part at all.
+        formula = conj(
+            [
+                membership("(a)b", keep_captures=True),
+                membership("(?=c)c", var_name="y", keep_captures=True),
+            ]
+        )
+        assert classify_formula(formula) == CAPTURES
+
+    def test_unroutable(self):
+        class Alien(Formula):
+            pass
+
+        assert classify_formula(Alien()) == UNROUTABLE
+
+    def test_no_regex_at_all_is_classical(self):
+        assert classify_formula(Eq(X, StrConst("a"))) == CLASSICAL
+
+
+class TestRouting:
+    def _router(self, session_available=True, stats=None):
+        native = _Target(SAT, "native", Model({X: "a"}))
+        session = _Target(
+            UNSAT, "session", available=session_available
+        )
+        portfolio = _Target(UNKNOWN, "portfolio")
+        return (
+            RouterBackend(native, session, portfolio, stats=stats),
+            native,
+            session,
+            portfolio,
+        )
+
+    def test_classical_goes_to_session(self):
+        router, native, session, _ = self._router()
+        assert router.solve(membership("a+")).status == UNSAT
+        assert session.calls == 1 and native.calls == 0
+
+    def test_captures_go_to_native(self):
+        router, native, session, _ = self._router()
+        result = router.solve(membership("(a+)b", keep_captures=True))
+        assert result.status == SAT
+        assert native.calls == 1 and session.calls == 0
+
+    def test_mixed_goes_to_portfolio(self):
+        router, _, _, portfolio = self._router()
+        router.solve(membership("(?=a)a", keep_captures=True))
+        assert portfolio.calls == 1
+
+    def test_classical_falls_back_to_native_without_binary(self):
+        router, native, session, _ = self._router(session_available=False)
+        result = router.solve(membership("a+"))
+        assert result.status == SAT  # native's answer, not UNKNOWN
+        assert native.calls == 1 and session.calls == 0
+
+    def test_unroutable_falls_back_to_native(self):
+        class Alien(Formula):
+            pass
+
+        router, native, _, _ = self._router()
+        assert router.solve(Alien()).status == SAT
+        assert native.calls == 1
+
+    def test_route_tallies_recorded(self):
+        stats = SolverStats()
+        router, *_ = self._router(stats=stats)
+        router.solve(membership("a+"))
+        router.solve(membership("(a)b", keep_captures=True))
+        router.solve(membership("(?=a)a", keep_captures=True))
+        assert stats.route_tallies == {
+            "classical->session": 1,
+            "captures->native": 1,
+            "mixed->portfolio": 1,
+        }
+        # the router's own outcome tally sits in the backend table too
+        assert stats.backend_tallies[router.name].queries == 3
+
+    def test_session_crash_surfaces_as_unknown(self, tmp_path):
+        """Satellite: session crash → restart once → UNKNOWN (the
+        router does not paper over a crashed session with native)."""
+        import textwrap
+
+        from repro.solver.backends import SessionBackend
+
+        path = tmp_path / "dies"
+        path.write_text(
+            textwrap.dedent(
+                """\
+                #!/usr/bin/env python3
+                import sys
+                for line in sys.stdin:
+                    if line.strip() == "(check-sat)":
+                        sys.exit(1)  # crash mid-query, deterministically
+                """
+            )
+        )
+        path.chmod(path.stat().st_mode | stat.S_IXUSR)
+        session = SessionBackend(str(path), timeout=1.0)
+        router = RouterBackend(
+            _Target(SAT, "native", Model({X: "a"})),
+            session,
+            _Target(UNKNOWN, "portfolio"),
+        )
+        result = router.solve(membership("a+"))
+        assert result.status == UNKNOWN
+        assert session.restarts == 1
+        router.close()
+
+
+class TestRouteSpec:
+    def test_route_spec_resolves(self):
+        backend = make_backend("route:z3")
+        assert backend.name == "route:z3"
+        assert backend.native.name == "native"
+        assert backend.session.name == "session:z3"
+        assert backend.portfolio.name == "portfolio:native+session:z3"
+
+    def test_route_default_command(self):
+        assert make_backend("route").session.command == "z3"
+
+    def test_route_options_thread_into_targets(self):
+        backend = make_backend("route:cvc5?timeout=3")
+        assert backend.session.timeout == 3
+        assert backend.native.timeout == 3
+
+    def test_portfolio_members_are_distinct_instances(self):
+        backend = make_backend("route:z3")
+        assert backend.portfolio.members[0] is not backend.native
+        assert backend.portfolio.members[1] is not backend.session
+
+    def test_cached_route_composes(self):
+        backend = make_backend("cached:route:z3")
+        assert backend.name == "cached:route:z3"
+        result = backend.solve(membership("a+b"))
+        assert result.status == SAT  # no z3 binary → native fallback
+
+    def test_route_works_end_to_end_without_any_binary(self):
+        from repro.model.api import find_matching_input
+
+        word, captures = find_matching_input(
+            r"^v(\d+)\.(\d+)$", backend="route:z3"
+        )
+        assert word == f"v{captures[1]}.{captures[2]}"
+
+    def test_bad_option_rejected(self):
+        from repro.solver.backends import BackendError
+
+        with pytest.raises(BackendError, match="option"):
+            make_backend("route:z3?nope=1")
+
+
+class TestPortfolioAuto:
+    def _with_fake_path(self, monkeypatch, tmp_path, binaries):
+        for name in binaries:
+            path = tmp_path / name
+            path.write_text("#!/bin/sh\nexit 0\n")
+            path.chmod(path.stat().st_mode | stat.S_IXUSR)
+        monkeypatch.setenv("PATH", str(tmp_path))
+
+    def test_detects_installed_binaries(self, monkeypatch, tmp_path):
+        self._with_fake_path(monkeypatch, tmp_path, ["z3", "cvc5"])
+        assert detect_solver_binaries() == ["z3", "cvc5"]
+
+    def test_auto_builds_sessions_for_detected_binaries(
+        self, monkeypatch, tmp_path
+    ):
+        self._with_fake_path(monkeypatch, tmp_path, ["z3"])
+        backend = make_backend("portfolio:auto")
+        assert backend.name == "portfolio:native+session:z3"
+
+    def test_auto_degrades_to_native_with_a_warning(
+        self, monkeypatch, tmp_path
+    ):
+        self._with_fake_path(monkeypatch, tmp_path, [])
+        with pytest.warns(UserWarning, match="no SMT solver binary"):
+            backend = make_backend("portfolio:auto")
+        assert backend.name == "native"
+        assert backend.solve(membership("a+")).status == SAT
+
+
+class TestServiceIntegration:
+    def test_route_spec_survives_job_round_trip_and_reports_tallies(self):
+        import json
+
+        from repro.service import (
+            BatchRunner,
+            RunnerConfig,
+            SolveJob,
+            format_batch_report,
+            job_from_spec,
+            merge_route_tallies,
+            merge_session_tallies,
+        )
+
+        jobs = [
+            job_from_spec(
+                json.loads(
+                    json.dumps(
+                        SolveJob(
+                            job_id=f"s{i}",
+                            pattern=pattern,
+                            backend="cached:route:z3",
+                        ).to_spec()
+                    )
+                )
+            )
+            for i, pattern in enumerate(["a+b", r"(\d+)x"])
+        ]
+        report = BatchRunner(RunnerConfig(workers=0)).run(jobs)
+        assert all(r.status == "ok" for r in report.results)
+        routes = merge_route_tallies(report.results)
+        assert sum(routes.values()) >= 2
+        # No z3 binary in the test environment: every classical query
+        # falls back to native (captures are erased into classical
+        # memberships by the model; CEGAR owns capture semantics).
+        assert routes.get("classical->native", 0) >= 2
+        text = format_batch_report(report)
+        assert "== Query routing" in text
+        assert merge_session_tallies(report.results) == {}  # no binary ran
+
+    def test_session_tallies_reach_the_batch_report(self, tmp_path):
+        import textwrap
+
+        from repro.service import (
+            BatchRunner,
+            RunnerConfig,
+            SolveJob,
+            format_batch_report,
+            merge_session_tallies,
+        )
+
+        fake = tmp_path / "fakez3"
+        fake.write_text(
+            textwrap.dedent(
+                """\
+                #!/usr/bin/env python3
+                import re, sys
+                for line in sys.stdin:
+                    line = line.strip()
+                    if line == "(check-sat)":
+                        print("unknown", flush=True)
+                    else:
+                        m = re.match(r'\\(echo "(.*)"\\)', line)
+                        if m:
+                            print(m.group(1), flush=True)
+                """
+            )
+        )
+        fake.chmod(fake.stat().st_mode | stat.S_IXUSR)
+        jobs = [
+            SolveJob(
+                job_id="s0",
+                pattern="a+b",
+                backend=f"portfolio:native+session:{fake}",
+            )
+        ]
+        report = BatchRunner(RunnerConfig(workers=0)).run(jobs)
+        assert report.results[0].status == "ok"
+        sessions = merge_session_tallies(report.results)
+        assert sessions, report.results[0].payload
+        (tally,) = sessions.values()
+        assert tally["spawns"] >= 1
+        assert "== Incremental sessions" in format_batch_report(report)

@@ -1,0 +1,472 @@
+"""Tests for the incremental SMT-LIB session backend.
+
+No real z3/cvc5 is assumed: the interactive dialogue is exercised with
+fake solver executables (small Python scripts speaking just enough
+SMT-LIB to answer ``check-sat``/``get-value``/``echo``), including
+crashing and hanging ones.  The acceptance property is the equivalence
+suite at the bottom: on the printer round-trip corpus, the session
+backend must return exactly the verdicts/models of the
+subprocess-per-query ``smtlib:`` backend — while spawning one process
+for the whole corpus instead of one per query.
+"""
+
+import stat
+import time
+import textwrap
+
+import pytest
+
+from repro.automata.build import erase_captures
+from repro.constraints import Eq, InRe, StrConst, StrVar, conj
+from repro.constraints.printer import (
+    smtlib_prelude,
+    to_smtlib_incremental,
+)
+from repro.regex import parse_regex
+from repro.solver import SAT, Model, SolverStats, UNKNOWN, UNSAT
+from repro.solver.backends import SessionBackend, SmtLibBackend, make_backend
+
+
+def membership(pattern: str, var_name: str = "x"):
+    node = erase_captures(parse_regex(pattern, "").body)
+    return InRe(StrVar(var_name), node)
+
+
+X = StrVar("x")
+
+#: A fake interactive solver: answers every (check-sat) with VERDICT,
+#: every (get-value ...) with MODEL, echoes markers, and appends every
+#: line it receives to LOG (for dialogue assertions).
+_FAKE = textwrap.dedent(
+    '''\
+    #!/usr/bin/env python3
+    import re, sys
+    VERDICT = {verdict!r}
+    MODEL = {model!r}
+    LOG = {log!r}
+    for line in sys.stdin:
+        if LOG:
+            with open(LOG, "a") as f:
+                f.write(line)
+        line = line.strip()
+        if line == "(check-sat)":
+            print(VERDICT, flush=True)
+        elif line.startswith("(get-value"):
+            print(MODEL, flush=True)
+        else:
+            m = re.match(r'\\(echo "(.*)"\\)', line)
+            if m:
+                print(m.group(1), flush=True)
+    '''
+)
+
+
+def fake_session_solver(
+    tmp_path, verdict="sat", model="()", log=None, name="fakesess", body=None
+):
+    path = tmp_path / name
+    path.write_text(
+        body
+        if body is not None
+        else _FAKE.format(verdict=verdict, model=model, log=log or "")
+    )
+    path.chmod(path.stat().st_mode | stat.S_IXUSR)
+    return str(path)
+
+
+class TestIncrementalRendering:
+    def test_delta_declares_each_symbol_once(self):
+        declared = set()
+        first = to_smtlib_incremental(
+            membership("a+"), declared, guarded=True, get_values=True
+        )
+        assert "(declare-const x String)" in first
+        assert "(declare-const x.def Bool)" in first
+        assert first.index("(declare-const x String)") < first.index(
+            "(push 1)"
+        )  # declarations persist outside the scope
+        assert first.strip().endswith("(pop 1)")
+        second = to_smtlib_incremental(
+            membership("b+"), declared, guarded=True, get_values=True
+        )
+        assert "declare-const" not in second  # already declared
+        assert "(push 1)" in second and "(check-sat)" in second
+
+    def test_new_symbols_still_declared_later(self):
+        declared = set()
+        to_smtlib_incremental(membership("a"), declared)
+        third = to_smtlib_incremental(
+            membership("a", var_name="y"), declared
+        )
+        assert "(declare-const y String)" in third
+
+    def test_unprintable_raises_before_mutating_declared(self):
+        declared = set()
+        with pytest.raises(TypeError):
+            to_smtlib_incremental(
+                InRe(StrVar("z"), parse_regex("(?=a)a", "").body), declared
+            )
+        assert not declared
+
+    def test_prelude_matches_one_shot_header(self):
+        assert smtlib_prelude(get_values=True).splitlines() == [
+            "(set-option :produce-models true)",
+            "(set-logic QF_S)",
+        ]
+
+
+class TestSessionLifecycle:
+    def test_one_spawn_many_queries(self, tmp_path):
+        stats = SolverStats()
+        cmd = fake_session_solver(
+            tmp_path, "sat", '((x "aab") (x.def true))'
+        )
+        backend = SessionBackend(cmd, stats=stats, timeout=5.0)
+        formula = membership("a+b")
+        for _ in range(8):
+            result = backend.solve(formula)
+            assert result.status == SAT
+            assert result.model[X] == "aab"
+        assert backend.spawns == 1
+        tally = stats.session_summary()[backend.name]
+        assert tally["queries"] == 8
+        assert tally["spawns"] == 1
+        assert tally["queries_per_spawn"] == 8.0
+        backend.close()
+        assert stats.session_summary()[backend.name]["seconds"] > 0
+
+    def test_dialogue_is_incremental(self, tmp_path):
+        log = str(tmp_path / "dialogue.log")
+        cmd = fake_session_solver(tmp_path, "unsat", log=log)
+        backend = SessionBackend(cmd, timeout=5.0)
+        formula = membership("a+b")
+        assert backend.solve(formula).status == UNSAT
+        assert backend.solve(formula).status == UNSAT
+        # The trailing (pop 1) is written but close() may kill the fake
+        # before it drains it — wait until the log settles.
+        deadline = time.monotonic() + 5.0
+        while (
+            open(log).read().count("(pop 1)") < 2
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.02)
+        backend.close()
+        dialogue = open(log).read()
+        assert dialogue.count("(set-logic QF_S)") == 1  # shared prelude
+        assert dialogue.count("(declare-const x String)") == 1  # delta only
+        assert dialogue.count("(push 1)") == 2
+        assert dialogue.count("(pop 1)") == 2
+
+    def test_reset_cadence(self, tmp_path):
+        log = str(tmp_path / "dialogue.log")
+        stats = SolverStats()
+        cmd = fake_session_solver(tmp_path, "unsat", log=log)
+        backend = SessionBackend(
+            cmd, stats=stats, timeout=5.0, reset_every=2
+        )
+        formula = membership("a+")
+        for _ in range(5):
+            backend.solve(formula)
+        backend.close()
+        dialogue = open(log).read()
+        assert backend.resets == 2  # after queries 2 and 4
+        assert dialogue.count("(reset)") == 2
+        # the prelude and the declarations come back after every reset
+        assert dialogue.count("(set-logic QF_S)") == 3
+        assert dialogue.count("(declare-const x String)") == 3
+        assert stats.session_summary()[backend.name]["resets"] == 2
+
+    def test_missing_binary_degrades_to_unknown(self):
+        backend = SessionBackend("no-such-session-solver")
+        assert not backend.available
+        assert backend.solve(membership("a")).status == UNKNOWN
+        assert "not installed" in backend.last_error
+        assert backend.spawns == 0
+
+    def test_unprintable_formula_keeps_session_alive(self, tmp_path):
+        cmd = fake_session_solver(tmp_path, "unsat")
+        backend = SessionBackend(cmd, timeout=5.0)
+        assert backend.solve(membership("a")).status == UNSAT
+        lookahead = InRe(StrVar("z"), parse_regex("(?=a)a", "").body)
+        assert backend.solve(lookahead).status == UNKNOWN
+        assert "unprintable" in backend.last_error
+        assert backend.solve(membership("b")).status == UNSAT
+        assert backend.spawns == 1  # nothing was sent, nothing crashed
+        backend.close()
+
+    def test_no_get_value_after_non_sat_verdict(self, tmp_path):
+        # cvc5 aborts the whole process on a model query in unsat
+        # state; the session must ask for values only after `sat`, or
+        # every unsat verdict would be discarded with a crash+respawn.
+        body = textwrap.dedent(
+            '''\
+            #!/usr/bin/env python3
+            import re, sys
+            last = None
+            for line in sys.stdin:
+                line = line.strip()
+                if line == "(check-sat)":
+                    last = "unsat"
+                    print("unsat", flush=True)
+                elif line.startswith("(get-value"):
+                    if last != "sat":
+                        sys.exit(1)  # cvc5-style abort-on-error
+                    print("()", flush=True)
+                else:
+                    m = re.match(r'\\(echo "(.*)"\\)', line)
+                    if m:
+                        print(m.group(1), flush=True)
+            '''
+        )
+        cmd = fake_session_solver(tmp_path, body=body, name="abortsmodel")
+        backend = SessionBackend(cmd, timeout=5.0)
+        formula = membership("a+")
+        assert backend.solve(formula).status == UNSAT
+        assert backend.solve(formula).status == UNSAT
+        assert backend.spawns == 1 and backend.restarts == 0
+        backend.close()
+
+    def test_quoted_echo_marker_cvc5_style(self, tmp_path):
+        # z3 echoes the bare string; cvc5/cvc4 echo the SMT-LIB string
+        # *literal*, quotes included.  Both must synchronize.
+        body = textwrap.dedent(
+            '''\
+            #!/usr/bin/env python3
+            import re, sys
+            for line in sys.stdin:
+                line = line.strip()
+                if line == "(check-sat)":
+                    print("unsat", flush=True)
+                else:
+                    m = re.match(r'\\(echo "(.*)"\\)', line)
+                    if m:
+                        print('"' + m.group(1) + '"', flush=True)
+            '''
+        )
+        cmd = fake_session_solver(tmp_path, body=body, name="quotedecho")
+        backend = SessionBackend(cmd, timeout=5.0)
+        assert backend.solve(membership("a+")).status == UNSAT
+        assert backend.restarts == 0
+        backend.close()
+
+    def test_bogus_model_degrades_to_unknown(self, tmp_path):
+        cmd = fake_session_solver(
+            tmp_path, "sat", '((x "zzz") (x.def true))'
+        )
+        backend = SessionBackend(cmd, timeout=5.0)
+        assert backend.solve(membership("a+b")).status == UNKNOWN
+        assert "re-validation" in backend.last_error
+        backend.close()
+
+
+class TestCrashRecovery:
+    def test_crash_restarts_once_and_answers_unknown(self, tmp_path):
+        # Crashes on the first check-sat of every *process* unless a
+        # state file says this is a respawn; so: query 1 crashes
+        # (restart, UNKNOWN), query 2 runs on the fresh process.
+        state = tmp_path / "crashed-once"
+        body = textwrap.dedent(
+            f'''\
+            #!/usr/bin/env python3
+            import os, re, sys
+            state = {str(state)!r}
+            for line in sys.stdin:
+                line = line.strip()
+                if line == "(check-sat)":
+                    if not os.path.exists(state):
+                        open(state, "w").close()
+                        sys.exit(1)
+                    print("unsat", flush=True)
+                else:
+                    m = re.match(r'\\(echo "(.*)"\\)', line)
+                    if m:
+                        print(m.group(1), flush=True)
+            '''
+        )
+        stats = SolverStats()
+        cmd = fake_session_solver(tmp_path, body=body, name="crashonce")
+        backend = SessionBackend(cmd, stats=stats, timeout=5.0)
+        formula = membership("a+")
+        assert backend.solve(formula).status == UNKNOWN  # crashed mid-query
+        assert backend.restarts == 1
+        assert backend.solve(formula).status == UNSAT  # fresh process works
+        assert backend.spawns == 2
+        tally = stats.session_summary()[backend.name]
+        assert tally["restarts"] == 1 and tally["spawns"] == 2
+        backend.close()
+
+    def test_hung_solver_times_out_to_unknown(self, tmp_path):
+        body = textwrap.dedent(
+            """\
+            #!/usr/bin/env python3
+            import sys, time
+            for line in sys.stdin:
+                if line.strip() == "(check-sat)":
+                    time.sleep(60)
+            """
+        )
+        cmd = fake_session_solver(tmp_path, body=body, name="hang")
+        backend = SessionBackend(cmd, timeout=0.2)
+        result = backend.solve(membership("a"))
+        assert result.status == UNKNOWN
+        assert "timed out" in backend.last_error
+        assert backend.restarts == 1
+        backend.close()
+
+    def test_instant_exit_degrades_per_query(self, tmp_path):
+        body = "#!/bin/sh\nexit 1\n"
+        cmd = fake_session_solver(tmp_path, body=body, name="dieshard")
+        backend = SessionBackend(cmd, timeout=1.0)
+        for _ in range(2):
+            assert backend.solve(membership("a")).status == UNKNOWN
+        backend.close()
+
+
+class TestSpecAndRegistry:
+    def test_session_spec_resolves(self):
+        backend = make_backend("session:z3?timeout=3&reset_every=64")
+        assert backend.name == "session:z3"
+        assert backend.timeout == 3
+        assert backend.reset_every == 64
+
+    def test_default_timeout_threads_down(self):
+        assert make_backend("session:z3", timeout=7.5).timeout == 7.5
+
+    def test_unknown_option_rejected(self):
+        from repro.solver.backends import BackendError
+
+        with pytest.raises(BackendError, match="option"):
+            make_backend("session:z3?frobnicate=1")
+
+    def test_cached_session_composes(self):
+        backend = make_backend("cached:session:z3")
+        assert backend.name == "cached:session:z3"
+
+
+class TestEquivalenceWithOneShotSmtlib:
+    """Satellite: incremental-session verdicts/models match the
+    subprocess-per-query ``smtlib:`` backend on the printer round-trip
+    corpus — with one spawn amortized over the whole corpus."""
+
+    def _corpus(self):
+        from repro.corpus.data import CATALOG
+        from repro.model.api import SymbolicRegExp
+
+        formulas = []
+        for entry in CATALOG:
+            if "backreference" in entry.tags:
+                continue
+            regexp = SymbolicRegExp(entry.pattern, entry.flags)
+            formulas.append(
+                regexp.exec_model(StrVar(f"in!{len(formulas)}")).match_formula
+            )
+            if len(formulas) == 8:
+                break
+        return formulas
+
+    def _canned(self, formulas):
+        """Native-solve the corpus; render each answer as solver stdout."""
+        from repro.constraints.printer import _string_literal, _variables
+        from repro.solver.core import Solver
+
+        responses = []
+        for formula in formulas:
+            result = Solver(timeout=5.0).solve(formula)
+            if result.status != SAT:
+                responses.append((result.status, "()"))
+                continue
+            pairs = []
+            for var in sorted(_variables(formula), key=lambda v: v.name):
+                value = result.model[var]
+                defined = "false" if value is None else "true"
+                literal = _string_literal(value or "")
+                name = (
+                    var.name
+                    if all(c.isalnum() or c in "_.$" for c in var.name)
+                    else f"|{var.name}|"
+                )
+                defname = (
+                    f"{name[:-1]}.def|" if name.endswith("|")
+                    else f"{name}.def"
+                )
+                pairs.append(f"({name} {literal})")
+                pairs.append(f"({defname} {defined})")
+            responses.append((SAT, "(" + " ".join(pairs) + ")"))
+        return responses
+
+    def _scripted_solver(self, tmp_path, responses, name, per_process):
+        """A fake solver replaying canned (verdict, model) pairs.
+
+        ``per_process=False`` advances one shared counter file per
+        *check-sat* (the session case: one process, many queries);
+        ``per_process=True`` advances it per *invocation* (the one-shot
+        case: each spawn answers the next query).
+        """
+        counter = tmp_path / f"{name}.counter"
+        counter.write_text("0")
+        body = textwrap.dedent(
+            f'''\
+            #!/usr/bin/env python3
+            import re, sys
+            RESPONSES = {responses!r}
+            COUNTER = {str(counter)!r}
+            PER_PROCESS = {per_process!r}
+
+            def take():
+                with open(COUNTER) as f:
+                    i = int(f.read().strip() or "0")
+                with open(COUNTER, "w") as f:
+                    f.write(str(i + 1))
+                return RESPONSES[i % len(RESPONSES)]
+
+            if PER_PROCESS:
+                verdict, model = take()
+                print(verdict, flush=True)
+                print(model, flush=True)
+                sys.exit(0)
+            current = [None]
+            for line in sys.stdin:
+                line = line.strip()
+                if line == "(check-sat)":
+                    current[0] = take()
+                    print(current[0][0], flush=True)
+                elif line.startswith("(get-value"):
+                    print(current[0][1] if current[0] else "()", flush=True)
+                else:
+                    m = re.match(r'\\(echo "(.*)"\\)', line)
+                    if m:
+                        print(m.group(1), flush=True)
+            '''
+        )
+        path = tmp_path / name
+        path.write_text(body)
+        path.chmod(path.stat().st_mode | stat.S_IXUSR)
+        return str(path)
+
+    def test_session_matches_one_shot_on_the_corpus(self, tmp_path):
+        formulas = self._corpus()
+        responses = self._canned(formulas)
+        session_cmd = self._scripted_solver(
+            tmp_path, responses, "replay-session", per_process=False
+        )
+        oneshot_cmd = self._scripted_solver(
+            tmp_path, responses, "replay-oneshot", per_process=True
+        )
+        session = SessionBackend(session_cmd, timeout=10.0)
+        oneshot = SmtLibBackend(oneshot_cmd, timeout=10.0)
+        for formula in formulas:
+            incremental = session.solve(formula)
+            spawned = oneshot.solve(formula)
+            assert incremental.status == spawned.status, (
+                session.last_error,
+                oneshot.last_error,
+            )
+            if incremental.model is None:
+                assert spawned.model is None
+            else:
+                assert (
+                    incremental.model.assignment == spawned.model.assignment
+                )
+        assert session.spawns == 1  # the whole corpus on one process
+        assert session.queries == len(formulas)
+        session.close()
