@@ -44,14 +44,27 @@ def _check_backend_spec(spec) -> int:
     return 0
 
 
-def _resolve_backend(spec, query_cache, timeout=None):
+def _check_query_cache_flags(args) -> int:
+    """A cap without a store would silently bound nothing; 0 ok, 2 bad."""
+    if args.query_cache_max is not None and args.query_cache is None:
+        print(
+            "error: --query-cache-max requires --query-cache "
+            "(there is no store to cap without one)",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
+
+
+def _resolve_backend(spec, query_cache, timeout=None, query_cache_max=None):
     """The backend argument for one-shot commands.
 
     Without ``--query-cache`` the spec string is handed through
     unchanged (downstream resolves it lazily).  With it, the backend is
     built here so the persistent query store is attached — implying a
     ``cached:`` level when the spec lacks one, since a store nobody
-    consults would be pointless.  ``timeout`` must mirror whatever the
+    consults would be pointless — and ``--query-cache-max`` caps the
+    store with age-based GC.  ``timeout`` must mirror whatever the
     downstream consumer would have threaded into a lazy resolution, so
     adding the flag never changes solve semantics.
     """
@@ -62,7 +75,12 @@ def _resolve_backend(spec, query_cache, timeout=None):
     spec = spec or "native"
     if not spec.startswith("cached:"):
         spec = "cached:" + spec
-    return make_backend(spec, timeout=timeout, query_cache=query_cache)
+    return make_backend(
+        spec,
+        timeout=timeout,
+        query_cache=query_cache,
+        query_cache_max=query_cache_max,
+    )
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
@@ -70,13 +88,17 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 
     if _check_backend_spec(args.backend):
         return 2
+    if _check_query_cache_flags(args):
+        return 2
     if args.automata_cache:
         from repro.automata import configure_automata_cache
 
         configure_automata_cache(args.automata_cache)
     if args.backend:
         print(f"backend: {args.backend}")
-    backend = _resolve_backend(args.backend, args.query_cache)
+    backend = _resolve_backend(
+        args.backend, args.query_cache, query_cache_max=args.query_cache_max
+    )
     if args.negate:
         word = find_non_matching_input(
             args.pattern, args.flags, backend=backend
@@ -121,6 +143,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
     if _check_backend_spec(args.backend):
         return 2
+    if _check_query_cache_flags(args):
+        return 2
     with open(args.file) as handle:
         source = handle.read()
     level = RegexSupportLevel[args.level.upper()]
@@ -134,6 +158,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             args.query_cache,
             # what the engine would thread into a lazy spec resolution
             timeout=EngineConfig().solver_timeout,
+            query_cache_max=args.query_cache_max,
         ),
         automata_cache=args.automata_cache,
     )
@@ -161,6 +186,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     )
 
     if _check_backend_spec(args.backend):
+        return 2
+    if _check_query_cache_flags(args):
         return 2
     if args.survey:
         jobs = survey_workload(
@@ -195,6 +222,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             shared_cache=args.shared_cache,
             automata_cache=args.automata_cache,
             query_cache=args.query_cache,
+            query_cache_max=args.query_cache_max,
             dedup=args.dedup,
         )
     )
@@ -272,6 +300,10 @@ def build_parser() -> argparse.ArgumentParser:
         "answers are replayed across processes and invocations; implies "
         "a cached: level when the spec lacks one)"
     )
+    query_cache_max_help = (
+        "cap the persistent query cache at N entries (age-based GC "
+        "evicts the oldest entries past the cap)"
+    )
 
     solve = sub.add_parser("solve", help="find a (non-)matching input")
     solve.add_argument("pattern")
@@ -283,6 +315,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     solve.add_argument(
         "--query-cache", default=None, help=query_cache_help
+    )
+    solve.add_argument(
+        "--query-cache-max", type=int, default=None,
+        help=query_cache_max_help,
     )
     solve.set_defaults(fn=_cmd_solve)
 
@@ -307,6 +343,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     analyze.add_argument(
         "--query-cache", default=None, help=query_cache_help
+    )
+    analyze.add_argument(
+        "--query-cache-max", type=int, default=None,
+        help=query_cache_max_help,
     )
     analyze.set_defaults(fn=_cmd_analyze)
 
@@ -359,6 +399,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument(
         "--query-cache", default=None, help=query_cache_help
+    )
+    batch.add_argument(
+        "--query-cache-max", type=int, default=None,
+        help=query_cache_max_help,
     )
     batch.add_argument(
         "--dedup",

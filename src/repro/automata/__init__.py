@@ -14,7 +14,12 @@ from repro.automata.cache import (
     node_fingerprint,
 )
 from repro.automata.dfa import Dfa, determinize
-from repro.automata.lazy import LazyProduct, lazy_intersect_all
+from repro.automata.lazy import (
+    LazyProduct,
+    LazyUnion,
+    lazy_intersect_all,
+    lazy_union_all,
+)
 from repro.automata.nfa import Nfa
 from repro.automata.ops import (
     automata_cache_counters,
@@ -34,6 +39,7 @@ __all__ = [
     "Dfa",
     "DfaDiskStore",
     "LazyProduct",
+    "LazyUnion",
     "Nfa",
     "NotRegularError",
     "automata_cache_counters",
@@ -46,6 +52,7 @@ __all__ = [
     "erase_captures",
     "intersect_all",
     "lazy_intersect_all",
+    "lazy_union_all",
     "membership_witness",
     "nfa_for",
     "node_fingerprint",

@@ -6,63 +6,171 @@ that product eagerly multiplies state counts before the first query runs,
 even though the queries themselves — emptiness, shortest witness, bounded
 word enumeration — only ever touch the states a BFS actually reaches.
 
-:class:`LazyProduct` keeps the component DFAs separate and represents a
-product state as the tuple of component states.  Transitions are refined
-pairwise *per expanded state*; nothing global is ever constructed, and
-:attr:`LazyProduct.states_visited` counts exactly the product states the
-traversals discovered (benchmarks assert it never exceeds what an eager
-product would have materialized).
+Two combinators share one state-space core (:class:`_LazySpace`):
+
+- :class:`LazyProduct` — the *intersection* of its components: a state
+  is accepting when every component accepts, hopeless as soon as any
+  component can no longer reach an accepting state;
+- :class:`LazyUnion` — the *union*: accepting when any component
+  accepts, hopeless only when no component can still accept.  This is
+  the subset construction the eager path pays for up front when it
+  determinizes an alternation — alternation-heavy refinements never
+  need most of that space.
+
+Both represent a state as the tuple of component states and refine
+transitions pairwise *per expanded state*; nothing global is ever
+constructed, and :attr:`_LazySpace.states_visited` counts exactly the
+product states the traversals discovered (benchmarks assert it never
+exceeds what an eager construction would have materialized).  Per-state
+transition rows — the dominant per-state memo, each holding a refined
+``CharSet`` edge list — live in a bounded LRU (``max_cached_states``),
+so a pattern set thrashing a traversal re-derives rows instead of
+holding every row at once.  (The small boolean memos and the
+visited-state set still grow with distinct states visited: the LRU
+bounds the heavyweight cost per state, not the traversal itself —
+traversals are separately bounded by their own budgets, e.g. the
+enumeration frontier cap.)
+
+Components may be :class:`~repro.automata.dfa.Dfa` instances *or other
+lazy spaces*: a :class:`LazyUnion` can sit inside a
+:class:`LazyProduct` (``(A ∪ B) ∩ C``), which is how the solver
+intersects an alternation-heavy membership with the class's other
+constraints without materializing the union.
 
 Complement needs no lazy machinery of its own: :meth:`Dfa.complement`
 is already a view — it shares the transition table (and the per-state
 step index) of the completed automaton and only flips the accepting set —
 so negative memberships enter a product as cheaply as positive ones.
+(The solver additionally rewrites ``∉ L(r1|...|rn)`` into the
+per-option complements ``∩ ¬L(ri)`` — de Morgan — so even negated
+alternations never determinize the union.)
 
-The class mirrors the :class:`~repro.automata.dfa.Dfa` query surface the
-solver relies on (``accepts_word`` / ``is_empty`` / ``shortest_word`` /
-``words``), so :func:`lazy_intersect_all` is a drop-in for the eager
-:func:`~repro.automata.ops.intersect_all` on that surface.
+The classes mirror the :class:`~repro.automata.dfa.Dfa` query surface
+the solver relies on (``accepts_word`` / ``is_empty`` /
+``shortest_word`` / ``words``), so :func:`lazy_intersect_all` and
+:func:`lazy_union_all` are drop-ins on that surface.
 """
 
 from __future__ import annotations
 
-from collections import deque
+from collections import OrderedDict, deque
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.regex.charclass import CharSet
 from repro.automata.dfa import Dfa, _merge_labels
 
-_State = Tuple[int, ...]
+_State = Tuple[object, ...]
+
+#: Default bound on memoized per-state transition rows (the dominant
+#: per-state memo).  Far above what healthy traversals touch; a cap hit
+#: means re-deriving rows, never wrong answers.
+DEFAULT_STATE_CACHE = 65536
 
 
-class LazyProduct:
-    """The intersection of several DFAs, explored on the fly.
+class _DfaPart:
+    """Component adapter over a plain :class:`Dfa`."""
 
-    A product state is the tuple of component states; it exists only
-    while some traversal holds it.  Pruning uses per-component liveness
-    (a product state is hopeless as soon as *any* component can no
-    longer reach an accepting state), which is sound for intersections
-    and avoids computing the product's exact live set.
+    __slots__ = ("dfa", "_live")
+
+    def __init__(self, dfa: Dfa):
+        self.dfa = dfa
+        self._live: Optional[frozenset] = None
+
+    @property
+    def start(self):
+        return self.dfa.start
+
+    def edges(self, state) -> List[Tuple[CharSet, object]]:
+        return self.dfa.transitions[state]
+
+    def step(self, state, ch: str):
+        return self.dfa.step(state, ch)
+
+    def accepting(self, state) -> bool:
+        return state in self.dfa.accepts
+
+    def live(self, state) -> bool:
+        if self._live is None:
+            self._live = self.dfa.live_states()
+        return state in self._live
+
+
+class _SpacePart:
+    """Component adapter over a nested lazy space (e.g. a union inside
+    a product).  Liveness delegates to the space's own may-accept
+    filter, which is sound for the composition."""
+
+    __slots__ = ("space",)
+
+    def __init__(self, space: "_LazySpace"):
+        self.space = space
+
+    @property
+    def start(self):
+        return self.space.start
+
+    def edges(self, state) -> List[Tuple[CharSet, object]]:
+        return self.space.edges_from(state)
+
+    def step(self, state, ch: str):
+        return self.space.step(state, ch)
+
+    def accepting(self, state) -> bool:
+        return self.space.is_accepting(state)
+
+    def live(self, state) -> bool:
+        return self.space.plausible(state)
+
+
+def _part(component) -> object:
+    if isinstance(component, _LazySpace):
+        return _SpacePart(component)
+    return _DfaPart(component)
+
+
+class _LazySpace:
+    """Shared on-demand state-space machinery (see module docstring).
+
+    Subclasses define the boolean combination: :meth:`_combine` folds
+    per-component acceptance, :meth:`_combine_live` folds per-component
+    liveness into the sound may-accept filter :meth:`plausible`.
     """
 
-    def __init__(self, components: Sequence[Dfa]):
+    #: ``all`` for intersections, ``any`` for unions.
+    _combine = staticmethod(all)
+    _combine_live = staticmethod(all)
+
+    def __init__(
+        self,
+        components: Sequence,
+        max_cached_states: Optional[int] = DEFAULT_STATE_CACHE,
+    ):
         if not components:
-            raise ValueError("LazyProduct needs at least one component")
-        self.components: List[Dfa] = list(components)
-        self.start: _State = tuple(c.start for c in self.components)
+            raise ValueError(
+                f"{type(self).__name__} needs at least one component"
+            )
+        #: The raw components (Dfa or nested lazy spaces), as given.
+        self.components: List = list(components)
+        self._parts = [_part(c) for c in self.components]
+        self.start: _State = tuple(p.start for p in self._parts)
+        self.max_cached_states = max_cached_states
         #: Distinct product states discovered by structured traversals
         #: (BFS / enumeration / materialization) — the "materialized
-        #: state" count the benchmarks compare against the eager product.
+        #: state" count the benchmarks compare against the eager space.
         self._seen: Set[_State] = set()
-        self._live: Optional[List[frozenset]] = None
         self._empty: Optional[bool] = None
         #: Per-state memos: a BFS frontier revisits the same product
         #: state at many prefixes, so edges are refined (and liveness /
         #: acceptance decided) once per *state*, not once per visit.
-        self._edges: Dict[_State, List[Tuple[CharSet, _State]]] = {}
+        #: The edge rows — the heavy memo — are a bounded LRU.
+        self._edges: "OrderedDict[_State, List[Tuple[CharSet, _State]]]" = (
+            OrderedDict()
+        )
         self._accepting: Dict[_State, bool] = {}
         self._plausible: Dict[_State, bool] = {}
         self._co_accessible: Dict[_State, bool] = {}
+        #: Transition rows dropped by the LRU bound (instrumentation).
+        self.states_evicted = 0
 
     # -- instrumentation -----------------------------------------------------
 
@@ -75,30 +183,25 @@ class LazyProduct:
     def is_accepting(self, state: _State) -> bool:
         cached = self._accepting.get(state)
         if cached is None:
-            cached = all(
-                s in c.accepts for c, s in zip(self.components, state)
+            cached = self._combine(
+                p.accepting(s) for p, s in zip(self._parts, state)
             )
             self._accepting[state] = cached
         return cached
 
-    def _live_sets(self) -> List[frozenset]:
-        if self._live is None:
-            self._live = [c.live_states() for c in self.components]
-        return self._live
-
     def plausible(self, state: _State) -> bool:
-        """Sound may-accept filter: every component can still accept."""
+        """Sound may-accept filter over per-component liveness."""
         cached = self._plausible.get(state)
         if cached is None:
-            cached = all(
-                s in live for s, live in zip(state, self._live_sets())
+            cached = self._combine_live(
+                p.live(s) for p, s in zip(self._parts, state)
             )
             self._plausible[state] = cached
         return cached
 
     def step(self, state: _State, ch: str) -> _State:
         return tuple(
-            c.step(s, ch) for c, s in zip(self.components, state)
+            p.step(s, ch) for p, s in zip(self._parts, state)
         )
 
     def accepts_word(self, word: str) -> bool:
@@ -113,18 +216,19 @@ class LazyProduct:
         Labels are refined left to right against the running overlap, so
         a character class that already vanished against the first
         components never multiplies against the rest.  Edges to a common
-        target are merged, and the result is memoized per state — this
-        *is* the on-demand materialization: a state's transition row
-        exists exactly once it has been expanded.
+        target are merged, and the result is memoized per state in the
+        bounded LRU — this *is* the on-demand materialization: a state's
+        transition row exists exactly while it is hot.
         """
         cached = self._edges.get(state)
         if cached is not None:
+            self._edges.move_to_end(state)
             return cached
         parts: List[Tuple[CharSet, _State]] = [(CharSet.any(), ())]
-        for component, s in zip(self.components, state):
+        for part, s in zip(self._parts, state):
             refined: List[Tuple[CharSet, _State]] = []
             for label, targets in parts:
-                for c_label, c_target in component.transitions[s]:
+                for c_label, c_target in part.edges(s):
                     overlap = label.intersect(c_label)
                     if not overlap.is_empty():
                         refined.append((overlap, targets + (c_target,)))
@@ -136,6 +240,12 @@ class LazyProduct:
                 label if existing is None else existing.union(label)
             )
         edges = [(label, target) for target, label in by_target.items()]
+        if (
+            self.max_cached_states is not None
+            and len(self._edges) >= self.max_cached_states
+        ):
+            self._edges.popitem(last=False)
+            self.states_evicted += 1
         self._edges[state] = edges
         return edges
 
@@ -143,13 +253,13 @@ class LazyProduct:
         """Exact may-accept: some accepting product state is reachable.
 
         The component-wise :meth:`plausible` filter is sound but not
-        complete — every component can be live while their *product* is
-        dead (e.g. incompatible parities), and word enumeration pruned
-        only component-wise would walk such dead regions, wasting the
-        bounded frontier.  This check is exact and amortized: a refuted
-        search marks its entire closure dead (nothing in a closed
-        accept-free region reaches an accept), a successful one marks
-        the discovery path live.
+        complete — e.g. every intersection component can be live while
+        their *product* is dead (incompatible parities), and word
+        enumeration pruned only component-wise would walk such dead
+        regions, wasting the bounded frontier.  This check is exact and
+        amortized: a refuted search marks its entire closure dead
+        (nothing in a closed accept-free region reaches an accept), a
+        successful one marks the discovery path live.
         """
         cached = self._co_accessible.get(state)
         if cached is not None:
@@ -250,7 +360,7 @@ class LazyProduct:
 
         Same contract (length order, per-edge character sampling,
         bounded frontier) as :meth:`Dfa.words`, run over the lazy
-        product.  The exact emptiness BFS runs first so a dead product
+        space.  The exact emptiness BFS runs first so a dead language
         never pays the bounded unrolling.
         """
         if self.is_empty():
@@ -271,8 +381,8 @@ class LazyProduct:
             for state, prefix in frontier:
                 for label, target in self.edges_from(state):
                     # Exact pruning (parity with Dfa.words' live-state
-                    # filter): product-dead regions must not displace
-                    # live states within the bounded frontier.
+                    # filter): dead regions must not displace live
+                    # states within the bounded frontier.
                     if not self.co_accessible(target):
                         continue
                     self._seen.add(target)
@@ -297,10 +407,10 @@ class LazyProduct:
     # -- escape hatch --------------------------------------------------------
 
     def materialize(self) -> Dfa:
-        """The eager product DFA (used by tests and visualization).
+        """The eager DFA (used by tests and visualization).
 
         Explores every reachable product state — after this call
-        ``states_visited`` equals the eager product's state count.
+        ``states_visited`` equals the eager construction's state count.
         """
         index: Dict[_State, int] = {self.start: 0}
         order: List[_State] = [self.start]
@@ -329,18 +439,62 @@ class LazyProduct:
         )
 
 
-def lazy_intersect_all(dfas: Sequence[Dfa]):
-    """Lazy intersection of a collection of DFAs.
+class LazyProduct(_LazySpace):
+    """The intersection of several automata, explored on the fly.
 
-    ``None`` for an empty input (no constraint), the single DFA itself
-    for one component, a :class:`LazyProduct` otherwise.  The result
-    supports the query surface the solver needs (``accepts_word``,
-    ``is_empty``, ``shortest_word``, ``words``) without ever building
-    the eager product.
+    A product state is the tuple of component states; it exists only
+    while some traversal holds it.  Pruning uses per-component liveness
+    (a product state is hopeless as soon as *any* component can no
+    longer reach an accepting state), which is sound for intersections
+    and avoids computing the product's exact live set.
     """
-    dfas = list(dfas)
-    if not dfas:
+
+    _combine = staticmethod(all)
+    _combine_live = staticmethod(all)
+
+
+class LazyUnion(_LazySpace):
+    """The union of several automata, explored on the fly.
+
+    The lazy counterpart of determinizing an alternation: a union state
+    tracks where every option is simultaneously (exactly the subset
+    construction's bookkeeping), but states exist only while a traversal
+    holds them, and the transition-row LRU bounds residency.  A state is
+    accepting when *any* component accepts, and hopeless only when *no*
+    component can still reach an accepting state.
+    """
+
+    _combine = staticmethod(any)
+    _combine_live = staticmethod(any)
+
+
+def lazy_intersect_all(components: Sequence):
+    """Lazy intersection of a collection of automata.
+
+    ``None`` for an empty input (no constraint), the single component
+    itself for one element, a :class:`LazyProduct` otherwise.
+    Components may be :class:`Dfa`\\ s or lazy spaces (e.g. a
+    :class:`LazyUnion`); the result supports the query surface the
+    solver needs (``accepts_word``, ``is_empty``, ``shortest_word``,
+    ``words``) without ever building the eager product.
+    """
+    components = list(components)
+    if not components:
         return None
-    if len(dfas) == 1:
-        return dfas[0]
-    return LazyProduct(dfas)
+    if len(components) == 1:
+        return components[0]
+    return LazyProduct(components)
+
+
+def lazy_union_all(components: Sequence):
+    """Lazy union of a collection of automata (``None`` for no input).
+
+    The drop-in for determinizing an alternation eagerly: one component
+    is returned unchanged, several become a :class:`LazyUnion`.
+    """
+    components = list(components)
+    if not components:
+        return None
+    if len(components) == 1:
+        return components[0]
+    return LazyUnion(components)

@@ -91,6 +91,14 @@ class CegarSolver:
     #: e.g. ``"portfolio:native+smtlib"``.  Overrides ``solver`` but not
     #: ``solver_factory``; per-backend tallies land in ``stats``.
     backend: Optional[str] = None
+    #: Optional :class:`repro.solver.backends.QueryCache` memoizing the
+    #: refinement stream: every query of the loop — the initial one
+    #: *and* each refined one — is keyed on its canonical fingerprint,
+    #: so refinement prefixes repeated across flips replay from
+    #: memory/disk instead of re-entering the solver.  Ignored when the
+    #: solver chain already carries its own cache decorator (a
+    #: ``cached:`` level keys the refined stream the same way).
+    query_cache: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.solver_factory is not None:
@@ -99,6 +107,34 @@ class CegarSolver:
             from repro.solver.backends import make_backend
 
             self.solver = make_backend(self.backend, stats=self.stats)
+        if self.query_cache is not None:
+            from repro.solver.backends import CachedBackend
+            from repro.solver.backends.cached import CachedSolver
+
+            if not isinstance(self.solver, CachedSolver):
+                self.solver = CachedBackend(
+                    self.solver,
+                    cache=self.query_cache,
+                    tally_stats=self.stats,
+                    stats=self.stats,
+                )
+
+    def _solve_query(self, problem: Formula, refinements: int):
+        """One ``Solve(P)`` of Algorithm 1, fast-path aware.
+
+        The initial query goes through the ordinary ``solve``; from the
+        first refinement on, the query is dispatched through the solver
+        chain's ``solve_refined`` when it has one — the cache decorator
+        keys each refined query's own canonical fingerprint, and the
+        router re-classifies the refined formula (refinements are
+        always classical, so the stream migrates to the incremental
+        session mid-loop even when the initial query routed native).
+        """
+        if refinements > 0:
+            refined = getattr(self.solver, "solve_refined", None)
+            if callable(refined):
+                return refined(problem)
+        return self.solver.solve(problem)
 
     def solve(
         self,
@@ -111,7 +147,7 @@ class CegarSolver:
         result = CegarResult(UNKNOWN)
 
         while True:
-            solved = self.solver.solve(problem)
+            solved = self._solve_query(problem, refinements)
             if solved.status != SAT:
                 result = CegarResult(
                     solved.status, None, refinements, False
@@ -201,3 +237,66 @@ class CegarSolver:
             # this word (line 22).
             return neg(Eq(constraint.word, StrConst(word_value)))
         return None
+
+
+def refinement_stream_fingerprint(
+    problem: Formula, constraints: Sequence[CapturingConstraint]
+) -> Optional[str]:
+    """Canonical identity of the whole CEGAR query *stream*.
+
+    The initial formula's canonical fingerprint identifies only
+    ``Solve(P)`` of iteration 0; the refinements that follow are driven
+    by the concrete matcher, i.e. by the :class:`CapturingConstraint`\\ s
+    (regex source/flags, polarity, ``lastIndex``, sticky mode, capture
+    variables).  Two problems with equal initial fingerprints but
+    different constraint sets can diverge from the first refinement on —
+    e.g. language-equal regexes with different group structure — so
+    anything keyed on the refined stream (scheduler dedup of solve
+    jobs) must include both.
+
+    Returns ``None`` when no constraint carries real capture groups
+    (beyond the whole-match ``C0``): the refinements of a
+    membership-only run pin words drawn from the canonical model, so
+    the initial fingerprint already identifies the stream, and callers
+    fall back to it — language-equal spelling variants (laziness,
+    class spelling, non-capturing groups) keep coalescing.  Capture
+    pins are different: two language-equal patterns can assign ``C1``
+    differently (``(a+)b`` vs ``(a+?)b``), so their streams diverge
+    from the first refinement and must not share a key.
+    """
+    if not any(len(c.captures) > 1 for c in constraints):
+        return None
+    from repro.constraints.printer import canonical_fingerprint
+
+    fingerprint, renaming = canonical_fingerprint(problem)
+
+    def term_text(term: Term) -> str:
+        if isinstance(term, StrVar):
+            return renaming.get(term, f"!{term.name}")
+        if isinstance(term, StrConst):
+            return repr(term.value)
+        parts = getattr(term, "parts", None)
+        if parts is not None:
+            return "(++" + ",".join(term_text(p) for p in parts) + ")"
+        return repr(term)
+
+    parts: List[str] = [fingerprint]
+    for c in constraints:
+        captures = ",".join(
+            f"{index}={renaming.get(var, '!' + var.name)}"
+            for index, var in sorted(c.captures.items())
+        )
+        parts.append(
+            "\x00".join(
+                [
+                    c.source,
+                    c.flags,
+                    str(int(c.positive)),
+                    str(c.last_index),
+                    str(int(c.sticky)),
+                    term_text(c.word),
+                    captures,
+                ]
+            )
+        )
+    return "\x01".join(parts)

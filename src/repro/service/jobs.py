@@ -26,16 +26,25 @@ from repro.solver.backends import make_backend
 from repro.solver.stats import SolverStats
 
 
-#: (pattern, flags, negate) → canonical query fingerprint (or None for
-#: unparsable patterns).  Duplicated solve jobs are the designed dedup
-#: case, and the scheduler computes keys serially before dispatch —
-#: byte-identical jobs must pay for one model build, not N.
+#: (pattern, flags, negate) → canonical query-stream fingerprint (or
+#: None for unparsable patterns).  Duplicated solve jobs are the
+#: designed dedup case, and the scheduler computes keys serially before
+#: dispatch — byte-identical jobs must pay for one model build, not N.
 _SOLVE_FINGERPRINTS: Dict[tuple, Optional[str]] = {}
 
 
 def _solve_query_fingerprint(
     pattern: str, flags: str, negate: bool
 ) -> Optional[str]:
+    """Fingerprint of the CEGAR query *stream* a solve job poses.
+
+    Keys on :func:`repro.model.cegar.refinement_stream_fingerprint`
+    (initial formula + the capturing constraints that drive its
+    refinements) so two jobs coalesce only when their whole refinement
+    streams coincide — the initial-formula fingerprint alone is used
+    only when no refinement fingerprint exists (no capturing
+    constraints, hence no refinements to diverge on).
+    """
     key = (pattern, flags, negate)
     if key in _SOLVE_FINGERPRINTS:
         return _SOLVE_FINGERPRINTS[key]
@@ -43,12 +52,18 @@ def _solve_query_fingerprint(
         from repro.constraints import StrVar
         from repro.constraints.printer import canonical_fingerprint
         from repro.model.api import SymbolicRegExp
+        from repro.model.cegar import refinement_stream_fingerprint
 
         model = SymbolicRegExp(pattern, flags).exec_model(
             StrVar("input!dedup")
         )
         formula = model.no_match_formula if negate else model.match_formula
-        fingerprint, _ = canonical_fingerprint(formula)
+        constraint = (
+            model.negative_constraint if negate else model.constraint
+        )
+        fingerprint = refinement_stream_fingerprint(formula, [constraint])
+        if fingerprint is None:
+            fingerprint, _ = canonical_fingerprint(formula)
     except Exception:
         fingerprint = None
     if len(_SOLVE_FINGERPRINTS) >= 4096:
@@ -62,6 +77,7 @@ def default_solver_factory(
     backend: Optional[str] = None,
     stats: Optional[SolverStats] = None,
     query_cache: Optional[str] = None,
+    query_cache_max: Optional[int] = None,
     **kwargs,
 ):
     """Build a solver through the backend registry (default: native).
@@ -69,7 +85,8 @@ def default_solver_factory(
     ``backend`` is any :func:`repro.solver.backends.make_backend` spec;
     ``stats`` is the per-backend tally sink; ``query_cache`` is the
     persistent query-store directory threaded into any ``cached:`` level
-    of the spec.  Remaining kwargs are native-solver options (backward
+    of the spec, and ``query_cache_max`` caps that store with age-based
+    GC.  Remaining kwargs are native-solver options (backward
     compatibility with the pre-registry factory) and are passed
     structurally — they cannot be combined with an explicit ``backend``
     spec, whose options belong in the spec string itself.
@@ -85,7 +102,11 @@ def default_solver_factory(
 
         return NativeBackend(stats=stats, timeout=timeout, **kwargs)
     built = make_backend(
-        backend, timeout=timeout, stats=stats, query_cache=query_cache
+        backend,
+        timeout=timeout,
+        stats=stats,
+        query_cache=query_cache,
+        query_cache_max=query_cache_max,
     )
     if query_cache and not (
         isinstance(backend, str) and backend.startswith("cached:")
@@ -98,7 +119,9 @@ def default_solver_factory(
 
         built = CachedBackend(
             built,
-            cache=QueryCache(store_path=query_cache),
+            cache=QueryCache(
+                store_path=query_cache, store_max_entries=query_cache_max
+            ),
             tally_stats=stats,
             stats=stats,
         )
@@ -163,11 +186,13 @@ class _JobBase:
 
     KIND = "?"
     # Fallbacks so ``self.backend``/``self.automata_cache``/
-    # ``self.query_cache`` always resolve; subclasses declare the real
-    # (defaulted, spec-serialized) dataclass fields.
+    # ``self.query_cache``/``self.query_cache_max`` always resolve;
+    # subclasses declare the real (defaulted, spec-serialized)
+    # dataclass fields.
     backend = None
     automata_cache = None
     query_cache = None
+    query_cache_max = None
 
     def to_spec(self) -> dict:
         spec = asdict(self)
@@ -229,6 +254,7 @@ class AnalyzeJob(_JobBase):
     backend: Optional[str] = None
     automata_cache: Optional[str] = None
     query_cache: Optional[str] = None
+    query_cache_max: Optional[int] = None
 
     KIND = "analyze"
 
@@ -265,6 +291,7 @@ class AnalyzeJob(_JobBase):
                 timeout=timeout,
                 backend=self.backend,
                 query_cache=self.query_cache,
+                query_cache_max=self.query_cache_max,
             )
 
         result = DseEngine(
@@ -307,6 +334,7 @@ class SolveJob(_JobBase):
     backend: Optional[str] = None
     automata_cache: Optional[str] = None
     query_cache: Optional[str] = None
+    query_cache_max: Optional[int] = None
 
     KIND = "solve"
 
@@ -364,6 +392,7 @@ class SolveJob(_JobBase):
                 backend=self.backend,
                 stats=stats,
                 query_cache=self.query_cache,
+                query_cache_max=self.query_cache_max,
             )
         cegar = CegarSolver(
             solver=solver,
@@ -393,6 +422,7 @@ class SolveJob(_JobBase):
                 }
         payload["solver_queries"] = len(stats.queries)
         payload["solver_seconds"] = stats.total_time()
+        payload["refinements"] = sum(q.refinements for q in stats.queries)
         payload["backend_tallies"] = stats.backend_summary()
         payload["session_tallies"] = stats.session_summary()
         payload["route_tallies"] = stats.route_summary()
@@ -418,10 +448,14 @@ class SurveyJob(_JobBase):
     backend: Optional[str] = None
     automata_cache: Optional[str] = None
     query_cache: Optional[str] = None
+    query_cache_max: Optional[int] = None
 
     KIND = "survey"
 
     def _run(self, solver_factory) -> Dict[str, object]:
+        import hashlib
+
+        from repro.corpus.features import RegexFeatures
         from repro.corpus.generator import SyntheticPackage
         from repro.corpus.survey import survey_packages
 
@@ -430,15 +464,24 @@ class SurveyJob(_JobBase):
             for i, files in enumerate(self.package_files)
         ]
         # Per-unique-literal features, for exact cross-shard unique
-        # counts in the report's merge.
+        # counts in the report's merge.  The payload ships one *hash*
+        # per unique literal mapped to a feature *bitmask* (bit i =
+        # ``RegexFeatures.feature_names()[i]``) instead of the literal
+        # text and its feature-name list: at the paper's 306k uniques
+        # the map stays a few MB of digests rather than the corpus's
+        # regex text, and cross-shard dedup still works — equal
+        # literals hash equally in every shard.
         unique_seen: Dict[tuple, object] = {}
         result = survey_packages(packages, unique_out=unique_seen)
-        uniques: Dict[str, List[str]] = {
-            "\x00".join(key): [
-                name
-                for name in features.feature_names()
+        feature_names = RegexFeatures.feature_names()
+        uniques: Dict[str, int] = {
+            hashlib.blake2b(
+                "\x00".join(key).encode("utf-8"), digest_size=12
+            ).hexdigest(): sum(
+                1 << i
+                for i, name in enumerate(feature_names)
                 if getattr(features, name)
-            ]
+            )
             for key, features in unique_seen.items()
         }
         return {

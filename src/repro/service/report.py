@@ -248,16 +248,18 @@ def merge_route_tallies(results: Sequence[JobResult]) -> Dict[str, int]:
 
 
 def format_session_table(tallies: Dict[str, dict]) -> str:
-    """Per-session corpus table: spawns, restarts, amortization."""
+    """Per-session corpus table: spawns, restarts, pool traffic,
+    amortization (``Q/spawn`` spans jobs when sessions are pooled)."""
     lines = [
         "Session                        Queries  Spawns  Restarts  Resets"
-        "  Q/spawn   Life(s)",
+        "  Chkouts  Waits  Q/spawn   Life(s)",
     ]
     for name, tally in tallies.items():
         shown = name if len(name) <= 30 else "..." + name[-27:]
         lines.append(
             f"{shown:<30} {tally['queries']:>8} {tally['spawns']:>7} "
             f"{tally['restarts']:>9} {tally['resets']:>7} "
+            f"{tally.get('checkouts', 0):>8} {tally.get('waits', 0):>6} "
             f"{tally['queries_per_spawn']:>8.1f} {tally['seconds']:>9.2f}"
         )
     return "\n".join(lines)
@@ -295,10 +297,13 @@ def format_backend_table(tallies: Dict[str, dict]) -> str:
 def merge_survey(results: Sequence[JobResult]):
     """Exact cross-shard merge back into a ``SurveyResult``.
 
-    Scalar counts sum; unique counts are recomputed from the union of the
-    shards' per-unique-literal feature maps (that is why the payload
-    carries them), so sharding never double-counts a literal that appears
-    in two shards.
+    Scalar counts sum; unique counts are recomputed from the union of
+    the shards' per-unique-literal maps (that is why the payload
+    carries them), so sharding never double-counts a literal that
+    appears in two shards.  Payload values are feature *bitmasks* over
+    ``RegexFeatures.feature_names()`` keyed by literal hashes (the
+    compact wire format of :class:`~repro.service.jobs.SurveyJob`);
+    feature-name lists from older payloads merge identically.
     """
     from repro.corpus.features import RegexFeatures
     from repro.corpus.survey import SurveyResult
@@ -307,7 +312,7 @@ def merge_survey(results: Sequence[JobResult]):
     feature_names = RegexFeatures.feature_names()
     merged.feature_totals = {name: 0 for name in feature_names}
     merged.feature_uniques = {name: 0 for name in feature_names}
-    uniques: Dict[str, List[str]] = {}
+    uniques: Dict[str, object] = {}
     for result in results:
         if result.status != "ok":
             continue
@@ -326,7 +331,15 @@ def merge_survey(results: Sequence[JobResult]):
             )
         uniques.update(p["uniques"])
     merged.unique_regexes = len(uniques)
-    for names in uniques.values():
+    for encoded in uniques.values():
+        if isinstance(encoded, int):
+            names = [
+                name
+                for i, name in enumerate(feature_names)
+                if encoded >> i & 1
+            ]
+        else:
+            names = encoded
         for name in names:
             merged.feature_uniques[name] = (
                 merged.feature_uniques.get(name, 0) + 1

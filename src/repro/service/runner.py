@@ -54,6 +54,7 @@ def _worker_init(
     shared_cache,
     automata_cache,
     query_cache=None,
+    query_cache_max=None,
 ) -> None:
     global _WORKER_CACHE
     if shared_cache is not None:
@@ -63,7 +64,7 @@ def _worker_init(
     else:
         _WORKER_CACHE = None
     if query_cache and _WORKER_CACHE is not None:
-        _WORKER_CACHE.attach_store(query_cache)
+        _WORKER_CACHE.attach_store(query_cache, max_entries=query_cache_max)
     if automata_cache:
         from repro.automata import configure_automata_cache
 
@@ -85,7 +86,11 @@ def _make_solver_factory(cache) -> Callable[..., object]:
     """
 
     def factory(
-        timeout: float = 20.0, backend=None, stats=None, query_cache=None
+        timeout: float = 20.0,
+        backend=None,
+        stats=None,
+        query_cache=None,
+        query_cache_max=None,
     ):
         spec = backend
         if (
@@ -98,7 +103,11 @@ def _make_solver_factory(cache) -> Callable[..., object]:
             # second, job-private cache in front of it.
             spec = spec[len("cached:"):]
         base = make_backend(
-            spec, timeout=timeout, stats=stats, query_cache=query_cache
+            spec,
+            timeout=timeout,
+            stats=stats,
+            query_cache=query_cache,
+            query_cache_max=query_cache_max,
         )
         worker_store = getattr(cache, "store", None)
         if query_cache and (
@@ -114,7 +123,10 @@ def _make_solver_factory(cache) -> Callable[..., object]:
                 # (no worker cache stripped it away).
                 base = CachedBackend(
                     base,
-                    cache=QueryCache(store_path=query_cache),
+                    cache=QueryCache(
+                        store_path=query_cache,
+                        store_max_entries=query_cache_max,
+                    ),
                     tally_stats=stats,
                 )
         if cache is None:
@@ -149,6 +161,9 @@ class RunnerConfig:
     #: answers survive across batch invocations pointed at the same
     #: path — the warm second batch replays solves from disk.
     query_cache: Optional[str] = None
+    #: Entry cap of the persistent query store (age-based GC evicts the
+    #: oldest-mtime entries past it); ``None`` leaves it unbounded.
+    query_cache_max: Optional[int] = None
     #: Coalesce jobs with identical ``dedup_key()`` into single-flight
     #: executions before dispatch (scheduler-level query dedup).
     dedup: bool = False
@@ -197,7 +212,10 @@ class BatchRunner:
             else None
         )
         if cache is not None and self.config.query_cache:
-            cache.attach_store(self.config.query_cache)
+            cache.attach_store(
+                self.config.query_cache,
+                max_entries=self.config.query_cache_max,
+            )
         factory = _make_solver_factory(cache)
         return [job.run(solver_factory=factory) for job in jobs]
 
@@ -220,6 +238,7 @@ class BatchRunner:
                     shared,
                     self.config.automata_cache,
                     self.config.query_cache,
+                    self.config.query_cache_max,
                 ),
             ) as pool:
                 pending = [

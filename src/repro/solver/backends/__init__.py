@@ -13,8 +13,10 @@ solver.  This package makes the choice a first-class, *pluggable* API:
   ``native?timeout=2``       same, with options
   ``smtlib:z3``              external SMT-LIB solver subprocess (z3/cvc5);
                              degrades to UNKNOWN when no binary exists
-  ``session:z3``             one live incremental solver process
-                             (push/pop per query instead of spawn-per-query)
+  ``session:z3``             live incremental solver processes leased from
+                             the process-wide :class:`SessionPool` (push/pop
+                             per query; spawns amortize across jobs);
+                             ``?pooled=0`` for a private process
   ``portfolio:native+smtlib``  race members, first definitive answer wins
   ``portfolio:auto``         native + a session per installed binary
   ``route:z3``               per-query feature routing (captures→native,
@@ -42,6 +44,12 @@ from repro.solver.backends.cached import (
     QueryDiskStore,
 )
 from repro.solver.backends.native import NativeBackend
+from repro.solver.backends.pool import (
+    PooledSessionBackend,
+    SessionPool,
+    get_session_pool,
+    reset_session_pool,
+)
 from repro.solver.backends.portfolio import PortfolioBackend
 from repro.solver.backends.registry import (
     detect_solver_binaries,
@@ -58,15 +66,18 @@ __all__ = [
     "BackendError",
     "CachedBackend",
     "NativeBackend",
+    "PooledSessionBackend",
     "PortfolioBackend",
     "QueryCache",
     "QueryDiskStore",
     "RouterBackend",
     "SessionBackend",
+    "SessionPool",
     "SmtLibBackend",
     "SolverBackend",
     "classify_formula",
     "detect_solver_binaries",
+    "get_session_pool",
     "make_backend",
     "register_backend",
     "registered_backends",

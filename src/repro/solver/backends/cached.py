@@ -73,15 +73,33 @@ class QueryDiskStore:
     defensively: truncated, corrupted, or version-mismatched entries are
     evicted as misses, never errors — the store is a cache, a bad
     directory degrades to solving.
+
+    ``max_entries`` caps the store with *age-based* GC: whenever the
+    (approximately tracked) entry count passes the cap, the oldest
+    mtimes are unlinked down to a low-water mark just under the cap
+    (hysteresis: the next scan is a slack's worth of puts away, not
+    one).  Age, not LRU — the store is shared by concurrent workers,
+    and touching entry mtimes on every hit would turn reads into
+    writes; old answers being re-proved once is the cheap failure
+    mode.  Evictions land in the store's counters (``evictions``,
+    surfaced as ``disk_evictions``).
     """
 
-    def __init__(self, path: str):
+    def __init__(self, path: str, max_entries: Optional[int] = None):
         self.root = path
         self.path = os.path.join(path, f"v{QUERY_STORE_VERSION}")
         os.makedirs(self.path, exist_ok=True)
+        self.max_entries = max_entries
         self.loads = 0
         self.stores = 0
         self.failures = 0
+        self.evictions = 0
+        #: Entry-count estimate driving GC triggers: seeded by a scan
+        #: (only when a cap makes the count matter — uncapped stores
+        #: must not pay an O(entries) scan per construction), bumped
+        #: per put.  Concurrent writers make it approximate; the GC
+        #: pass itself recounts exactly.
+        self._approx_count = 0 if max_entries is None else len(self)
 
     def _entry(self, fingerprint: str) -> str:
         digest = hashlib.sha256(fingerprint.encode("utf-8")).hexdigest()
@@ -137,12 +155,58 @@ class QueryDiskStore:
                 )
             os.replace(tmp, path)  # atomic: readers never see partials
             self.stores += 1
+            self._approx_count += 1
+            if (
+                self.max_entries is not None
+                and self._approx_count > self.max_entries
+            ):
+                self.gc()
         except OSError:
             self.failures += 1
             try:
                 os.unlink(tmp)
             except OSError:
                 pass
+
+    def gc(self) -> int:
+        """Evict oldest-mtime entries past ``max_entries``; return count.
+
+        Evicts down to a low-water mark *below* the cap (an eighth of
+        slack), so a put-heavy store pays the directory scan once per
+        slack's worth of writes instead of on every put at the cap.
+        Defensive like every other store path: a concurrently deleted
+        entry or an unreadable directory just ends the pass — the store
+        degrades to being larger than asked, never to failure.
+        """
+        if self.max_entries is None:
+            return 0
+        try:
+            aged = sorted(
+                (
+                    (entry.stat().st_mtime, entry.path)
+                    for entry in os.scandir(self.path)
+                    if entry.name.endswith(".qry")
+                ),
+            )
+        except OSError:
+            return 0
+        self._approx_count = len(aged)
+        if len(aged) <= self.max_entries:
+            return 0
+        # Keep at least one entry: a cap of 1 must still serve hits.
+        low_water = max(
+            1, self.max_entries - max(1, self.max_entries // 8)
+        )
+        evicted = 0
+        for _, path in aged[: len(aged) - low_water]:
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            evicted += 1
+        self.evictions += evicted
+        self._approx_count -= evicted
+        return evicted
 
     def __len__(self) -> int:
         try:
@@ -154,20 +218,28 @@ class QueryDiskStore:
 
 
 def _attached_store(
-    current: Optional[QueryDiskStore], path: Optional[str]
+    current: Optional[QueryDiskStore],
+    path: Optional[str],
+    max_entries: Optional[int] = None,
 ) -> Optional[QueryDiskStore]:
     """The store handle for ``attach_store(path)`` on either cache tier.
 
     Re-attaching the same path keeps the existing handle (its counters
-    survive across jobs in one process); an unusable path degrades to
-    memory-only caching, never to failure.
+    survive across jobs in one process; an explicit ``max_entries``
+    still takes effect on it); an unusable path degrades to memory-only
+    caching, never to failure.
     """
     if path is None:
         return None
     if current is not None and current.root == path:
+        if max_entries is not None and current.max_entries != max_entries:
+            # A newly applied (or changed) cap needs a real count: the
+            # handle may have skipped the seeding scan while uncapped.
+            current.max_entries = max_entries
+            current._approx_count = len(current)
         return current
     try:
-        return QueryDiskStore(path)
+        return QueryDiskStore(path, max_entries=max_entries)
     except OSError:
         return None
 
@@ -181,6 +253,7 @@ def _disk_counters(
         "disk_loads": store.loads if store else 0,
         "disk_stores": store.stores if store else 0,
         "disk_failures": store.failures if store else 0,
+        "disk_evictions": store.evictions if store else 0,
     }
 
 
@@ -197,7 +270,12 @@ class QueryCache:
     into memory and counted as a hit (it avoided a solve).
     """
 
-    def __init__(self, maxsize: int = 4096, store_path: Optional[str] = None):
+    def __init__(
+        self,
+        maxsize: int = 4096,
+        store_path: Optional[str] = None,
+        store_max_entries: Optional[int] = None,
+    ):
         self.maxsize = maxsize
         self._entries: "OrderedDict[str, CachedResult]" = OrderedDict()
         self.store: Optional[QueryDiskStore] = None
@@ -206,11 +284,16 @@ class QueryCache:
         self.evictions = 0
         self.disk_hits = 0
         if store_path:
-            self.attach_store(store_path)
+            self.attach_store(store_path, max_entries=store_max_entries)
 
-    def attach_store(self, path: Optional[str]) -> None:
-        """Attach (or with ``None`` detach) the on-disk store."""
-        self.store = _attached_store(self.store, path)
+    def attach_store(
+        self, path: Optional[str], max_entries: Optional[int] = None
+    ) -> None:
+        """Attach (or with ``None`` detach) the on-disk store.
+
+        ``max_entries`` caps the store with age-based GC (see
+        :class:`QueryDiskStore`)."""
+        self.store = _attached_store(self.store, path, max_entries)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -298,9 +381,11 @@ class SharedQueryCache:
     def create(cls, manager, maxsize: int = 4096) -> "SharedQueryCache":
         return cls(manager.dict(), manager.Lock(), maxsize)
 
-    def attach_store(self, path: Optional[str]) -> None:
+    def attach_store(
+        self, path: Optional[str], max_entries: Optional[int] = None
+    ) -> None:
         """Attach (or with ``None`` detach) a per-process disk store."""
-        self.store = _attached_store(self.store, path)
+        self.store = _attached_store(self.store, path, max_entries)
 
     def __len__(self) -> int:
         return len(self._store)
@@ -383,6 +468,21 @@ class CachedSolver:
         return self.solver.timeout
 
     def solve(self, formula: Formula) -> SolverResult:
+        return self._solve_cached(formula, refined=False)
+
+    def solve_refined(self, formula: Formula) -> SolverResult:
+        """Cache-decorated dispatch of a CEGAR-*refined* query.
+
+        Each refined query is keyed on its own canonical fingerprint —
+        refinement streams share long prefixes across flips, so repeated
+        prefixes replay from memory/disk instead of re-entering the
+        solver — and a miss is forwarded to the inner backend's
+        ``solve_refined`` (mid-loop re-routing for a router) when it has
+        one.
+        """
+        return self._solve_cached(formula, refined=True)
+
+    def _solve_cached(self, formula: Formula, refined: bool) -> SolverResult:
         key, renaming = canonical_fingerprint(formula)
         entry = self.cache.get(key)
         if entry is not None:
@@ -393,7 +493,10 @@ class CachedSolver:
         self.misses += 1
         if self.stats is not None:
             self.stats.record_cache(hit=False)
-        result = self.solver.solve(formula)
+        inner = getattr(self.solver, "solve_refined", None) if refined else None
+        result = inner(formula) if callable(inner) else self.solver.solve(
+            formula
+        )
         if result.status != UNKNOWN:
             self.cache.put(key, self._normalize(result, renaming))
         return result
@@ -475,6 +578,15 @@ class CachedBackend(CachedSolver):
     def solve(self, formula: Formula) -> SolverResult:
         started = perf_counter()
         result = super().solve(formula)
+        if self.tally_stats is not None:
+            self.tally_stats.record_backend(
+                self.name, result.status, perf_counter() - started
+            )
+        return result
+
+    def solve_refined(self, formula: Formula) -> SolverResult:
+        started = perf_counter()
+        result = super().solve_refined(formula)
         if self.tally_stats is not None:
             self.tally_stats.record_backend(
                 self.name, result.status, perf_counter() - started

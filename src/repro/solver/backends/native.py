@@ -22,6 +22,7 @@ _SOLVER_OPTIONS = {
     "max_cores",
     "max_word_length",
     "split_cap",
+    "lazy_union_min_options",
 }
 
 

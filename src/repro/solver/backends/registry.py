@@ -12,8 +12,10 @@ Examples::
     native?timeout=2               with a per-query wall budget
     smtlib:z3                      z3 subprocess over SMT-LIB (default cmd)
     smtlib:cvc5?timeout=10         cvc5, 10s budget
-    session:z3                     one live z3 process, incremental push/pop
+    session:z3                     live incremental z3 sessions, leased
+                                   from the process-wide SessionPool
     session:z3?reset_every=128     with a (reset) cadence
+    session:z3?pooled=0            a private (unpooled) session process
     portfolio:native+smtlib:z3     race members; '+' separates them
     portfolio:auto                 native + a session per installed binary
     route:z3                       per-query feature routing (see router.py)
@@ -25,7 +27,8 @@ unchanged) and ``None`` (the native default), so every consumer can
 take "a spec" without caring which form it got.  The ``query_cache``
 keyword is a directory path threaded down to every ``cached:`` level of
 a composite spec: its :class:`~repro.solver.backends.cached.QueryCache`
-then persists definitive answers on disk across invocations.
+then persists definitive answers on disk across invocations;
+``query_cache_max`` caps that store with age-based GC.
 """
 
 from __future__ import annotations
@@ -40,6 +43,7 @@ from repro.solver.stats import SolverStats
 from repro.solver.backends.base import BackendError
 from repro.solver.backends.cached import CachedBackend, QueryCache
 from repro.solver.backends.native import NativeBackend
+from repro.solver.backends.pool import PooledSessionBackend
 from repro.solver.backends.portfolio import PortfolioBackend
 from repro.solver.backends.router import RouterBackend
 from repro.solver.backends.session import SessionBackend
@@ -75,6 +79,7 @@ def make_backend(
     timeout: Optional[float] = None,
     stats: Optional[SolverStats] = None,
     query_cache: Optional[str] = None,
+    query_cache_max: Optional[int] = None,
 ):
     """Resolve ``spec`` into a solver backend.
 
@@ -83,7 +88,8 @@ def make_backend(
     option.  ``stats`` is the per-backend tally sink, shared by every
     backend in a composite spec.  ``query_cache`` is the directory of
     the persistent query store, picked up by every ``cached:`` level of
-    the spec (and ignored by specs without one).
+    the spec (and ignored by specs without one); ``query_cache_max``
+    caps that store's entry count with age-based GC.
     """
     if spec is None or spec == "":
         spec = "native"
@@ -109,10 +115,13 @@ def make_backend(
             f"unknown solver backend {scheme!r}; registered schemes: "
             + ", ".join(registered_backends())
         )
-    if query_cache is not None and _accepts_query_cache(factory):
-        return factory(
-            rest, timeout=timeout, stats=stats, query_cache=query_cache
-        )
+    if query_cache is not None and _accepts_keyword(factory, "query_cache"):
+        kwargs = {"query_cache": query_cache}
+        if query_cache_max is not None and _accepts_keyword(
+            factory, "query_cache_max"
+        ):
+            kwargs["query_cache_max"] = query_cache_max
+        return factory(rest, timeout=timeout, stats=stats, **kwargs)
     # Factories registered against the pre-query-cache contract
     # (``factory(rest, timeout=..., stats=...)``) keep working: they
     # are simply not offered the store directory (only a ``cached:``
@@ -120,14 +129,14 @@ def make_backend(
     return factory(rest, timeout=timeout, stats=stats)
 
 
-def _accepts_query_cache(factory: BackendFactory) -> bool:
+def _accepts_keyword(factory: BackendFactory, keyword: str) -> bool:
     import inspect
 
     try:
         parameters = inspect.signature(factory).parameters
     except (TypeError, ValueError):  # builtins/C callables: assume legacy
         return False
-    return "query_cache" in parameters or any(
+    return keyword in parameters or any(
         p.kind == p.VAR_KEYWORD for p in parameters.values()
     )
 
@@ -209,7 +218,7 @@ def _smtlib_factory(rest, *, timeout=None, stats=None, query_cache=None):
 
 def _session_factory(rest, *, timeout=None, stats=None, query_cache=None):
     command, options = _split_rest(rest)
-    unknown = set(options) - {"timeout", "reset_every"}
+    unknown = set(options) - {"timeout", "reset_every", "pooled"}
     if unknown:
         raise BackendError(
             f"session backend does not accept option(s) {sorted(unknown)}"
@@ -217,6 +226,12 @@ def _session_factory(rest, *, timeout=None, stats=None, query_cache=None):
     _require_numeric_options("session", options)
     if timeout is not None:
         options.setdefault("timeout", timeout)
+    # Pooled by default: sessions are leased from the process-wide
+    # SessionPool, so spawns amortize across jobs and backend
+    # instances.  ``?pooled=0`` restores a private per-backend process
+    # (benchmarks use it as the spawn-per-job baseline).
+    if options.pop("pooled", 1):
+        return PooledSessionBackend(command or "z3", stats=stats, **options)
     return SessionBackend(command or "z3", stats=stats, **options)
 
 
@@ -225,7 +240,9 @@ def detect_solver_binaries() -> List[str]:
     return [name for name in ("z3", "cvc5", "cvc4") if shutil.which(name)]
 
 
-def _portfolio_factory(rest, *, timeout=None, stats=None, query_cache=None):
+def _portfolio_factory(
+    rest, *, timeout=None, stats=None, query_cache=None, query_cache_max=None
+):
     # Members are full specs (each may carry its own ``?options``), so
     # the body is split on '+' only; there are no portfolio-level query
     # options — the shared default ``timeout`` flows into every member.
@@ -253,7 +270,11 @@ def _portfolio_factory(rest, *, timeout=None, stats=None, query_cache=None):
         )
     members = [
         make_backend(
-            member, timeout=timeout, stats=stats, query_cache=query_cache
+            member,
+            timeout=timeout,
+            stats=stats,
+            query_cache=query_cache,
+            query_cache_max=query_cache_max,
         )
         for member in member_specs
     ]
@@ -281,7 +302,10 @@ def _route_factory(rest, *, timeout=None, stats=None, query_cache=None):
         return NativeBackend(stats=stats, **native_options)
 
     def session():
-        return SessionBackend(command, stats=stats, **session_options)
+        # Pooled: the router's session target and the portfolio's
+        # session member lease from the same process-wide pool, so a
+        # routed batch holds a handful of live processes total.
+        return PooledSessionBackend(command, stats=stats, **session_options)
 
     # The portfolio gets its own member instances: its abandoned
     # stragglers may still run when the router dispatches the next
@@ -294,17 +318,27 @@ def _route_factory(rest, *, timeout=None, stats=None, query_cache=None):
     )
 
 
-def _cached_factory(rest, *, timeout=None, stats=None, query_cache=None):
+def _cached_factory(
+    rest, *, timeout=None, stats=None, query_cache=None, query_cache_max=None
+):
     if not rest.startswith(":") or len(rest) == 1:
         raise BackendError(
             "cached needs an inner backend, e.g. cached:native"
         )
     inner = make_backend(
-        rest[1:], timeout=timeout, stats=stats, query_cache=query_cache
+        rest[1:],
+        timeout=timeout,
+        stats=stats,
+        query_cache=query_cache,
+        query_cache_max=query_cache_max,
     )
     return CachedBackend(
         inner,
-        cache=QueryCache(store_path=query_cache) if query_cache else None,
+        cache=QueryCache(
+            store_path=query_cache, store_max_entries=query_cache_max
+        )
+        if query_cache
+        else None,
         tally_stats=stats,
         stats=stats,
     )

@@ -26,6 +26,15 @@ fall back to native instead (recorded as ``classical->native``), so a
 ``route:`` spec works — fully, not degraded to UNKNOWN — on machines
 with no SMT solver at all.
 
+The CEGAR loop's *refined* queries (Algorithm 1, iterations > 0) take a
+second, more aggressive route (:meth:`RouterBackend.route_refined`):
+refinements are classical material, and capture groups print
+transparently, so a refined query whose only non-classical feature is
+capture groups migrates *mid-loop* to the incremental session — with a
+native fallback when the session answers UNKNOWN, so re-routing can
+never make a refinement run less complete.  Refined decisions are
+tallied under ``refined-<feature>-><target>``.
+
 Per-route decision counts land in
 :class:`~repro.solver.stats.SolverStats.route_tallies`; each target
 also keeps its ordinary per-backend tally under its own name, so the
@@ -70,20 +79,30 @@ CAPTURES = "captures"
 CLASSICAL = "classical"
 MIXED = "mixed"
 UNROUTABLE = "unroutable"
+#: Sub-feature of CAPTURES tracked for the refined route: a capture
+#: *group* prints transparently in classical SMT-LIB (its meaning lives
+#: in separate word equations), but a *backreference* has no classical
+#: form at all — only the mid-loop re-route cares about the difference.
+BACKREFS = "backrefs"
 
 
 def classify_formula(formula: Formula) -> str:
     """The routing feature class of ``formula`` (see module docstring)."""
+    return _classify(formula)[0]
+
+
+def _classify(formula: Formula):
+    """``(feature_class, raw_feature_set)`` of one formula."""
+    features: Set[str] = set()
     try:
-        features: Set[str] = set()
         _walk_formula(formula, features)
     except TypeError:
-        return UNROUTABLE
+        return UNROUTABLE, features
     if CAPTURES in features:
-        return CAPTURES
+        return CAPTURES, features
     if MIXED in features:
-        return MIXED
-    return CLASSICAL
+        return MIXED, features
+    return CLASSICAL, features
 
 
 def _walk_formula(formula: Formula, features: Set[str]) -> None:
@@ -106,6 +125,8 @@ def _walk_formula(formula: Formula, features: Set[str]) -> None:
 def _walk_regex(node: regex_ast.Node, features: Set[str]) -> None:
     if isinstance(node, (regex_ast.Group, regex_ast.Backreference)):
         features.add(CAPTURES)
+        if isinstance(node, regex_ast.Backreference):
+            features.add(BACKREFS)
         child = getattr(node, "child", None)
         if child is not None:
             _walk_regex(child, features)
@@ -181,13 +202,72 @@ class RouterBackend(SolverBackend):
         # captures and unroutable formulas both belong to native.
         return feature, "native", self.native
 
+    def route_refined(self, formula: Formula):
+        """Pick ``(feature, target_name, backend)`` for a *refined* query.
+
+        Algorithm 1's refinements are classical material — word pins and
+        capture equalities over string constants — so after the first
+        refinement the stream deserves the session even when the initial
+        query routed native.  Concretely: a CAPTURES formula whose only
+        non-classical feature is capture *groups* prints transparently
+        (``dfa_for`` erases the same groups natively, and separate word
+        equations carry their meaning), so the refined query migrates to
+        the incremental session; backreferences and lookaheads still
+        have no classical rendering and keep their initial route.
+        """
+        feature, features = _classify(formula)
+        if feature == UNROUTABLE:
+            return feature, "native", self.native
+        if BACKREFS in features or (
+            CAPTURES in features and MIXED in features
+        ):
+            # Unprintable no matter what rides along (a backreference,
+            # or captures mixed with lookaheads): the initial route —
+            # native, by the captures-beat-mixed precedence — stays.
+            return feature, "native", self.native
+        if MIXED in features:
+            return feature, "portfolio", self.portfolio
+        # Classical, or captures-only (printable): the session decides
+        # the refined stream without a per-query subprocess spawn.
+        if getattr(self.session, "available", True):
+            return feature, "session", self.session
+        return feature, "native", self.native
+
     def solve(self, formula: Formula) -> SolverResult:
+        return self._dispatch(formula, refined=False)
+
+    def solve_refined(self, formula: Formula) -> SolverResult:
+        """Mid-loop re-routing of the CEGAR-refined query stream.
+
+        Routes via :meth:`route_refined`; when the session answers
+        UNKNOWN (hard query, degraded binary), the router falls back to
+        native instead of returning UNKNOWN — an UNKNOWN mid-loop would
+        abort the whole refinement run, which is strictly worse than
+        paying one native solve.  The fallback is tallied as
+        ``refined-<feature>->native-fallback``.
+        """
+        return self._dispatch(formula, refined=True)
+
+    def _dispatch(self, formula: Formula, refined: bool) -> SolverResult:
         started = perf_counter()
-        feature, target_name, target = self.route(formula)
+        if refined:
+            feature, target_name, target = self.route_refined(formula)
+            route_label = f"refined-{feature}"
+        else:
+            feature, target_name, target = self.route(formula)
+            route_label = feature
         if self.stats is not None:
-            self.stats.record_route(feature, target_name)
+            self.stats.record_route(route_label, target_name)
         try:
             result = target.solve(formula)
+            if (
+                refined
+                and result.status == UNKNOWN
+                and target is self.session
+            ):
+                if self.stats is not None:
+                    self.stats.record_route(route_label, "native-fallback")
+                result = self.native.solve(formula)
         except Exception:
             self._tally("error", perf_counter() - started)
             raise

@@ -85,6 +85,17 @@ _ARGV_TEMPLATES = {
 }
 
 
+def probe_solver_command(command: str) -> Optional[str]:
+    """``None`` when ``command``'s binary resolves on PATH, else the
+    "not installed" diagnostic — shared by the private and the pooled
+    session form so the probe and its message cannot drift apart."""
+    argv = shlex.split(command)
+    if argv and shutil.which(argv[0]) is not None:
+        return None
+    binary = argv[0] if argv else command
+    return f"solver binary {binary!r} not installed"
+
+
 class SessionBackend(SolverBackend):
     """``session:<command>`` — a persistent incremental SMT-LIB solver."""
 
@@ -122,9 +133,7 @@ class SessionBackend(SolverBackend):
     def available(self) -> bool:
         """Whether the solver binary resolves on PATH (probed once)."""
         if self._available is None:
-            self._available = bool(self._argv_prefix) and (
-                shutil.which(self._argv_prefix[0]) is not None
-            )
+            self._available = probe_solver_command(self.command) is None
         return self._available
 
     # -- solving -------------------------------------------------------------
@@ -138,9 +147,7 @@ class SessionBackend(SolverBackend):
     def _solve(self, formula: Formula) -> SolverResult:
         self.last_error = None
         if not self.available:
-            return self._unknown(
-                f"solver binary {self._argv_prefix[0]!r} not installed"
-            )
+            return self._unknown(probe_solver_command(self.command))
         if self._proc is None or self._proc.poll() is not None:
             if self._proc is not None:
                 # Died between queries (crashed after answering, OOM-killed,

@@ -29,8 +29,15 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from repro.automata import complement_dfa_for, dfa_for, lazy_intersect_all
+from repro.automata import (
+    complement_dfa_for,
+    dfa_for,
+    lazy_intersect_all,
+    lazy_union_all,
+)
+from repro.automata.build import erase_captures
 from repro.automata.dfa import Dfa
+from repro.regex import ast as regex_ast
 from repro.constraints.formulas import (
     And,
     BoolLit,
@@ -511,11 +518,36 @@ class _Core:
         (emptiness, word enumeration, membership of hints and split
         candidates) go through the query surface the product mirrors,
         so the full product automaton is never materialized.
+
+        Alternation-heavy memberships stay lazy too: a positive
+        ``x ∈ L(r1|...|rn)`` with at least
+        ``Solver.lazy_union_min_options`` options becomes a
+        :class:`~repro.automata.lazy.LazyUnion` of the per-option DFAs
+        (nested into the product) instead of determinizing the union
+        eagerly, and a *negative* one is rewritten by de Morgan into the
+        per-option complements ``∩ ¬L(ri)`` — so neither polarity ever
+        pays the subset-construction blowup of a wide alternation.
         """
-        dfas: List[Dfa] = [dfa_for(r) for r in cls.pos_regexes]
-        dfas.extend(complement_dfa_for(r) for r in cls.neg_regexes)
-        dfas.extend(cls.extra_dfas)
-        return lazy_intersect_all(dfas)
+        threshold = self.solver.lazy_union_min_options
+        automata: List[object] = []
+        for regex in cls.pos_regexes:
+            options = _union_options(regex, threshold)
+            if options is None:
+                automata.append(dfa_for(regex))
+            else:
+                automata.append(
+                    lazy_union_all([dfa_for(opt) for opt in options])
+                )
+        for regex in cls.neg_regexes:
+            options = _union_options(regex, threshold)
+            if options is None:
+                automata.append(complement_dfa_for(regex))
+            else:
+                automata.extend(
+                    complement_dfa_for(opt) for opt in options
+                )
+        automata.extend(cls.extra_dfas)
+        return lazy_intersect_all(automata)
 
     def _propagate_quotients(self) -> None:
         """Transfer memberships through single-unknown definitions.
@@ -863,6 +895,29 @@ class _Core:
         return model
 
 
+def _union_options(regex, threshold: int):
+    """The options of a wide top-level alternation, or ``None``.
+
+    ``None`` means "compile eagerly": the (capture-erased, with group
+    wrappers peeled — ``(?:a|b|...)`` is how wide alternations are
+    usually written) node is not an alternation, or it has fewer than
+    ``threshold`` options — narrow unions determinize cheaply and a
+    single minimized DFA answers membership faster than a lazy tuple
+    walk.
+    """
+    if threshold <= 0:
+        return None
+    erased = erase_captures(regex)
+    while isinstance(erased, regex_ast.NonCapGroup):
+        erased = erased.child
+    if (
+        isinstance(erased, regex_ast.Alternation)
+        and len(erased.options) >= threshold
+    ):
+        return list(erased.options)
+    return None
+
+
 def _formula_vars(formula: Formula) -> Iterator[StrVar]:
     """All string variables occurring in a formula."""
     if isinstance(formula, Not):
@@ -990,6 +1045,7 @@ class Solver:
         max_word_length: int = 48,
         split_cap: int = 512,
         timeout: float = 20.0,
+        lazy_union_min_options: int = 4,
         stats: Optional[SolverStats] = None,
     ):
         self.round_limits = list(round_limits)
@@ -998,6 +1054,9 @@ class Solver:
         self.max_word_length = max_word_length
         self.split_cap = split_cap
         self.timeout = timeout
+        #: Alternations with at least this many options enter per-class
+        #: automata as lazy unions (0 disables the lazy-union path).
+        self.lazy_union_min_options = lazy_union_min_options
         self.stats = stats
         self._candidates_tried = 0
 

@@ -97,6 +97,11 @@ class SessionTally:
     resets: int = 0
     queries: int = 0
     seconds: float = 0.0
+    #: Pool traffic (populated by ``repro.solver.backends.pool``): how
+    #: many times this session spec was leased from the shared pool,
+    #: and how many of those leases had to block on the request queue.
+    checkouts: int = 0
+    waits: int = 0
 
     @property
     def queries_per_spawn(self) -> float:
@@ -109,12 +114,16 @@ class SessionTally:
         resets: int = 0,
         queries: int = 0,
         seconds: float = 0.0,
+        checkouts: int = 0,
+        waits: int = 0,
     ) -> None:
         self.spawns += spawns
         self.restarts += restarts
         self.resets += resets
         self.queries += queries
         self.seconds += seconds
+        self.checkouts += checkouts
+        self.waits += waits
 
     def as_dict(self) -> dict:
         return {
@@ -123,6 +132,8 @@ class SessionTally:
             "resets": self.resets,
             "queries": self.queries,
             "seconds": self.seconds,
+            "checkouts": self.checkouts,
+            "waits": self.waits,
             "queries_per_spawn": self.queries_per_spawn,
         }
 
@@ -134,6 +145,8 @@ class SessionTally:
             resets=other.get("resets", 0),
             queries=other.get("queries", 0),
             seconds=other.get("seconds", 0.0),
+            checkouts=other.get("checkouts", 0),
+            waits=other.get("waits", 0),
         )
 
 

@@ -18,3 +18,17 @@ def clean_automata():
     clear_caches()
     yield
     clear_caches()
+
+
+@pytest.fixture(autouse=True)
+def _drain_session_pool():
+    """Close the process-global session pool after every test.
+
+    Pooled sessions deliberately outlive backends; in the test suite
+    that would leak one fake-solver process per distinct tmp-path spec,
+    so the pool is drained between tests (a no-op when it stayed empty).
+    """
+    yield
+    from repro.solver.backends import reset_session_pool
+
+    reset_session_pool()

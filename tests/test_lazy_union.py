@@ -1,0 +1,215 @@
+"""Tests for the lazy union algebra and its solver wiring.
+
+``LazyUnion`` must agree with the eagerly determinized alternation on
+the whole query surface while visiting strictly fewer states on
+blowup-prone alternations, compose with ``LazyProduct`` (a union nested
+inside an intersection), and respect the bounded product-state LRU.
+"""
+
+import pytest
+
+from repro.automata import dfa_for_pattern, lazy_union_all
+from repro.automata.lazy import LazyProduct, LazyUnion
+from repro.constraints import InRe, Not, StrVar, conj
+from repro.regex import parse_regex
+from repro.automata.build import erase_captures
+from repro.solver import SAT, Solver, UNSAT
+
+
+def union_of(*patterns):
+    return LazyUnion([dfa_for_pattern(p) for p in patterns])
+
+
+def eager_union(*patterns):
+    return dfa_for_pattern("|".join(f"(?:{p})" for p in patterns))
+
+
+WORDS = ["", "a", "b", "ab", "ba", "abc", "aab", "bbb", "abab", "x", "a0"]
+
+
+class TestUnionSemantics:
+    PATTERN_SETS = [
+        ("a+", "b+"),
+        ("ab", "a+b", "ba"),
+        ("[0-9]{2}", "x[0-9]", "a*"),
+        ("(?:ab)+", "a", "b?"),
+    ]
+
+    @pytest.mark.parametrize("patterns", PATTERN_SETS)
+    def test_accepts_word_matches_eager(self, patterns):
+        lazy = union_of(*patterns)
+        eager = eager_union(*patterns)
+        for word in WORDS:
+            assert lazy.accepts_word(word) == eager.accepts_word(word)
+
+    @pytest.mark.parametrize("patterns", PATTERN_SETS)
+    def test_materialize_is_language_equivalent(self, patterns):
+        assert union_of(*patterns).materialize().equivalent(
+            eager_union(*patterns)
+        )
+
+    @pytest.mark.parametrize("patterns", PATTERN_SETS)
+    def test_shortest_word_length_matches(self, patterns):
+        lazy_witness = union_of(*patterns).shortest_word()
+        eager_witness = eager_union(*patterns).shortest_word()
+        assert (lazy_witness is None) == (eager_witness is None)
+        if lazy_witness is not None:
+            assert len(lazy_witness) == len(eager_witness)
+            assert eager_union(*patterns).accepts_word(lazy_witness)
+
+    def test_empty_union_components(self):
+        # Options with empty languages don't poison the union.
+        lazy = LazyUnion(
+            [dfa_for_pattern("a[b]").intersect(dfa_for_pattern("c")),
+             dfa_for_pattern("xy")]
+        )
+        assert not lazy.is_empty()
+        assert lazy.shortest_word() == "xy"
+
+    def test_all_dead_union_is_empty(self):
+        dead = dfa_for_pattern("a").intersect(dfa_for_pattern("b"))
+        lazy = LazyUnion([dead, dead])
+        assert lazy.is_empty()
+        assert lazy.shortest_word() is None
+
+    @pytest.mark.parametrize("patterns", PATTERN_SETS)
+    def test_words_are_accepted_and_length_ordered(self, patterns):
+        lazy = union_of(*patterns)
+        eager = eager_union(*patterns)
+        out = list(lazy.words(max_count=12, max_length=8))
+        assert out
+        assert all(eager.accepts_word(w) for w in out)
+        lengths = [len(w) for w in out]
+        assert lengths == sorted(lengths)
+
+    def test_lazy_union_all_facade(self):
+        assert lazy_union_all([]) is None
+        single = dfa_for_pattern("a+")
+        assert lazy_union_all([single]) is single
+        assert isinstance(
+            lazy_union_all([single, dfa_for_pattern("b")]), LazyUnion
+        )
+
+
+class TestUnionLaziness:
+    def _blowup_options(self, k=9):
+        # (a|b)*a(a|b)^i families: determinizing the union tracks every
+        # suffix window at once — the classic subset blowup.
+        return [f"[ab]*a[ab]{{{i}}}" for i in range(1, k)]
+
+    def test_states_visited_strictly_below_eager_state_count(self):
+        options = self._blowup_options()
+        lazy = union_of(*options)
+        assert lazy.shortest_word() is not None
+        for word in ("a", "ab", "abab", "bbbb"):
+            lazy.accepts_word(word)
+        eager = eager_union(*options)
+        assert lazy.states_visited < eager.n_states
+
+    def test_lru_bound_evicts_but_stays_correct(self):
+        options = self._blowup_options(7)
+        bounded = LazyUnion(
+            [dfa_for_pattern(p) for p in options], max_cached_states=2
+        )
+        unbounded = union_of(*options)
+        words = list(bounded.words(max_count=12, max_length=8))
+        assert words == list(unbounded.words(max_count=12, max_length=8))
+        assert bounded.states_evicted > 0
+
+    def test_product_lru_parameter_exists_too(self):
+        bounded = LazyProduct(
+            [dfa_for_pattern("a+"), dfa_for_pattern("[ab]+")],
+            max_cached_states=1,
+        )
+        assert bounded.shortest_word() == "a"
+        assert bounded.materialize().accepts_word("aa")
+
+
+class TestUnionInsideProduct:
+    def test_union_nested_in_product_language(self):
+        union = union_of("a+b", "b+a", "c[ab]")
+        constraint = dfa_for_pattern("[abc]{2}")
+        product = LazyProduct([union, constraint])
+        eager = eager_union("a+b", "b+a", "c[ab]").intersect(constraint)
+        for word in WORDS + ["ca", "cb", "ba"]:
+            assert product.accepts_word(word) == eager.accepts_word(word)
+        assert product.materialize().equivalent(eager)
+
+    def test_nested_product_shortest_word(self):
+        union = union_of("aaa+", "b")
+        product = LazyProduct([union, dfa_for_pattern("[ab]{3,}")])
+        witness = product.shortest_word()
+        assert witness == "aaa"
+
+
+class TestSolverWiring:
+    def _membership(self, pattern, positive=True, var="x"):
+        atom = InRe(
+            StrVar(var), erase_captures(parse_regex(pattern, "").body)
+        )
+        return atom if positive else Not(atom)
+
+    def test_wide_alternation_solves_via_lazy_union(self):
+        pattern = "aaa|bbb|ccc|ddd|eee"
+        solver = Solver(lazy_union_min_options=2)
+        result = solver.solve(self._membership(pattern))
+        assert result.status == SAT
+        word = result.model[StrVar("x")]
+        assert word in {"aaa", "bbb", "ccc", "ddd", "eee"}
+
+    def test_negated_alternation_uses_de_morgan_components(self):
+        # x ∈ [ab]{3} ∧ x ∉ (aaa|aab|aba|abb|baa) has solutions.
+        solver = Solver(lazy_union_min_options=2)
+        result = solver.solve(
+            conj(
+                [
+                    self._membership("[ab]{3}"),
+                    self._membership(
+                        "aaa|aab|aba|abb|baa", positive=False
+                    ),
+                ]
+            )
+        )
+        assert result.status == SAT
+        word = result.model[StrVar("x")]
+        assert word in {"bab", "bba", "bbb"}
+
+    def test_union_plus_constraint_unsat(self):
+        solver = Solver(lazy_union_min_options=2)
+        result = solver.solve(
+            conj(
+                [
+                    self._membership("aa|bb|cc|dd"),
+                    self._membership("[ab]"),  # length conflict
+                ]
+            )
+        )
+        assert result.status == UNSAT
+
+    def test_grouped_alternation_takes_the_union_path(self):
+        # (?:a|b|...) / (a|b|...) is how wide alternations are usually
+        # written; group wrappers must not hide them from the fast path.
+        from repro.solver.core import _union_options
+
+        for pattern in ("(?:red|green|blue|cyan)", "(red|green|blue|cyan)"):
+            node = parse_regex(pattern, "").body
+            options = _union_options(node, threshold=4)
+            assert options is not None and len(options) == 4
+        assert _union_options(
+            parse_regex("(?:ab)+", "").body, threshold=2
+        ) is None
+
+    def test_threshold_zero_disables_lazy_unions(self):
+        solver = Solver(lazy_union_min_options=0)
+        result = solver.solve(self._membership("aaa|bbb|ccc|ddd"))
+        assert result.status == SAT
+
+    def test_results_agree_with_eager_path(self):
+        pattern = "cat|dog|bird|fish|mouse"
+        lazy = Solver(lazy_union_min_options=2).solve(
+            self._membership(pattern)
+        )
+        eager = Solver(lazy_union_min_options=0).solve(
+            self._membership(pattern)
+        )
+        assert lazy.status == eager.status == SAT

@@ -1,0 +1,482 @@
+"""Tests for the process-wide session pool (``solver/backends/pool.py``).
+
+No real z3 is assumed: fake interactive solver executables (as in
+``test_session_backend.py``) exercise leasing, cross-job process reuse,
+thread contention, crash semantics, and the acceptance equivalence
+suite — refinement-stream answers through the pool must equal the
+one-shot ``smtlib:`` backend's on the same corpus.
+"""
+
+import stat
+import textwrap
+import threading
+
+import pytest
+
+from repro.automata.build import erase_captures
+from repro.constraints import InRe, StrVar
+from repro.regex import parse_regex
+from repro.solver import SAT, SolverStats, UNKNOWN, UNSAT
+from repro.solver.backends import (
+    PooledSessionBackend,
+    SessionBackend,
+    SessionPool,
+    SmtLibBackend,
+    get_session_pool,
+    make_backend,
+    reset_session_pool,
+)
+
+
+def membership(pattern: str, var_name: str = "x"):
+    node = erase_captures(parse_regex(pattern, "").body)
+    return InRe(StrVar(var_name), node)
+
+
+#: Interactive fake: answers every check-sat with VERDICT, echoes
+#: markers; optionally sleeps per query and aborts hard if it ever sees
+#: nested scopes (two pushes without a pop — cross-talk detector).
+_FAKE = textwrap.dedent(
+    '''\
+    #!/usr/bin/env python3
+    import re, sys, time
+    VERDICT = {verdict!r}
+    DELAY = {delay!r}
+    depth = 0
+    for line in sys.stdin:
+        line = line.strip()
+        if line == "(push 1)":
+            depth += 1
+            if depth > 1:
+                sys.exit(13)  # interleaved scopes: cross-talk
+        elif line == "(pop 1)":
+            depth -= 1
+        elif line == "(check-sat)":
+            if DELAY:
+                time.sleep(DELAY)
+            print(VERDICT, flush=True)
+        elif line.startswith("(get-value"):
+            print("()", flush=True)
+        else:
+            m = re.match(r'\\(echo "(.*)"\\)', line)
+            if m:
+                print(m.group(1), flush=True)
+    '''
+)
+
+
+def fake_solver(tmp_path, verdict="unsat", delay=0.0, name="fakepool"):
+    path = tmp_path / name
+    path.write_text(_FAKE.format(verdict=verdict, delay=delay))
+    path.chmod(path.stat().st_mode | stat.S_IXUSR)
+    return str(path)
+
+
+class TestPoolLeasing:
+    def test_sessions_amortize_across_backend_instances(self, tmp_path):
+        """The tentpole claim: two 'jobs' (= two backend instances with
+        the same spec) share one live solver process."""
+        cmd = fake_solver(tmp_path)
+        pool = SessionPool()
+        stats = SolverStats()
+        job_a = PooledSessionBackend(cmd, stats=stats, pool=pool)
+        job_b = PooledSessionBackend(cmd, stats=stats, pool=pool)
+        for backend in (job_a, job_b, job_a, job_b):
+            assert backend.solve(membership("a+b")).status == UNSAT
+        tally = stats.session_summary()[f"session:{cmd}"]
+        assert tally["spawns"] == 1  # one process served both jobs
+        assert tally["queries"] == 4
+        assert tally["checkouts"] == 4
+        assert tally["queries_per_spawn"] == 4.0
+        assert pool.idle_count(cmd) == 1
+        pool.close()
+        assert pool.idle_count() == 0
+
+    def test_distinct_specs_get_distinct_sessions(self, tmp_path):
+        pool = SessionPool()
+        cmd = fake_solver(tmp_path)
+        fast = PooledSessionBackend(cmd, timeout=5.0, pool=pool)
+        slow = PooledSessionBackend(cmd, timeout=9.0, pool=pool)
+        assert fast.solve(membership("a")).status == UNSAT
+        assert slow.solve(membership("a")).status == UNSAT
+        assert pool.idle_count(cmd) == 2  # keyed by (cmd, timeout, reset)
+        pool.close()
+
+    def test_missing_binary_never_checks_out(self):
+        pool = SessionPool()
+        backend = PooledSessionBackend("no-such-solver-anywhere", pool=pool)
+        assert not backend.available
+        assert backend.solve(membership("a")).status == UNKNOWN
+        assert "not installed" in backend.last_error
+        assert pool.checkouts == 0
+
+    def test_close_is_a_noop_for_pooled_backends(self, tmp_path):
+        cmd = fake_solver(tmp_path)
+        pool = SessionPool()
+        backend = PooledSessionBackend(cmd, pool=pool)
+        assert backend.solve(membership("a")).status == UNSAT
+        backend.close()  # the job ends; the pool keeps the session
+        assert pool.idle_count(cmd) == 1
+        backend2 = PooledSessionBackend(cmd, pool=pool)
+        stats = SolverStats()
+        backend2.stats = stats
+        assert backend2.solve(membership("b")).status == UNSAT
+        assert stats.session_summary()[backend2.name]["spawns"] == 0
+        pool.close()
+
+    def test_restart_once_per_query_preserved(self, tmp_path):
+        # Crashes on the first check-sat of every process unless a
+        # state file marks the respawn (same scheme as the raw session
+        # backend's crash tests).
+        state = tmp_path / "crashed-once"
+        body = textwrap.dedent(
+            f'''\
+            #!/usr/bin/env python3
+            import os, re, sys
+            state = {str(state)!r}
+            for line in sys.stdin:
+                line = line.strip()
+                if line == "(check-sat)":
+                    if not os.path.exists(state):
+                        open(state, "w").close()
+                        sys.exit(1)
+                    print("unsat", flush=True)
+                else:
+                    m = re.match(r'\\(echo "(.*)"\\)', line)
+                    if m:
+                        print(m.group(1), flush=True)
+            '''
+        )
+        path = tmp_path / "crashonce"
+        path.write_text(body)
+        path.chmod(path.stat().st_mode | stat.S_IXUSR)
+        pool = SessionPool()
+        stats = SolverStats()
+        backend = PooledSessionBackend(str(path), stats=stats, pool=pool)
+        assert backend.solve(membership("a+")).status == UNKNOWN
+        assert backend.solve(membership("a+")).status == UNSAT
+        tally = stats.session_summary()[backend.name]
+        assert tally["restarts"] == 1
+        assert tally["spawns"] == 2
+        pool.close()
+
+    def test_stats_rebound_per_lease(self, tmp_path):
+        """Each job's stats see only that job's share of the shared
+        session's lifecycle."""
+        cmd = fake_solver(tmp_path)
+        pool = SessionPool()
+        stats_a, stats_b = SolverStats(), SolverStats()
+        job_a = PooledSessionBackend(cmd, stats=stats_a, pool=pool)
+        job_b = PooledSessionBackend(cmd, stats=stats_b, pool=pool)
+        assert job_a.solve(membership("a")).status == UNSAT
+        assert job_b.solve(membership("b")).status == UNSAT
+        name = job_a.name
+        assert stats_a.session_summary()[name]["spawns"] == 1
+        assert stats_a.session_summary()[name]["queries"] == 1
+        assert stats_b.session_summary()[name]["spawns"] == 0  # reused
+        assert stats_b.session_summary()[name]["queries"] == 1
+        assert stats_b.session_summary()[name]["checkouts"] == 1
+        pool.close()
+
+
+class TestPoolContention:
+    def test_concurrent_checkouts_have_no_cross_talk(self, tmp_path):
+        """Interleaved queries from many threads: every answer arrives,
+        and no session ever sees nested push scopes (the fake solver
+        exits hard on that, which would surface as UNKNOWNs)."""
+        cmd = fake_solver(tmp_path, delay=0.002)
+        pool = SessionPool(max_per_key=3)
+        stats = SolverStats()
+        backend = PooledSessionBackend(cmd, stats=stats, pool=pool)
+        errors = []
+
+        def worker(i):
+            for j in range(6):
+                result = backend.solve(membership("a+b", f"v{i}x{j}"))
+                if result.status != UNSAT:
+                    errors.append((i, j, result.status, backend.last_error))
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        tally = stats.session_summary()[backend.name]
+        assert tally["queries"] == 24
+        assert tally["checkouts"] == 24
+        assert 1 <= tally["spawns"] <= 3  # never beyond the cap
+        assert pool.overflows == 0
+        pool.close()
+
+    def test_saturated_pool_waits_then_serves(self, tmp_path):
+        cmd = fake_solver(tmp_path, delay=0.05)
+        pool = SessionPool(max_per_key=1, wait_timeout=5.0)
+        backend = PooledSessionBackend(cmd, pool=pool)
+        results = []
+
+        def worker(i):
+            results.append(backend.solve(membership("a", f"w{i}")).status)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(3)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert results == [UNSAT, UNSAT, UNSAT]
+        assert pool.waits >= 1  # someone blocked on the request queue
+        assert pool.idle_count(cmd) == 1  # still one process total
+        pool.close()
+
+    def test_overflow_past_wait_timeout_keeps_progress(self, tmp_path):
+        cmd = fake_solver(tmp_path, delay=0.3)
+        pool = SessionPool(max_per_key=1, wait_timeout=0.01)
+        backend = PooledSessionBackend(cmd, pool=pool)
+        statuses = []
+
+        def worker(i):
+            statuses.append(backend.solve(membership("a", f"o{i}")).status)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert statuses == [UNSAT, UNSAT]
+        assert pool.overflows >= 1
+        # Overflow sessions are closed on release, not pooled.
+        assert pool.idle_count(cmd) == 1
+        pool.close()
+
+
+class TestSpecAndGlobalPool:
+    def test_session_spec_is_pooled_by_default(self):
+        backend = make_backend("session:z3?timeout=3&reset_every=64")
+        assert isinstance(backend, PooledSessionBackend)
+        assert backend.name == "session:z3"
+        assert backend.timeout == 3
+        assert backend.reset_every == 64
+
+    def test_pooled_0_restores_private_sessions(self):
+        backend = make_backend("session:z3?pooled=0")
+        assert isinstance(backend, SessionBackend)
+        assert backend.name == "session:z3"
+
+    def test_route_session_target_is_pooled(self):
+        backend = make_backend("route:z3")
+        assert isinstance(backend.session, PooledSessionBackend)
+        assert backend.session.name == "session:z3"
+
+    def test_close_attributes_lifetime_to_last_lessee(self, tmp_path):
+        cmd = fake_solver(tmp_path)
+        pool = SessionPool()
+        stats = SolverStats()
+        backend = PooledSessionBackend(cmd, stats=stats, pool=pool)
+        assert backend.solve(membership("a")).status == UNSAT
+        assert stats.session_summary()[backend.name]["seconds"] == 0.0
+        pool.close()  # the idle session dies; its lifetime lands
+        assert stats.session_summary()[backend.name]["seconds"] > 0.0
+
+    def test_overflow_lifetime_reaches_the_lessee(self, tmp_path):
+        cmd = fake_solver(tmp_path, delay=0.2)
+        pool = SessionPool(max_per_key=1, wait_timeout=0.01)
+        stats = SolverStats()
+        backend = PooledSessionBackend(cmd, stats=stats, pool=pool)
+        statuses = []
+
+        def worker(i):
+            statuses.append(backend.solve(membership("a", f"l{i}")).status)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert statuses == [UNSAT, UNSAT]
+        assert pool.overflows >= 1
+        # The overflow session closed under its lessee's sink.
+        assert stats.session_summary()[backend.name]["seconds"] > 0.0
+        pool.close()
+
+    def test_release_after_close_does_not_repool(self, tmp_path):
+        """An in-flight lease (e.g. a portfolio straggler) released
+        after close() must close its session, not strand it in the
+        dead pool."""
+        cmd = fake_solver(tmp_path)
+        pool = SessionPool()
+        lease = pool.checkout(cmd, timeout=5.0, reset_every=512)
+        session = lease.__enter__()
+        assert session.solve(membership("a")).status == UNSAT
+        proc = session._proc
+        pool.close()  # nothing idle yet; the lease is still out
+        lease.__exit__(None, None, None)
+        assert pool.idle_count() == 0  # not re-pooled
+        assert session._proc is None  # closed on release
+        assert proc.poll() is not None  # subprocess actually dead
+
+    def test_atexit_hook_registers_once_across_resets(self, monkeypatch):
+        import atexit as atexit_module
+
+        from repro.solver.backends import pool as pool_module
+
+        registered = []
+        monkeypatch.setattr(
+            atexit_module, "register", lambda fn: registered.append(fn)
+        )
+        monkeypatch.setattr(pool_module, "_ATEXIT_REGISTERED", False)
+        for _ in range(3):
+            reset_session_pool()
+            get_session_pool()
+        assert len(registered) == 1
+        assert registered[0] is pool_module._close_global_pool
+
+    def test_global_pool_reset(self, tmp_path):
+        cmd = fake_solver(tmp_path)
+        backend = make_backend(f"session:{cmd}")
+        assert backend.solve(membership("a")).status == UNSAT
+        assert get_session_pool().idle_count(cmd) == 1
+        reset_session_pool()
+        assert get_session_pool().idle_count(cmd) == 0
+
+
+class TestEquivalenceWithOneShot:
+    """Satellite: refinement-stream answers via the pool equal the
+    one-shot ``smtlib:`` backend's on the same corpus — with the whole
+    corpus amortized onto one spawn."""
+
+    def _corpus(self):
+        from repro.model.api import SymbolicRegExp
+        from repro.model.cegar import CegarSolver
+        from repro.solver import Solver
+
+        # Real refinement streams: record every query CEGAR poses
+        # (initial + refined) for a few capture-bearing patterns.
+        class Recorder:
+            def __init__(self):
+                self.solver = Solver(timeout=5.0)
+                self.formulas = []
+
+            def solve(self, formula):
+                self.formulas.append(formula)
+                return self.solver.solve(formula)
+
+        recorder = Recorder()
+        for pattern in [r"^(a*)a$", r"^v(\d+)\.(\d+)$", r"(a+)(b?)c"]:
+            regexp = SymbolicRegExp(pattern, "")
+            var = StrVar(f"in!{len(recorder.formulas)}")
+            model = regexp.exec_model(var)
+            CegarSolver(solver=recorder).solve(
+                model.match_formula, [model.constraint]
+            )
+        return recorder.formulas[:10]
+
+    def _canned(self, formulas):
+        from repro.constraints.printer import _string_literal, _variables
+        from repro.solver import Solver
+
+        responses = []
+        for formula in formulas:
+            result = Solver(timeout=5.0).solve(formula)
+            if result.status != SAT:
+                responses.append((result.status, "()"))
+                continue
+            pairs = []
+            for var in sorted(_variables(formula), key=lambda v: v.name):
+                value = result.model[var]
+                defined = "false" if value is None else "true"
+                literal = _string_literal(value or "")
+                name = (
+                    var.name
+                    if all(c.isalnum() or c in "_.$" for c in var.name)
+                    else f"|{var.name}|"
+                )
+                defname = (
+                    f"{name[:-1]}.def|" if name.endswith("|")
+                    else f"{name}.def"
+                )
+                pairs.append(f"({name} {literal})")
+                pairs.append(f"({defname} {defined})")
+            responses.append((SAT, "(" + " ".join(pairs) + ")"))
+        return responses
+
+    def _scripted(self, tmp_path, responses, name, per_process):
+        counter = tmp_path / f"{name}.counter"
+        counter.write_text("0")
+        body = textwrap.dedent(
+            f'''\
+            #!/usr/bin/env python3
+            import re, sys
+            RESPONSES = {responses!r}
+            COUNTER = {str(counter)!r}
+            PER_PROCESS = {per_process!r}
+
+            def take():
+                with open(COUNTER) as f:
+                    i = int(f.read().strip() or "0")
+                with open(COUNTER, "w") as f:
+                    f.write(str(i + 1))
+                return RESPONSES[i % len(RESPONSES)]
+
+            if PER_PROCESS:
+                verdict, model = take()
+                print(verdict, flush=True)
+                print(model, flush=True)
+                sys.exit(0)
+            current = [None]
+            for line in sys.stdin:
+                line = line.strip()
+                if line == "(check-sat)":
+                    current[0] = take()
+                    print(current[0][0], flush=True)
+                elif line.startswith("(get-value"):
+                    print(current[0][1] if current[0] else "()", flush=True)
+                else:
+                    m = re.match(r'\\(echo "(.*)"\\)', line)
+                    if m:
+                        print(m.group(1), flush=True)
+            '''
+        )
+        path = tmp_path / name
+        path.write_text(body)
+        path.chmod(path.stat().st_mode | stat.S_IXUSR)
+        return str(path)
+
+    def test_pool_matches_one_shot_on_refined_corpus(self, tmp_path):
+        formulas = self._corpus()
+        responses = self._canned(formulas)
+        pool_cmd = self._scripted(
+            tmp_path, responses, "replay-pool", per_process=False
+        )
+        oneshot_cmd = self._scripted(
+            tmp_path, responses, "replay-oneshot", per_process=True
+        )
+        pool = SessionPool(max_per_key=1)  # deterministic replay order
+        stats = SolverStats()
+        pooled = PooledSessionBackend(pool_cmd, stats=stats, pool=pool)
+        oneshot = SmtLibBackend(oneshot_cmd, timeout=10.0)
+        for formula in formulas:
+            through_pool = pooled.solve(formula)
+            spawned = oneshot.solve(formula)
+            assert through_pool.status == spawned.status, (
+                pooled.last_error,
+                oneshot.last_error,
+            )
+            if through_pool.model is None:
+                assert spawned.model is None
+            else:
+                assert (
+                    through_pool.model.assignment
+                    == spawned.model.assignment
+                )
+        tally = stats.session_summary()[pooled.name]
+        assert tally["spawns"] == 1  # whole corpus on one process
+        assert tally["queries"] == len(formulas)
+        pool.close()
