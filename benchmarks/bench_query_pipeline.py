@@ -204,6 +204,107 @@ def test_session_spawn_amortization(benchmark, record_table, tmp_path):
     assert session.spawns >= 1
 
 
+#: Generous estimate of obs calls on one warm cached query's hot path
+#: (job span, cegar spans, backend span, cache annotate, metric counts).
+_OBS_CALLS_PER_QUERY = 25
+
+
+def test_tracing_overhead(benchmark, record_table, tmp_path):
+    """Observability cost, both switched off and on.
+
+    The disabled path is the contract: instrumentation is everywhere on
+    the hot path, so a disabled ``obs.span`` (one global load + one
+    comparison) must stay under **3%** of even the cheapest real query —
+    the warm cached replay — at a generous per-query call count.
+    Measured as a microbenchmark (per-call cost × calls per query vs the
+    measured warm per-query time) so the bound is stable on noisy CI
+    boxes.  The enabled-tracer batch overhead is reported alongside.
+    """
+    from repro import obs
+
+    store = str(tmp_path / "obs-queries")
+
+    def run_batch(tag, **obs_cfg):
+        _fresh_process_state()
+        started = time.perf_counter()
+        report = BatchRunner(
+            RunnerConfig(workers=0, query_cache=store, **obs_cfg)
+        ).run(_solve_jobs(tag))
+        elapsed = time.perf_counter() - started
+        assert all(r.status == "ok" for r in report.results)
+        return elapsed
+
+    calls = 50_000 if PERF_SMOKE else 200_000
+
+    def measure():
+        run_batch("seed")  # populate the store: later runs replay warm
+
+        rounds = 2 if PERF_SMOKE else 3
+        disabled_s = min(
+            run_batch(f"off{i}") for i in range(rounds)
+        )
+        trace = str(tmp_path / "overhead-trace.jsonl")
+        metrics_json = str(tmp_path / "overhead-metrics.json")
+        enabled_s = min(
+            run_batch(
+                f"on{i}",
+                trace=trace,
+                metrics_json=metrics_json,
+                slow_query_ms=0.0,
+            )
+            for i in range(rounds)
+        )
+
+        # Disabled-call microbenchmark: the per-call price every
+        # uninstrumented run pays at each obs.span site.
+        assert not obs.enabled()
+        started = time.perf_counter()
+        for _ in range(calls):
+            with obs.span("bench:noop"):
+                pass
+        per_call_s = (time.perf_counter() - started) / calls
+        return disabled_s, enabled_s, per_call_s
+
+    disabled_s, enabled_s, per_call_s = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    jobs = len(PATTERNS) * 2
+    warm_query_s = disabled_s / jobs
+    disabled_overhead = (
+        per_call_s * _OBS_CALLS_PER_QUERY / warm_query_s
+        if warm_query_s
+        else 0.0
+    )
+    enabled_overhead = (
+        enabled_s / disabled_s - 1.0 if disabled_s else 0.0
+    )
+    data = {
+        "jobs": jobs,
+        "disabled_span_ns": per_call_s * 1e9,
+        "obs_calls_per_query": _OBS_CALLS_PER_QUERY,
+        "warm_query_us": warm_query_s * 1e6,
+        "disabled_overhead_fraction": disabled_overhead,
+        "disabled_overhead_bound": 0.03,
+        "disabled_batch_s": disabled_s,
+        "enabled_batch_s": enabled_s,
+        "enabled_overhead_fraction": enabled_overhead,
+    }
+    update_json_result("BENCH_obs.json", "tracing_overhead", data)
+    record_table(
+        "obs_overhead.txt",
+        f"Tracing overhead (warm cached batch, {jobs} solve jobs)\n"
+        f"disabled span:   {per_call_s * 1e9:8.1f} ns/call "
+        f"(x{_OBS_CALLS_PER_QUERY} calls = "
+        f"{100 * disabled_overhead:.3f}% of a "
+        f"{warm_query_s * 1e6:.0f}us warm query; bound 3%)\n"
+        f"batch disabled:  {1000 * disabled_s:8.2f} ms\n"
+        f"batch traced:    {1000 * enabled_s:8.2f} ms "
+        f"({100 * enabled_overhead:+.1f}%)",
+    )
+    # Acceptance: disabled instrumentation is invisible on the warm path.
+    assert disabled_overhead < 0.03
+
+
 def test_routed_pipeline_composes(benchmark, record_table, tmp_path):
     """``cached:route:`` end to end: the composed fast path stays
     correct with no solver binary installed, and the routing tallies

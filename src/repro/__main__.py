@@ -19,6 +19,14 @@ DIR`` to persist definitive solver answers the same way (implies a
 additionally coalesces jobs posing identical canonical queries into
 single-flight executions.
 
+``solve``/``analyze``/``batch`` also accept the observability flags
+``--trace FILE`` / ``--trace-format {jsonl,chrome}`` (span traces,
+merged deterministically across worker processes; the chrome format
+opens in Perfetto), ``--metrics-json FILE`` (labeled counter /
+gauge / histogram snapshot), and ``--slow-query-ms MS`` (log solver
+queries over the threshold with fingerprint, route, backend, and
+refinement depth) — see :mod:`repro.obs`.
+
 - ``survey [-n N]`` — regenerate the §7.1 survey tables;
 - ``smtlib PATTERN [-f FLAGS]`` — print the membership model as SMT-LIB;
 - ``dot PATTERN`` — print the DFA of a classical regex as Graphviz DOT.
@@ -83,6 +91,46 @@ def _resolve_backend(spec, query_cache, timeout=None, query_cache_max=None):
     )
 
 
+def _start_obs(args):
+    """Configure tracing/metrics for a one-shot command, or ``None``.
+
+    Returns the :class:`~repro.obs.export.ObsRun` whose ``finish()``
+    writes the requested artifacts; with none of the flags set nothing
+    is imported or configured (the strictly-disabled fast path).
+    """
+    if (
+        getattr(args, "trace", None) is None
+        and getattr(args, "metrics_json", None) is None
+        and getattr(args, "slow_query_ms", None) is None
+    ):
+        return None
+    from repro.obs.export import ObsRun
+
+    return ObsRun.start(
+        trace=args.trace,
+        trace_format=args.trace_format,
+        metrics_json=args.metrics_json,
+        slow_query_ms=args.slow_query_ms,
+    )
+
+
+def _finish_obs(obs_run) -> None:
+    """Write and announce the observability artifacts of a one-shot run."""
+    if obs_run is None:
+        return
+    summary = obs_run.finish()
+    if summary.trace_path:
+        print(f"trace:   {summary.trace_path} ({summary.span_count} spans)")
+    if summary.metrics_path:
+        print(f"metrics: {summary.metrics_path}")
+    if summary.slow_queries:
+        worst = max(e.get("ms", 0.0) for e in summary.slow_queries)
+        print(
+            f"slow queries: {len(summary.slow_queries)} "
+            f"(worst {worst:.1f}ms)"
+        )
+
+
 def _cmd_solve(args: argparse.Namespace) -> int:
     from repro.model import find_matching_input, find_non_matching_input
 
@@ -99,18 +147,31 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     backend = _resolve_backend(
         args.backend, args.query_cache, query_cache_max=args.query_cache_max
     )
+    obs_run = _start_obs(args)
+    try:
+        if args.negate:
+            word = find_non_matching_input(
+                args.pattern, args.flags, backend=backend
+            )
+            status = 1 if word is None else 0
+            result = None
+        else:
+            result = find_matching_input(
+                args.pattern, args.flags, backend=backend
+            )
+            word = result[0] if result is not None else None
+            status = 1 if result is None else 0
+    except BaseException:
+        if obs_run is not None:
+            obs_run.abort()
+        raise
+    _finish_obs(obs_run)
     if args.negate:
-        word = find_non_matching_input(
-            args.pattern, args.flags, backend=backend
-        )
         if word is None:
             print("no non-matching input found (pattern may match Σ*)")
             return 1
         print(f"input:  {word!r}")
-        return 0
-    result = find_matching_input(
-        args.pattern, args.flags, backend=backend
-    )
+        return status
     if result is None:
         print("unsatisfiable (or solver budget exhausted)")
         return 1
@@ -120,7 +181,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         value = captures[index]
         shown = "undefined" if value is None else repr(value)
         print(f"  C{index} = {shown}")
-    return 0
+    return status
 
 
 def _cmd_exec(args: argparse.Namespace) -> int:
@@ -148,20 +209,27 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     with open(args.file) as handle:
         source = handle.read()
     level = RegexSupportLevel[args.level.upper()]
-    result = analyze(
-        source,
-        level=level,
-        max_tests=args.max_tests,
-        time_budget=args.time_budget,
-        backend=_resolve_backend(
-            args.backend,
-            args.query_cache,
-            # what the engine would thread into a lazy spec resolution
-            timeout=EngineConfig().solver_timeout,
-            query_cache_max=args.query_cache_max,
-        ),
-        automata_cache=args.automata_cache,
-    )
+    obs_run = _start_obs(args)
+    try:
+        result = analyze(
+            source,
+            level=level,
+            max_tests=args.max_tests,
+            time_budget=args.time_budget,
+            backend=_resolve_backend(
+                args.backend,
+                args.query_cache,
+                # what the engine would thread into a lazy spec resolution
+                timeout=EngineConfig().solver_timeout,
+                query_cache_max=args.query_cache_max,
+            ),
+            automata_cache=args.automata_cache,
+        )
+    except BaseException:
+        if obs_run is not None:
+            obs_run.abort()
+        raise
+    _finish_obs(obs_run)
     print(f"tests run:   {result.tests_run}")
     print(f"coverage:    {result.coverage:.1%} "
           f"({len(result.covered)}/{result.statement_count} statements)")
@@ -224,6 +292,10 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             query_cache=args.query_cache,
             query_cache_max=args.query_cache_max,
             dedup=args.dedup,
+            trace=args.trace,
+            trace_format=args.trace_format,
+            metrics_json=args.metrics_json,
+            slow_query_ms=args.slow_query_ms,
         )
     )
     report = runner.run(jobs)
@@ -305,6 +377,27 @@ def build_parser() -> argparse.ArgumentParser:
         "evicts the oldest entries past the cap)"
     )
 
+    def _add_obs_flags(command) -> None:
+        command.add_argument(
+            "--trace", default=None, metavar="FILE",
+            help="write a span trace of the run to FILE",
+        )
+        command.add_argument(
+            "--trace-format", default="jsonl",
+            choices=["jsonl", "chrome"],
+            help="trace file format: jsonl (one span per line) or "
+            "chrome (trace-event JSON, viewable in Perfetto/about:tracing)",
+        )
+        command.add_argument(
+            "--metrics-json", default=None, metavar="FILE",
+            help="write the merged metrics registry snapshot to FILE",
+        )
+        command.add_argument(
+            "--slow-query-ms", type=float, default=None, metavar="MS",
+            help="log solver queries slower than MS milliseconds "
+            "(with fingerprint, route, backend, refinement depth)",
+        )
+
     solve = sub.add_parser("solve", help="find a (non-)matching input")
     solve.add_argument("pattern")
     solve.add_argument("-f", "--flags", default="")
@@ -320,6 +413,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--query-cache-max", type=int, default=None,
         help=query_cache_max_help,
     )
+    _add_obs_flags(solve)
     solve.set_defaults(fn=_cmd_solve)
 
     exec_ = sub.add_parser("exec", help="concrete ES6 exec")
@@ -348,6 +442,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--query-cache-max", type=int, default=None,
         help=query_cache_max_help,
     )
+    _add_obs_flags(analyze)
     analyze.set_defaults(fn=_cmd_analyze)
 
     batch = sub.add_parser(
@@ -411,6 +506,7 @@ def build_parser() -> argparse.ArgumentParser:
         "single-flight executions before dispatch",
     )
     batch.add_argument("--json", help="also write the report as JSON")
+    _add_obs_flags(batch)
     batch.set_defaults(fn=_cmd_batch)
 
     survey = sub.add_parser("survey", help="regenerate Tables 4/5")

@@ -32,6 +32,7 @@ import os
 import pickle
 from typing import Callable, Dict, List, Optional
 
+from repro.obs import metrics as _metrics
 from repro.regex import ast
 from repro.regex.charclass import CharSet
 from repro.automata.build import NotRegularError
@@ -176,12 +177,14 @@ class DfaDiskStore:
         except Exception:
             # Truncated write, foreign file, stale format: drop and recompile.
             self.failures += 1
+            _metrics.count("automata_store_total", op="failure")
             try:
                 os.unlink(entry)
             except OSError:
                 pass
             return None
         self.loads += 1
+        _metrics.count("automata_store_total", op="load")
         return dfa
 
     def put(self, fingerprint: str, dfa: Dfa) -> None:
@@ -192,8 +195,10 @@ class DfaDiskStore:
                 pickle.dump(dfa_to_blob(dfa), handle, protocol=4)
             os.replace(tmp, entry)  # atomic: readers never see a partial file
             self.stores += 1
+            _metrics.count("automata_store_total", op="store")
         except OSError:
             self.failures += 1
+            _metrics.count("automata_store_total", op="failure")
             try:
                 os.unlink(tmp)
             except OSError:
@@ -261,14 +266,19 @@ class AutomataInterner:
         dfa = self._dfas.get(fingerprint)
         if dfa is not None:
             self.hits += 1
+            _metrics.count("automata_interner_total", outcome="hit")
             return dfa
         if self.store is not None:
             dfa = self.store.get(fingerprint)
             if dfa is not None:
                 self.disk_hits += 1
+                _metrics.count(
+                    "automata_interner_total", outcome="disk_hit"
+                )
                 self._dfas[fingerprint] = dfa
                 return dfa
         self.misses += 1
+        _metrics.count("automata_interner_total", outcome="miss")
         dfa = compile_fn()
         self._dfas[fingerprint] = dfa
         if self.store is not None:

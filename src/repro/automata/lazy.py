@@ -56,6 +56,7 @@ from __future__ import annotations
 from collections import OrderedDict, deque
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
+from repro.obs import metrics as _metrics
 from repro.regex.charclass import CharSet
 from repro.automata.dfa import Dfa, _merge_labels
 
@@ -139,6 +140,8 @@ class _LazySpace:
     #: ``all`` for intersections, ``any`` for unions.
     _combine = staticmethod(all)
     _combine_live = staticmethod(all)
+    #: Metrics label for exploration counters (see ``_record_exploration``).
+    kind = "space"
 
     def __init__(
         self,
@@ -177,6 +180,14 @@ class _LazySpace:
     @property
     def states_visited(self) -> int:
         return len(self._seen)
+
+    def _record_exploration(self, seen_before: int) -> None:
+        """Mirror a traversal's newly discovered states into metrics."""
+        delta = len(self._seen) - seen_before
+        if delta:
+            _metrics.count(
+                "lazy_states_visited_total", delta, kind=self.kind
+            )
 
     # -- state-local queries -------------------------------------------------
 
@@ -311,6 +322,13 @@ class _LazySpace:
         finitely many reachable product states), materializing only what
         it visits.
         """
+        seen0 = len(self._seen)
+        try:
+            return self._shortest_word()
+        finally:
+            self._record_exploration(seen0)
+
+    def _shortest_word(self) -> Optional[str]:
         if self._empty:
             return None
         start = self.start
@@ -363,6 +381,21 @@ class _LazySpace:
         space.  The exact emptiness BFS runs first so a dead language
         never pays the bounded unrolling.
         """
+        seen0 = len(self._seen)
+        try:
+            yield from self._words(
+                max_count, max_length, samples_per_edge, frontier_cap
+            )
+        finally:
+            self._record_exploration(seen0)
+
+    def _words(
+        self,
+        max_count: Optional[int],
+        max_length: int,
+        samples_per_edge: int,
+        frontier_cap: int,
+    ) -> Iterator[str]:
         if self.is_empty():
             return
         emitted = 0
@@ -412,6 +445,13 @@ class _LazySpace:
         Explores every reachable product state — after this call
         ``states_visited`` equals the eager construction's state count.
         """
+        seen0 = len(self._seen)
+        try:
+            return self._materialize()
+        finally:
+            self._record_exploration(seen0)
+
+    def _materialize(self) -> Dfa:
         index: Dict[_State, int] = {self.start: 0}
         order: List[_State] = [self.start]
         transitions: Dict[int, List[Tuple[CharSet, int]]] = {}
@@ -451,6 +491,7 @@ class LazyProduct(_LazySpace):
 
     _combine = staticmethod(all)
     _combine_live = staticmethod(all)
+    kind = "product"
 
 
 class LazyUnion(_LazySpace):
@@ -466,6 +507,7 @@ class LazyUnion(_LazySpace):
 
     _combine = staticmethod(any)
     _combine_live = staticmethod(any)
+    kind = "union"
 
 
 def lazy_intersect_all(components: Sequence):

@@ -13,6 +13,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
+from repro import obs
 from repro.constraints import Formula, StrVar, conj
 from repro.dse.astnodes import Program
 from repro.dse.interpreter import (
@@ -154,14 +155,22 @@ class DseEngine:
         hits0 = getattr(self._base_solver, "hits", 0)
         misses0 = getattr(self._base_solver, "misses", 0)
         self._enqueue(QueuedTest(inputs={}, origin_site=-1))
-        while (
-            self._scheduler
-            and self.result.tests_run < self.config.max_tests
-            and time.monotonic() < deadline
-        ):
-            test = self._scheduler.pop()
-            trace = self._execute(test.inputs)
-            self._expand(trace, test, deadline)
+        with obs.span(
+            "dse:run", level=self.config.level.name
+        ) as run_span:
+            while (
+                self._scheduler
+                and self.result.tests_run < self.config.max_tests
+                and time.monotonic() < deadline
+            ):
+                test = self._scheduler.pop()
+                trace = self._execute(test.inputs)
+                self._expand(trace, test, deadline)
+            run_span.set(
+                tests=self.result.tests_run,
+                queries=self.result.queries,
+                covered=len(self.result.covered),
+            )
         self.result.wall_time = (
             self.config.time_budget - max(0.0, deadline - time.monotonic())
         )
@@ -184,7 +193,9 @@ class DseEngine:
         interpreter = Interpreter(
             self.program, inputs, level=self.config.level
         )
-        trace = interpreter.run()
+        with obs.span("dse:execute", inputs=len(inputs)) as exec_span:
+            trace = interpreter.run()
+            exec_span.set(branches=len(trace.branches))
         self.result.tests_run += 1
         self.result.covered |= trace.covered
         self.result.regex_ops += trace.regex_ops
@@ -247,29 +258,39 @@ class DseEngine:
 
         problem = conj(clauses)
         self.result.queries += 1
-        if self.config.level == RegexSupportLevel.REFINED:
-            solved = self._cegar.solve(problem, constraints)
-            if solved.status != SAT:
+        with obs.span(
+            "dse:flip",
+            site=branches[flip_index].site,
+            depth=flip_index,
+        ) as flip_span:
+            if self.config.level == RegexSupportLevel.REFINED:
+                solved = self._cegar.solve(problem, constraints)
+                flip_span.set(status=solved.status)
+                if solved.status != SAT:
+                    return None
+                self.result.sat_queries += 1
+                return solved.model
+            # Lower support levels: raw solve, models taken at face
+            # value (the paper's pre-refinement behaviour — spurious
+            # capture assignments may produce inputs that do not flip
+            # the branch).
+            started = time.perf_counter()
+            raw = self._base_solver.solve(problem)
+            self.result.stats.record(
+                QueryRecord(
+                    seconds=time.perf_counter() - started,
+                    status=raw.status,
+                    had_regex=bool(constraints),
+                    had_captures=any(
+                        len(c.captures) > 1 for c in constraints
+                    ),
+                )
+            )
+            flip_span.set(status=raw.status)
+            if raw.status != SAT:
                 return None
             self.result.sat_queries += 1
-            return solved.model
-        # Lower support levels: raw solve, models taken at face value
-        # (the paper's pre-refinement behaviour — spurious capture
-        # assignments may produce inputs that do not flip the branch).
-        started = time.perf_counter()
-        raw = self._base_solver.solve(problem)
-        self.result.stats.record(
-            QueryRecord(
-                seconds=time.perf_counter() - started,
-                status=raw.status,
-                had_regex=bool(constraints),
-                had_captures=any(len(c.captures) > 1 for c in constraints),
-            )
-        )
-        if raw.status != SAT:
-            return None
-        self.result.sat_queries += 1
-        return raw.model
+            return raw.model
 
     def _extract_inputs(
         self, model, base_inputs: Dict[str, str], trace: Trace

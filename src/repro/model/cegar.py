@@ -21,6 +21,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.constraints import (
     Eq,
     Formula,
@@ -146,31 +147,56 @@ class CegarSolver:
         had_captures = any(len(c.captures) > 1 for c in constraints)
         result = CegarResult(UNKNOWN)
 
-        while True:
-            solved = self._solve_query(problem, refinements)
-            if solved.status != SAT:
-                result = CegarResult(
-                    solved.status, None, refinements, False
-                )
-                break
+        solve_attrs = {}
+        if obs.enabled():
+            from repro.constraints.printer import canonical_fingerprint
 
-            model = solved.model
-            failed = False
-            for constraint in constraints:
-                refinement = self._validate(constraint, model)
-                if refinement is not None:
-                    # Prepend: refinements must branch *before* the model's
-                    # own disjunctions so the pinned-word branch is explored
-                    # against every model core first.
-                    problem = conj([refinement, problem])
-                    failed = True
-            if not failed:
-                result = CegarResult(SAT, model, refinements, False)
-                break
-            refinements += 1
-            if refinements > self.refinement_limit:
-                result = CegarResult(UNKNOWN, None, refinements, True)
-                break
+            solve_attrs["fingerprint"] = canonical_fingerprint(problem)[0]
+            solve_attrs["backend"] = getattr(
+                self.solver, "name", None
+            ) or type(self.solver).__name__
+        with obs.span("cegar:solve", **solve_attrs) as solve_span:
+            while True:
+                with obs.span(
+                    "cegar:iter", iteration=refinements
+                ) as iter_span:
+                    solved = self._solve_query(problem, refinements)
+                    iter_span.set(status=solved.status)
+                # A router annotates the innermost open span with its
+                # decision; hoist it so the slow-query log (which keeps
+                # only ``cegar:solve``-family spans) sees the route.
+                for key in ("route", "target", "cache"):
+                    if key in iter_span.attrs:
+                        solve_span.set(**{key: iter_span.attrs[key]})
+                if solved.status != SAT:
+                    result = CegarResult(
+                        solved.status, None, refinements, False
+                    )
+                    break
+
+                model = solved.model
+                failed = False
+                for constraint in constraints:
+                    refinement = self._validate(constraint, model)
+                    if refinement is not None:
+                        # Prepend: refinements must branch *before* the
+                        # model's own disjunctions so the pinned-word
+                        # branch is explored against every model core
+                        # first.
+                        problem = conj([refinement, problem])
+                        failed = True
+                if not failed:
+                    result = CegarResult(SAT, model, refinements, False)
+                    break
+                refinements += 1
+                if refinements > self.refinement_limit:
+                    result = CegarResult(UNKNOWN, None, refinements, True)
+                    break
+            solve_span.set(
+                status=result.status,
+                refinements=refinements,
+                hit_limit=result.hit_limit,
+            )
 
         if self.stats is not None:
             self.stats.record(

@@ -1,0 +1,330 @@
+"""Trace/metrics exporters and the per-run observability orchestrator.
+
+The runtime side (:mod:`repro.obs.tracer`) writes one JSONL spool file
+per process; this module owns everything that happens *after* the run:
+
+- :func:`read_spool` — parse every ``obs-*.jsonl`` file of a spool
+  directory into spans, events, slow-query entries, and per-pid
+  metrics checkpoints (defensively: a truncated trailing line from a
+  killed worker is skipped, never an error);
+- :func:`merge_records` — the deterministic merge: one timeline sorted
+  by ``(ts, pid, seq)``, so two runs over the same spool produce
+  byte-identical exports;
+- :func:`write_jsonl_trace` / :func:`write_chrome_trace` — the two
+  ``--trace-format`` outputs.  The Chrome form is the trace-event JSON
+  Perfetto/chrome://tracing load directly: complete (``ph:"X"``) events
+  for spans, instant (``ph:"i"``) events for markers, microsecond
+  timestamps normalized to the earliest span, with span/parent ids
+  carried in ``args`` so nesting survives the format;
+- :func:`merge_metrics` — per-pid *last* checkpoint wins (checkpoints
+  are cumulative within a process), then summed across pids;
+- :class:`ObsRun` — ties it together for the CLI and the batch runner:
+  ``start()`` configures the process and creates the spool,
+  ``worker_config()`` is what pool initializers forward to
+  :func:`repro.obs.configure_worker`, ``finish()`` merges the spool,
+  writes the requested artifacts, and restores the disabled state.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.tracer import SpoolSink, Tracer, get_tracer, set_tracer
+
+TRACE_FORMATS = ("jsonl", "chrome")
+
+
+# -- spool reading ------------------------------------------------------------
+
+
+def read_spool(spool_dir: str) -> dict:
+    """Parse a spool directory into its record streams.
+
+    Returns ``{"spans": [...], "events": [...], "slow": [...],
+    "metrics": {pid: snapshot}}``.  Later metrics checkpoints replace
+    earlier ones per pid (they are cumulative snapshots, not deltas).
+    """
+    spans: List[dict] = []
+    events: List[dict] = []
+    slow: List[dict] = []
+    metrics_by_pid: Dict[int, dict] = {}
+    metrics_seq: Dict[int, int] = {}
+    try:
+        names = sorted(
+            name
+            for name in os.listdir(spool_dir)
+            if name.startswith("obs-") and name.endswith(".jsonl")
+        )
+    except OSError:
+        names = []
+    for name in names:
+        try:
+            with open(
+                os.path.join(spool_dir, name), encoding="utf-8"
+            ) as handle:
+                lines = handle.read().splitlines()
+        except OSError:
+            continue
+        for line in lines:
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue  # truncated trailing line of a killed worker
+            kind = record.get("k")
+            if kind == "span":
+                spans.append(record)
+            elif kind == "event":
+                events.append(record)
+            elif kind == "slow":
+                slow.append(record)
+            elif kind == "metrics":
+                pid = record.get("pid", 0)
+                seq = record.get("seq", 0)
+                if seq >= metrics_seq.get(pid, -1):
+                    metrics_seq[pid] = seq
+                    metrics_by_pid[pid] = record.get("data") or {}
+    return {
+        "spans": spans,
+        "events": events,
+        "slow": slow,
+        "metrics": metrics_by_pid,
+    }
+
+
+def merge_records(records: List[dict]) -> List[dict]:
+    """One deterministic timeline: sort by (ts, pid, seq)."""
+    return sorted(
+        records,
+        key=lambda r: (r.get("ts", 0.0), r.get("pid", 0), r.get("seq", 0)),
+    )
+
+
+def merge_metrics(
+    spool: dict, local_snapshot: Optional[dict] = None
+) -> dict:
+    """Batch-level metrics: worker checkpoints + the parent's registry.
+
+    The parent's live registry covers inline execution and everything
+    recorded outside worker jobs; a worker that also ran in the parent
+    pid (workers=0) is covered by ``local_snapshot`` alone, so its
+    spooled checkpoint — always a prefix of the live registry — is
+    dropped in favour of the live one.
+    """
+    snapshots = [
+        snap
+        for pid, snap in sorted((spool.get("metrics") or {}).items())
+        if not (local_snapshot is not None and pid == os.getpid())
+    ]
+    if local_snapshot is not None:
+        snapshots.append(local_snapshot)
+    return obs_metrics.merge_snapshots(snapshots)
+
+
+# -- writers ------------------------------------------------------------------
+
+
+def write_jsonl_trace(path: str, records: List[dict]) -> None:
+    """The merged timeline, one JSON object per line."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, default=repr) + "\n")
+
+
+def write_chrome_trace(path: str, records: List[dict]) -> None:
+    """Chrome trace-event JSON (open in Perfetto / chrome://tracing)."""
+    origin = min(
+        (r.get("ts", 0.0) for r in records), default=0.0
+    )
+    trace_events: List[dict] = []
+    pids_seen = []
+    for record in records:
+        pid = record.get("pid", 0)
+        if pid not in pids_seen:
+            pids_seen.append(pid)
+        args = dict(record.get("attrs") or {})
+        args["span_id"] = record.get("id")
+        if record.get("parent"):
+            args["parent_id"] = record["parent"]
+        entry = {
+            "name": record.get("name", "?"),
+            "cat": record.get("k", "span"),
+            "ts": (record.get("ts", 0.0) - origin) * 1e6,
+            "pid": pid,
+            "tid": record.get("tid", 0),
+            "args": args,
+        }
+        if record.get("k") == "event":
+            entry["ph"] = "i"
+            entry["s"] = "t"  # thread-scoped instant
+        else:
+            entry["ph"] = "X"
+            entry["dur"] = record.get("dur", 0.0) * 1e6
+        trace_events.append(entry)
+    metadata = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {
+                "name": (
+                    "runner" if index == 0 else f"worker-{index}"
+                )
+            },
+        }
+        for index, pid in enumerate(pids_seen)
+    ]
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(
+            {
+                "traceEvents": metadata + trace_events,
+                "displayTimeUnit": "ms",
+            },
+            handle,
+            default=repr,
+        )
+
+
+def write_metrics_json(path: str, snapshot: dict) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=True, default=repr)
+
+
+# -- the per-run orchestrator -------------------------------------------------
+
+
+@dataclass
+class ObsSummary:
+    """What one observed run produced (attached to batch reports)."""
+
+    trace_path: Optional[str] = None
+    trace_format: str = "jsonl"
+    metrics_path: Optional[str] = None
+    span_count: int = 0
+    event_count: int = 0
+    pids: List[int] = field(default_factory=list)
+    slow_queries: List[dict] = field(default_factory=list)
+
+
+class ObsRun:
+    """One observed CLI invocation / batch run (parent-process side)."""
+
+    def __init__(
+        self,
+        trace: Optional[str],
+        trace_format: str,
+        metrics_json: Optional[str],
+        slow_query_ms: Optional[float],
+        spool_dir: str,
+    ):
+        self.trace = trace
+        self.trace_format = trace_format
+        self.metrics_json = metrics_json
+        self.slow_query_ms = slow_query_ms
+        self.spool_dir = spool_dir
+        self._finished = False
+
+    @classmethod
+    def start(
+        cls,
+        trace: Optional[str] = None,
+        trace_format: str = "jsonl",
+        metrics_json: Optional[str] = None,
+        slow_query_ms: Optional[float] = None,
+    ) -> Optional["ObsRun"]:
+        """Configure observability for this process, or ``None`` when
+        nothing was requested (the strictly-disabled fast path)."""
+        if trace is None and metrics_json is None and slow_query_ms is None:
+            return None
+        if trace_format not in TRACE_FORMATS:
+            raise ValueError(
+                f"unknown trace format {trace_format!r}; "
+                f"choose from {TRACE_FORMATS}"
+            )
+        spool_dir = tempfile.mkdtemp(prefix="repro-obs-")
+        sink = SpoolSink(spool_dir)
+        if trace is not None or slow_query_ms is not None:
+            set_tracer(
+                Tracer(
+                    sink,
+                    record_spans=trace is not None,
+                    slow_query_ms=slow_query_ms,
+                )
+            )
+        if metrics_json is not None:
+            obs_metrics.set_registry(obs_metrics.MetricsRegistry())
+        run = cls(
+            trace, trace_format, metrics_json, slow_query_ms, spool_dir
+        )
+        run._sink = sink
+        return run
+
+    def worker_config(self) -> dict:
+        """What pool initializers forward to ``obs.configure_worker``."""
+        return {
+            "spool": self.spool_dir,
+            "trace_spans": self.trace is not None,
+            "slow_query_ms": self.slow_query_ms,
+            "metrics": self.metrics_json is not None,
+        }
+
+    def finish(self) -> ObsSummary:
+        """Merge the spool, write the artifacts, restore disabled state."""
+        if self._finished:
+            raise RuntimeError("ObsRun.finish() called twice")
+        self._finished = True
+        # Capture parent-side state, then flip the switches off before
+        # touching the spool so late instrumentation cannot race it.
+        tracer = get_tracer()
+        registry = obs_metrics.get_registry()
+        local_snapshot = (
+            registry.snapshot() if registry is not None else None
+        )
+        set_tracer(None)
+        obs_metrics.disable()
+        if tracer is not None and tracer.sink is not None:
+            tracer.sink.close()
+        self._sink.close()
+
+        spool = read_spool(self.spool_dir)
+        summary = ObsSummary(
+            trace_path=self.trace,
+            trace_format=self.trace_format,
+            metrics_path=self.metrics_json,
+        )
+        records = merge_records(spool["spans"] + spool["events"])
+        summary.span_count = len(spool["spans"])
+        summary.event_count = len(spool["events"])
+        summary.pids = sorted(
+            {r.get("pid", 0) for r in records}
+        )
+        summary.slow_queries = merge_records(spool["slow"])
+        if self.trace is not None:
+            if self.trace_format == "chrome":
+                write_chrome_trace(self.trace, records)
+            else:
+                write_jsonl_trace(self.trace, records)
+        if self.metrics_json is not None:
+            write_metrics_json(
+                self.metrics_json, merge_metrics(spool, local_snapshot)
+            )
+        shutil.rmtree(self.spool_dir, ignore_errors=True)
+        return summary
+
+    def abort(self) -> None:
+        """Tear down without writing artifacts (error paths)."""
+        if self._finished:
+            return
+        self._finished = True
+        set_tracer(None)
+        obs_metrics.disable()
+        self._sink.close()
+        shutil.rmtree(self.spool_dir, ignore_errors=True)

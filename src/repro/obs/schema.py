@@ -1,0 +1,202 @@
+"""Schema validation for exported observability artifacts.
+
+CI runs a traced batch and then validates the artifacts it produced
+(``python -m repro.obs.schema --trace ... --metrics ...``), so a
+regression in the exporters fails the workflow instead of shipping a
+trace Perfetto cannot load.  The validators are deliberately
+hand-rolled structural checks (no jsonschema dependency): each returns
+a list of human-readable error strings, empty on success.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List
+
+#: Required fields of one merged-JSONL trace record and their types.
+_JSONL_SPAN_FIELDS = {
+    "name": str,
+    "id": str,
+    "pid": int,
+    "tid": int,
+    "seq": int,
+    "ts": (int, float),
+    "attrs": dict,
+}
+
+#: Required fields of one Chrome trace event (the subset every ``ph``
+#: carries; ``dur`` is additionally required for complete events).
+_CHROME_FIELDS = {
+    "name": str,
+    "ph": str,
+    "ts": (int, float),
+    "pid": int,
+    "tid": int,
+}
+
+
+def _check_fields(record: dict, fields: dict, where: str) -> List[str]:
+    errors = []
+    for name, types in fields.items():
+        if name not in record:
+            errors.append(f"{where}: missing field {name!r}")
+        elif not isinstance(record[name], types):
+            errors.append(
+                f"{where}: field {name!r} has type "
+                f"{type(record[name]).__name__}"
+            )
+    return errors
+
+
+def validate_jsonl_trace(path: str) -> List[str]:
+    errors: List[str] = []
+    try:
+        with open(path, encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    except OSError as exc:
+        return [f"cannot read {path}: {exc}"]
+    count = 0
+    last_key = None
+    for lineno, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        where = f"{path}:{lineno}"
+        try:
+            record = json.loads(line)
+        except ValueError:
+            errors.append(f"{where}: not valid JSON")
+            continue
+        if record.get("k") not in ("span", "event"):
+            errors.append(f"{where}: unknown record kind {record.get('k')!r}")
+            continue
+        errors.extend(_check_fields(record, _JSONL_SPAN_FIELDS, where))
+        if record.get("k") == "span" and not isinstance(
+            record.get("dur"), (int, float)
+        ):
+            errors.append(f"{where}: span without numeric 'dur'")
+        key = (
+            record.get("ts", 0.0),
+            record.get("pid", 0),
+            record.get("seq", 0),
+        )
+        if last_key is not None and key < last_key:
+            errors.append(f"{where}: records out of (ts, pid, seq) order")
+        last_key = key
+        count += 1
+    if count == 0:
+        errors.append(f"{path}: no trace records")
+    return errors
+
+
+def validate_chrome_trace(path: str) -> List[str]:
+    errors: List[str] = []
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as exc:
+        return [f"cannot load {path}: {exc}"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return [f"{path}: missing or empty 'traceEvents'"]
+    complete = 0
+    for index, event in enumerate(events):
+        where = f"{path}: traceEvents[{index}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph == "M":
+            # Metadata events (process_name, ...) carry no timestamp.
+            errors.extend(
+                _check_fields(
+                    event, {"name": str, "ph": str, "pid": int}, where
+                )
+            )
+            continue
+        errors.extend(_check_fields(event, _CHROME_FIELDS, where))
+        if ph == "X":
+            complete += 1
+            if not isinstance(event.get("dur"), (int, float)):
+                errors.append(f"{where}: complete event without 'dur'")
+        elif ph not in ("i", "I", "M"):
+            errors.append(f"{where}: unexpected phase {ph!r}")
+    if complete == 0:
+        errors.append(f"{path}: no complete ('X') span events")
+    return errors
+
+
+def validate_trace_file(path: str, format: str = "jsonl") -> List[str]:
+    if format == "chrome":
+        return validate_chrome_trace(path)
+    if format == "jsonl":
+        return validate_jsonl_trace(path)
+    return [f"unknown trace format {format!r}"]
+
+
+def validate_metrics_file(path: str) -> List[str]:
+    errors: List[str] = []
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as exc:
+        return [f"cannot load {path}: {exc}"]
+    if not isinstance(payload, dict):
+        return [f"{path}: top level is not an object"]
+    for section in ("counters", "gauges", "histograms"):
+        series_map = payload.get(section)
+        if not isinstance(series_map, dict):
+            errors.append(f"{path}: missing section {section!r}")
+            continue
+        for name, series in series_map.items():
+            where = f"{path}: {section}[{name!r}]"
+            if not isinstance(series, list):
+                errors.append(f"{where}: not a list")
+                continue
+            for entry in series:
+                if not isinstance(entry, dict) or not isinstance(
+                    entry.get("labels"), dict
+                ):
+                    errors.append(f"{where}: entry without 'labels'")
+                    continue
+                if section == "histograms":
+                    if not isinstance(entry.get("buckets"), dict):
+                        errors.append(f"{where}: histogram without buckets")
+                    if not isinstance(entry.get("count"), int):
+                        errors.append(f"{where}: histogram without count")
+                elif not isinstance(entry.get("value"), (int, float)):
+                    errors.append(f"{where}: entry without numeric value")
+    return errors
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.obs.schema",
+        description="Validate exported trace/metrics artifacts.",
+    )
+    parser.add_argument("--trace", help="trace file to validate")
+    parser.add_argument(
+        "--trace-format",
+        default="jsonl",
+        choices=["jsonl", "chrome"],
+    )
+    parser.add_argument("--metrics", help="metrics JSON file to validate")
+    args = parser.parse_args(argv)
+    if not args.trace and not args.metrics:
+        parser.error("nothing to validate: pass --trace and/or --metrics")
+    errors: List[str] = []
+    if args.trace:
+        errors.extend(validate_trace_file(args.trace, args.trace_format))
+    if args.metrics:
+        errors.extend(validate_metrics_file(args.metrics))
+    for error in errors:
+        print(f"schema: {error}", file=sys.stderr)
+    if not errors:
+        checked = [p for p in (args.trace, args.metrics) if p]
+        print(f"schema: ok ({', '.join(checked)})")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,6 +22,7 @@ import traceback
 from dataclasses import asdict, dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro import obs
 from repro.solver.backends import make_backend
 from repro.solver.stats import SolverStats
 
@@ -220,12 +221,18 @@ class _JobBase:
         """
         factory = _RecordingFactory(solver_factory or default_solver_factory)
         started = time.perf_counter()
-        try:
-            payload = self._run(factory)
-            status, error = "ok", None
-        except Exception:
-            payload, status = {}, "error"
-            error = traceback.format_exc(limit=8)
+        with obs.span(
+            "job:" + self.KIND,
+            job_id=self.job_id,
+            backend=self.backend,
+        ) as job_span:
+            try:
+                payload = self._run(factory)
+                status, error = "ok", None
+            except Exception:
+                payload, status = {}, "error"
+                error = traceback.format_exc(limit=8)
+            job_span.set(status=status)
         return JobResult(
             job_id=self.job_id,
             kind=self.KIND,

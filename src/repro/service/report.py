@@ -28,6 +28,12 @@ class BatchReport:
     #: the counters or dedup never ran.
     jobs_submitted: int = 0
     jobs_executed: int = 0
+    #: Observability artifacts, set by the runner when the batch ran
+    #: with ``--trace`` / ``--metrics-json`` / ``--slow-query-ms``.
+    trace_path: Optional[str] = None
+    metrics_path: Optional[str] = None
+    slow_queries: List[dict] = field(default_factory=list)
+    obs_pids: List[int] = field(default_factory=list)
 
     # -- batch-level aggregates ---------------------------------------------
 
@@ -82,6 +88,12 @@ class BatchReport:
             "routes": merge_route_tallies(self.results),
             "sessions": merge_session_tallies(self.results),
             "statuses": self.by_status(),
+            "observability": {
+                "trace_path": self.trace_path,
+                "metrics_path": self.metrics_path,
+                "slow_queries": self.slow_queries,
+                "pids": self.obs_pids,
+            },
             "results": [r.to_spec() for r in self.results],
         }
 
@@ -291,6 +303,34 @@ def format_backend_table(tallies: Dict[str, dict]) -> str:
     return "\n".join(lines)
 
 
+def format_slow_query_table(entries: Sequence[dict]) -> str:
+    """Slowest traced queries, worst first.
+
+    Each entry is a tracer slow-log record: span name, duration, owning
+    pid, and the span attrs (fingerprint / route / backend /
+    refinements where the instrumented layers annotated them).
+    """
+    lines = [
+        "Span          Time(ms)    PID  Route         Backend"
+        "       Refs  Fingerprint",
+    ]
+    ordered = sorted(entries, key=lambda e: e.get("ms", 0.0), reverse=True)
+    for entry in ordered[:20]:
+        attrs = entry.get("attrs") or {}
+        fingerprint = str(attrs.get("fingerprint", "-"))
+        if len(fingerprint) > 16:
+            fingerprint = fingerprint[:16]
+        lines.append(
+            f"{entry.get('name', '?'):<12} {entry.get('ms', 0.0):>9.1f} "
+            f"{entry.get('pid', 0):>6}  {str(attrs.get('route', '-')):<12} "
+            f"{str(attrs.get('backend', attrs.get('target', '-'))):<12} "
+            f"{str(attrs.get('refinements', '-')):>5}  {fingerprint}"
+        )
+    if len(ordered) > 20:
+        lines.append(f"... and {len(ordered) - 20} more")
+    return "\n".join(lines)
+
+
 # -- survey merge -------------------------------------------------------------
 
 
@@ -418,6 +458,23 @@ def format_batch_report(report: BatchReport) -> str:
     if session_tallies:
         lines += ["", "== Incremental sessions " + "=" * 40]
         lines.append(format_session_table(session_tallies))
+
+    if report.trace_path or report.metrics_path or report.slow_queries:
+        lines += ["", "== Observability " + "=" * 47]
+        if report.trace_path:
+            procs = (
+                f" ({len(report.obs_pids)} processes)"
+                if report.obs_pids
+                else ""
+            )
+            lines.append(f"trace:       {report.trace_path}{procs}")
+        if report.metrics_path:
+            lines.append(f"metrics:     {report.metrics_path}")
+        if report.slow_queries:
+            lines.append(
+                f"slow queries: {len(report.slow_queries)} recorded"
+            )
+            lines.append(format_slow_query_table(report.slow_queries))
 
     survey = report.of_kind("survey")
     if survey:

@@ -39,6 +39,8 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
+from repro.obs.export import ObsRun
 from repro.service.cache import QueryCache, SharedQueryCache
 from repro.service.jobs import JobResult, _JobBase, job_from_spec
 from repro.solver.backends import CachedBackend, make_backend
@@ -55,6 +57,7 @@ def _worker_init(
     automata_cache,
     query_cache=None,
     query_cache_max=None,
+    obs_config=None,
 ) -> None:
     global _WORKER_CACHE
     if shared_cache is not None:
@@ -69,6 +72,7 @@ def _worker_init(
         from repro.automata import configure_automata_cache
 
         configure_automata_cache(automata_cache)
+    obs.configure_worker(obs_config)
 
 
 def _make_solver_factory(cache) -> Callable[..., object]:
@@ -140,6 +144,9 @@ def _run_spec(spec: dict) -> dict:
     """Worker-side job execution (module-level so it pickles)."""
     job = job_from_spec(spec)
     result = job.run(solver_factory=_make_solver_factory(_WORKER_CACHE))
+    # Ship this worker's cumulative metrics through the spool at every
+    # job boundary; the runner's merge keeps the latest per pid.
+    obs.checkpoint()
     return result.to_spec()
 
 
@@ -167,6 +174,13 @@ class RunnerConfig:
     #: Coalesce jobs with identical ``dedup_key()`` into single-flight
     #: executions before dispatch (scheduler-level query dedup).
     dedup: bool = False
+    #: Observability (all off by default — the strictly-disabled path):
+    #: merged trace output file, its format (``jsonl`` | ``chrome``),
+    #: batch-level metrics JSON, and the slow-query threshold in ms.
+    trace: Optional[str] = None
+    trace_format: str = "jsonl"
+    metrics_json: Optional[str] = None
+    slow_query_ms: Optional[float] = None
 
 
 class BatchRunner:
@@ -176,28 +190,55 @@ class BatchRunner:
         self.config = config or RunnerConfig(**kwargs)
         if self.config.workers < 0:
             raise ValueError("workers must be >= 0")
+        self._obs_run: Optional[ObsRun] = None
 
     def run(self, jobs: Sequence[_JobBase]) -> "BatchReport":
         from repro.service.report import BatchReport
 
         started = time.monotonic()
         jobs = list(jobs)
-        if self.config.dedup:
-            unique_jobs, assignment = _coalesce(jobs)
-        else:
-            unique_jobs, assignment = jobs, list(range(len(jobs)))
-        if self.config.workers == 0:
-            executed = self._run_inline(unique_jobs)
-        else:
-            executed = self._run_pool(unique_jobs)
-        results = _fan_out(jobs, unique_jobs, executed, assignment)
-        return BatchReport(
+        obs_run = ObsRun.start(
+            trace=self.config.trace,
+            trace_format=self.config.trace_format,
+            metrics_json=self.config.metrics_json,
+            slow_query_ms=self.config.slow_query_ms,
+        )
+        self._obs_run = obs_run
+        try:
+            with obs.span(
+                "batch:run",
+                jobs=len(jobs),
+                workers=self.config.workers,
+            ):
+                if self.config.dedup:
+                    unique_jobs, assignment = _coalesce(jobs)
+                else:
+                    unique_jobs, assignment = jobs, list(range(len(jobs)))
+                if self.config.workers == 0:
+                    executed = self._run_inline(unique_jobs)
+                else:
+                    executed = self._run_pool(unique_jobs)
+            results = _fan_out(jobs, unique_jobs, executed, assignment)
+        except BaseException:
+            if obs_run is not None:
+                obs_run.abort()
+            raise
+        finally:
+            self._obs_run = None
+        summary = obs_run.finish() if obs_run is not None else None
+        report = BatchReport(
             results=results,
             wall_time=time.monotonic() - started,
             workers=self.config.workers,
             jobs_submitted=len(jobs),
             jobs_executed=len(unique_jobs),
         )
+        if summary is not None:
+            report.trace_path = summary.trace_path
+            report.metrics_path = summary.metrics_path
+            report.slow_queries = summary.slow_queries
+            report.obs_pids = summary.pids
+        return report
 
     # -- execution strategies ------------------------------------------------
 
@@ -239,6 +280,9 @@ class BatchRunner:
                     self.config.automata_cache,
                     self.config.query_cache,
                     self.config.query_cache_max,
+                    self._obs_run.worker_config()
+                    if self._obs_run is not None
+                    else None,
                 ),
             ) as pool:
                 pending = [

@@ -19,6 +19,7 @@ from __future__ import annotations
 import abc
 from typing import Optional
 
+from repro import obs
 from repro.constraints.formulas import Formula
 from repro.solver.core import SolverResult
 from repro.solver.stats import SolverStats
@@ -74,6 +75,13 @@ class SolverBackend(abc.ABC):
     def _tally(self, status: str, seconds: float) -> None:
         if self.stats is not None:
             self.stats.record_backend(self.name, status, seconds)
+        if obs.enabled():
+            # Piggyback on the already-measured duration: the span is
+            # reconstructed after the fact, so a disabled tracer costs
+            # this one branch and no clock reads.
+            obs.complete_span(
+                "backend:" + self.name, seconds, status=status
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.name}>"

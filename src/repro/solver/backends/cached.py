@@ -39,6 +39,7 @@ from dataclasses import dataclass
 from time import perf_counter
 from typing import Dict, Optional, Tuple
 
+from repro import obs
 from repro.constraints.formulas import Formula
 from repro.constraints.printer import canonical_fingerprint
 from repro.constraints.terms import StrVar, Value
@@ -489,10 +490,12 @@ class CachedSolver:
             self.hits += 1
             if self.stats is not None:
                 self.stats.record_cache(hit=True)
+            obs.annotate(cache="hit")
             return self._replay(entry, renaming)
         self.misses += 1
         if self.stats is not None:
             self.stats.record_cache(hit=False)
+        obs.annotate(cache="miss")
         inner = getattr(self.solver, "solve_refined", None) if refined else None
         result = inner(formula) if callable(inner) else self.solver.solve(
             formula
@@ -578,17 +581,21 @@ class CachedBackend(CachedSolver):
     def solve(self, formula: Formula) -> SolverResult:
         started = perf_counter()
         result = super().solve(formula)
-        if self.tally_stats is not None:
-            self.tally_stats.record_backend(
-                self.name, result.status, perf_counter() - started
-            )
+        self._backend_tally(result.status, perf_counter() - started)
         return result
 
     def solve_refined(self, formula: Formula) -> SolverResult:
         started = perf_counter()
         result = super().solve_refined(formula)
-        if self.tally_stats is not None:
-            self.tally_stats.record_backend(
-                self.name, result.status, perf_counter() - started
-            )
+        self._backend_tally(result.status, perf_counter() - started)
         return result
+
+    def _backend_tally(self, status: str, seconds: float) -> None:
+        # Not a SolverBackend subclass, so the base ``_tally`` span
+        # plumbing is replicated here.
+        if self.tally_stats is not None:
+            self.tally_stats.record_backend(self.name, status, seconds)
+        if obs.enabled():
+            obs.complete_span(
+                "backend:" + self.name, seconds, status=status
+            )

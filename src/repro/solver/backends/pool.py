@@ -45,6 +45,7 @@ import threading
 from time import monotonic
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.constraints.formulas import Formula
 from repro.solver.core import SolverResult, UNKNOWN
 from repro.solver.stats import SolverStats
@@ -145,6 +146,12 @@ class SessionPool:
             stats.record_session(
                 name, checkouts=1, waits=1 if waited else 0
             )
+        obs.event(
+            "session:lease",
+            session=name,
+            waited=waited,
+            overflow=overflow,
+        )
         return SessionLease(self, key, session, overflow)
 
     def _release(

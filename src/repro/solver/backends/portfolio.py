@@ -32,6 +32,7 @@ from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 from time import monotonic, perf_counter
 from typing import Optional, Sequence, Tuple
 
+from repro import obs
 from repro.constraints.formulas import Formula
 from repro.solver.core import SAT, SolverResult, UNKNOWN, UNSAT
 from repro.solver.stats import SolverStats
@@ -113,11 +114,18 @@ class PortfolioBackend(SolverBackend):
         )
         pool = self._ensure_pool()
         futures = {}
+        # Contextvars do not cross into the executor's threads, so the
+        # caller's open span is passed explicitly — member spans (and
+        # the backends' own complete-spans beneath them) stay nested
+        # under the query instead of floating as roots.
+        parent = obs.current_span()
         for index, member in enumerate(self.members):
             straggler = self._inflight[index]
             if straggler is not None and not straggler.done():
                 continue  # still busy with an abandoned earlier query
-            future = pool.submit(member.solve, formula)
+            future = pool.submit(
+                self._member_solve, member, formula, parent
+            )
             self._inflight[index] = future
             futures[future] = member
         if not futures:
@@ -132,6 +140,23 @@ class PortfolioBackend(SolverBackend):
         if definitive is None:
             return SolverResult(UNKNOWN)
         return definitive
+
+    @staticmethod
+    def _member_solve(member, formula: Formula, parent) -> SolverResult:
+        """One member's leg of the race, on an executor thread.
+
+        Losers are recorded exactly like winners: each leg gets its own
+        span (abandoned stragglers simply finish late), so a trace shows
+        what every member spent, not just the answer that was kept.
+        """
+        with obs.span(
+            "portfolio:member",
+            parent=parent,
+            member=getattr(member, "name", type(member).__name__),
+        ) as leg:
+            result = member.solve(formula)
+            leg.set(status=result.status)
+            return result
 
     def _await_definitive(
         self, futures, deadline: Optional[float]
@@ -177,6 +202,12 @@ class PortfolioBackend(SolverBackend):
                 best = (result, futures[future])
         if best is None or best[1] is None:
             return None
+        obs.event(
+            "portfolio:winner",
+            portfolio=self.name,
+            member=getattr(best[1], "name", type(best[1]).__name__),
+            status=best[0].status,
+        )
         return best[0]
 
     @staticmethod

@@ -46,6 +46,7 @@ from __future__ import annotations
 from time import perf_counter
 from typing import Optional, Set, Type
 
+from repro import obs
 from repro.regex import ast as regex_ast
 from repro.constraints.formulas import (
     And,
@@ -258,6 +259,13 @@ class RouterBackend(SolverBackend):
             route_label = feature
         if self.stats is not None:
             self.stats.record_route(route_label, target_name)
+        if obs.enabled():
+            # The enclosing CEGAR-iteration span (if any) carries the
+            # decision; the event additionally marks it on the timeline.
+            obs.annotate(route=route_label, target=target_name)
+            obs.event(
+                "route:decision", route=route_label, target=target_name
+            )
         try:
             result = target.solve(formula)
             if (
@@ -267,6 +275,9 @@ class RouterBackend(SolverBackend):
             ):
                 if self.stats is not None:
                     self.stats.record_route(route_label, "native-fallback")
+                obs.event(
+                    "route:fallback", route=route_label, target="native"
+                )
                 result = self.native.solve(formula)
         except Exception:
             self._tally("error", perf_counter() - started)

@@ -43,6 +43,7 @@ import threading
 from time import monotonic, perf_counter
 from typing import List, Optional
 
+from repro import obs
 from repro.constraints.formulas import Formula, to_nnf
 from repro.constraints.printer import (
     smtlib_prelude,
@@ -154,6 +155,11 @@ class SessionBackend(SolverBackend):
                 # ...): a replacement spawn is a restart, not a first spawn.
                 self.restarts += 1
                 self._srecord(restarts=1)
+                obs.event(
+                    "session:restart",
+                    session=self.name,
+                    reason="died between queries",
+                )
             if not self._respawn():
                 return SolverResult(UNKNOWN)  # last_error already set
         if self._since_reset >= self.reset_every and not self._reset():
@@ -264,11 +270,13 @@ class SessionBackend(SolverBackend):
         self._since_reset = 0
         self.resets += 1
         self._srecord(resets=1)
+        obs.event("session:reset", session=self.name)
         return True
 
     # -- process lifecycle ---------------------------------------------------
 
     def _spawn(self) -> None:
+        spawn_started = perf_counter()
         template = _ARGV_TEMPLATES.get(
             os.path.basename(self._argv_prefix[0]), _generic_argv
         )
@@ -302,6 +310,12 @@ class SessionBackend(SolverBackend):
         self._spawned_at = monotonic()
         self.spawns += 1
         self._srecord(spawns=1)
+        if obs.enabled():
+            obs.complete_span(
+                "session:spawn",
+                perf_counter() - spawn_started,
+                session=self.name,
+            )
 
     def _respawn(self) -> bool:
         """Spawn (or re-spawn) the process; False + last_error on failure."""
@@ -348,6 +362,7 @@ class SessionBackend(SolverBackend):
         self._kill()
         self.restarts += 1
         self._srecord(restarts=1)
+        obs.event("session:restart", session=self.name, reason=reason)
         self._respawn()  # best effort; failure leaves last_error set
         return self._unknown(reason)
 

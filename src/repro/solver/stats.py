@@ -14,6 +14,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.obs import metrics as _metrics
+
 
 @dataclass
 class QueryRecord:
@@ -175,6 +177,12 @@ class SolverStats:
     automata_misses: int = 0
     automata_disk_hits: int = 0
     automata_disk_stores: int = 0
+    #: Ring-buffer cap on ``queries``: daemon-length runs record
+    #: millions of :class:`QueryRecord`\ s, so past the cap the oldest
+    #: records are dropped (and counted in ``dropped_query_records``)
+    #: instead of leaking memory.  ``None`` keeps every record.
+    max_query_records: Optional[int] = None
+    dropped_query_records: int = 0
     #: Backend tallies are the one path mutated from worker threads (a
     #: portfolio's members — including abandoned stragglers finishing
     #: late — all share this object), so they get their own lock.
@@ -183,13 +191,35 @@ class SolverStats:
     )
 
     def record(self, record: QueryRecord) -> None:
-        self.queries.append(record)
+        with self._tally_lock:
+            self.queries.append(record)
+            if (
+                self.max_query_records is not None
+                and len(self.queries) > self.max_query_records
+            ):
+                overflow = len(self.queries) - self.max_query_records
+                del self.queries[:overflow]
+                self.dropped_query_records += overflow
+        _metrics.count(
+            "solver_queries_total",
+            status=record.status,
+            refined=str(record.refinements > 0).lower(),
+        )
+        _metrics.observe("solver_query_seconds", record.seconds)
 
     def record_cache(self, hit: bool) -> None:
-        if hit:
-            self.cache_hits += 1
-        else:
-            self.cache_misses += 1
+        # Cached backends race as portfolio members on worker threads
+        # and share this object, so the counters take the tally lock
+        # exactly like ``record_backend`` does.
+        with self._tally_lock:
+            if hit:
+                self.cache_hits += 1
+            else:
+                self.cache_misses += 1
+        _metrics.count(
+            "query_cache_lookups_total",
+            outcome="hit" if hit else "miss",
+        )
 
     def record_backend(self, name: str, status: str, seconds: float) -> None:
         with self._tally_lock:
@@ -197,6 +227,8 @@ class SolverStats:
             if tally is None:
                 tally = self.backend_tallies[name] = BackendTally()
             tally.add(status, seconds)
+        _metrics.count("backend_queries_total", backend=name, status=status)
+        _metrics.observe("backend_seconds", seconds, backend=name)
 
     def record_session(self, name: str, **delta: float) -> None:
         """Fold session lifecycle counters for backend ``name``.
@@ -211,19 +243,35 @@ class SolverStats:
             if tally is None:
                 tally = self.session_tallies[name] = SessionTally()
             tally.add(**delta)
+        if _metrics.enabled():
+            for kind, amount in delta.items():
+                if amount and kind != "seconds":
+                    _metrics.count(
+                        "session_events_total",
+                        amount,
+                        session=name,
+                        kind=kind,
+                    )
 
     def record_route(self, feature: str, target: str) -> None:
         """Count one routing decision ``feature -> target``."""
         key = f"{feature}->{target}"
         with self._tally_lock:
             self.route_tallies[key] = self.route_tallies.get(key, 0) + 1
+        _metrics.count("route_decisions_total", route=feature, target=target)
 
     def record_automata(self, delta: Dict[str, int]) -> None:
-        """Fold a compilation-cache counters delta into this collector."""
-        self.automata_hits += delta.get("hits", 0)
-        self.automata_misses += delta.get("misses", 0)
-        self.automata_disk_hits += delta.get("disk_hits", 0)
-        self.automata_disk_stores += delta.get("disk_stores", 0)
+        """Fold a compilation-cache counters delta into this collector.
+
+        Deliberately does *not* mirror into ``repro.obs.metrics``: the
+        interner feeds the registry directly at lookup time, and this
+        method only re-buckets those same global counters per run.
+        """
+        with self._tally_lock:
+            self.automata_hits += delta.get("hits", 0)
+            self.automata_misses += delta.get("misses", 0)
+            self.automata_disk_hits += delta.get("disk_hits", 0)
+            self.automata_disk_stores += delta.get("disk_stores", 0)
 
     def automata_summary(self) -> dict:
         """JSON-shaped compilation-cache counters (for payloads/reports)."""
@@ -314,6 +362,7 @@ class SolverStats:
         )
         return {
             "total_queries": len(self.queries),
+            "dropped_records": self.dropped_query_records,
             "regex_queries": len(regex_queries),
             "capture_queries": len(capture_queries),
             "refined_queries": len(refined),

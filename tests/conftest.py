@@ -21,6 +21,20 @@ def clean_automata():
 
 
 @pytest.fixture(autouse=True)
+def _reset_obs():
+    """Leave tracing and metrics strictly disabled after every test.
+
+    Observability is module-global switches; a test that enables a
+    tracer or registry and fails midway must not leak spans (or their
+    overhead) into the rest of the suite.
+    """
+    yield
+    from repro import obs
+
+    obs.shutdown()
+
+
+@pytest.fixture(autouse=True)
 def _drain_session_pool():
     """Close the process-global session pool after every test.
 
