@@ -1,0 +1,265 @@
+"""Serve-daemon throughput: warm-daemon latency, concurrency, coalescing.
+
+Three measurements, all merged into ``benchmarks/out/BENCH_serve.json``:
+
+``warm_vs_cold_latency``
+    The headline claim of the daemon: a long-lived process amortizes
+    interpreter startup, imports, and cache warmup across jobs.  The
+    cold side runs ``python -m repro batch prog.js`` once per job in a
+    fresh subprocess; the warm side submits the same job to an already
+    running ``python -m repro serve`` daemon over its unix socket.
+    Acceptance: warm per-job latency is at least 5x better.
+
+``concurrent_throughput``
+    Four client threads burst-submit a mixed, duplicate-bearing job set
+    at an in-process daemon whose inline runner overlaps four jobs.
+
+``coalesce``
+    Single-flight accounting for the concurrent run, read back through
+    the daemon's own ``stats`` op: duplicates submitted while their
+    twin is queued or in flight execute once and fan out.
+"""
+
+import os
+import statistics
+import subprocess
+import sys
+import threading
+import time
+
+from repro.serve.client import ServeClient
+from repro.serve.server import ServeConfig, ServeServer
+from repro.service import AnalyzeJob, BatchRunner, RunnerConfig, SolveJob
+
+from conftest import PERF_SMOKE, update_json_result
+
+PROGRAM = (
+    'var s = symbol("s", "");\n'
+    'if (/^x+$/.test(s)) { 1; } else { 2; }\n'
+)
+
+#: Per-side repetitions for the latency comparison.  Each cold rep is a
+#: full interpreter launch, so keep the count small — the signal (startup
+#: plus import time vs a socket round trip) is far larger than the noise.
+LATENCY_REPS = 3 if PERF_SMOKE else 5
+
+N_CLIENTS = 4
+JOBS_PER_CLIENT = 10
+DUP_PATTERN = "x(y|z)+w"
+
+
+def _repro_env():
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "src")
+    env["PYTHONPATH"] = os.pathsep.join(
+        [os.path.abspath(src), env.get("PYTHONPATH", "")]
+    ).rstrip(os.pathsep)
+    return env
+
+
+def _cold_latencies(prog_path, env):
+    """Wall time of one-shot ``repro batch`` runs, one job each."""
+    seconds = []
+    for _ in range(LATENCY_REPS):
+        started = time.perf_counter()
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "batch", prog_path,
+             "-w", "0", "--max-tests", "4", "--time-budget", "5.0"],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            timeout=120.0,
+        )
+        seconds.append(time.perf_counter() - started)
+        assert proc.returncode == 0, proc.stdout.decode()
+    return seconds
+
+
+def _warm_latencies(sock_path, spec):
+    """Round-trip times against the already-running daemon."""
+    seconds = []
+    with ServeClient(socket_path=sock_path, timeout=120.0) as client:
+        for _ in range(LATENCY_REPS):
+            started = time.perf_counter()
+            results = client.run([dict(spec)])
+            seconds.append(time.perf_counter() - started)
+            assert results[0].status == "ok"
+    return seconds
+
+
+def test_warm_daemon_vs_cold_cli_latency(benchmark, record_table, tmp_path):
+    prog_path = str(tmp_path / "prog.js")
+    with open(prog_path, "w") as handle:
+        handle.write(PROGRAM)
+    spec = AnalyzeJob(
+        job_id="warm", source=PROGRAM, path=prog_path,
+        max_tests=4, time_budget=5.0,
+    ).to_spec()
+    env = _repro_env()
+    sock_path = str(tmp_path / "bench.sock")
+
+    daemon = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--socket", sock_path, "-w", "0"],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        deadline = time.monotonic() + 30.0
+        while not os.path.exists(sock_path):
+            assert time.monotonic() < deadline, "daemon never bound"
+            time.sleep(0.02)
+        # One throwaway job warms the daemon's caches, mirroring the
+        # steady state a resident daemon actually serves from.
+        _warm_latencies(sock_path, spec)
+        cold, warm = benchmark.pedantic(
+            lambda: (_cold_latencies(prog_path, env),
+                     _warm_latencies(sock_path, spec)),
+            rounds=1, iterations=1,
+        )
+    finally:
+        daemon.terminate()
+        daemon.communicate(timeout=60.0)
+    assert daemon.returncode == 0
+
+    cold_s = statistics.median(cold)
+    warm_s = statistics.median(warm)
+    speedup = cold_s / warm_s if warm_s else 0.0
+    data = {
+        "job": "analyze (1 branch, max_tests=4)",
+        "reps": LATENCY_REPS,
+        "cold_batch_median_s": cold_s,
+        "cold_batch_min_s": min(cold),
+        "warm_daemon_median_s": warm_s,
+        "warm_daemon_min_s": min(warm),
+        "speedup": speedup,
+        "speedup_bound": 5.0,
+    }
+    update_json_result("BENCH_serve.json", "warm_vs_cold_latency", data)
+    record_table(
+        "serve_latency.txt",
+        "Per-job latency: warm daemon vs cold CLI "
+        f"({LATENCY_REPS} reps, median)\n"
+        f"cold `repro batch`:  {1000 * cold_s:8.1f} ms\n"
+        f"warm `repro submit`: {1000 * warm_s:8.1f} ms\n"
+        f"speedup: {speedup:.1f}x (bound 5x)",
+    )
+    assert speedup >= 5.0
+
+
+def _client_jobs(client_index):
+    """A duplicate-heavy job mix; the shared pattern leads each burst."""
+    jobs = [
+        SolveJob(job_id=f"c{client_index}-dup{i}", pattern=DUP_PATTERN)
+        for i in range(3)
+    ]
+    jobs.append(
+        SolveJob(
+            job_id=f"c{client_index}-neg",
+            pattern="p+q", negate=True,
+        )
+    )
+    jobs.append(
+        SolveJob(
+            job_id=f"c{client_index}-uniq",
+            pattern="u{%d}v" % (client_index + 1),
+        )
+    )
+    jobs.append(
+        AnalyzeJob(
+            job_id=f"c{client_index}-an",
+            source=PROGRAM, max_tests=4, time_budget=5.0,
+        )
+    )
+    jobs += [
+        SolveJob(job_id=f"c{client_index}-s{i}", pattern=f"a{{{i + 1}}}b")
+        for i in range(JOBS_PER_CLIENT - len(jobs))
+    ]
+    return [job.to_spec() for job in jobs]
+
+
+def test_concurrent_client_throughput(benchmark, record_table, tmp_path):
+    sock_path = str(tmp_path / "burst.sock")
+    runner = BatchRunner(
+        RunnerConfig(workers=0, inline_concurrency=N_CLIENTS)
+    )
+    server = ServeServer(
+        runner,
+        ServeConfig(socket=sock_path, max_inflight=N_CLIENTS),
+    ).start_background()
+
+    def _client(index, sink):
+        with ServeClient(socket_path=sock_path, timeout=120.0) as client:
+            # Fire the whole burst before collecting anything so the
+            # queue backs up and duplicate flights stay open to join.
+            acks = [client.submit(spec) for spec in _client_jobs(index)]
+            results = {
+                rid: result for rid, result, _ in client.iter_results()
+            }
+        sink[index] = [results[ack["id"]] for ack in acks]
+
+    def _burst():
+        sink = {}
+        threads = [
+            threading.Thread(target=_client, args=(index, sink))
+            for index in range(N_CLIENTS)
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120.0)
+        elapsed = time.perf_counter() - started
+        return sink, elapsed
+
+    try:
+        (sink, elapsed) = benchmark.pedantic(_burst, rounds=1, iterations=1)
+        stats = server.server_stats()
+    finally:
+        server.stop()
+
+    total = N_CLIENTS * JOBS_PER_CLIENT
+    flat = [result for results in sink.values() for result in results]
+    assert len(flat) == total
+    assert all(r.status == "ok" for r in flat)
+
+    coalesced = stats["singleflight_coalesced"]
+    executed = stats["jobs_executed"]
+    throughput = total / elapsed if elapsed else 0.0
+    coalesce_rate = coalesced / total
+    update_json_result(
+        "BENCH_serve.json",
+        "concurrent_throughput",
+        {
+            "clients": N_CLIENTS,
+            "jobs": total,
+            "wall_s": elapsed,
+            "jobs_per_s": throughput,
+            "inline_concurrency": N_CLIENTS,
+        },
+    )
+    update_json_result(
+        "BENCH_serve.json",
+        "coalesce",
+        {
+            "jobs_submitted": total,
+            "jobs_executed": executed,
+            "coalesced": coalesced,
+            "coalesce_rate": coalesce_rate,
+        },
+    )
+    record_table(
+        "serve_throughput.txt",
+        f"Concurrent serve throughput ({N_CLIENTS} clients x "
+        f"{JOBS_PER_CLIENT} jobs, duplicates included)\n"
+        f"wall:       {elapsed:8.2f} s\n"
+        f"throughput: {throughput:8.1f} jobs/s\n"
+        f"executed:   {executed:8} of {total} submitted\n"
+        f"coalesced:  {coalesced:8} ({100 * coalesce_rate:.0f}%)",
+    )
+    # 12 copies of the shared pattern burst in while its flight is
+    # queued or running — single-flight must fold at least one of them.
+    assert coalesced >= 1
+    assert executed == total - coalesced

@@ -8,6 +8,14 @@ Commands:
 - ``analyze FILE`` — dynamic symbolic execution of a mini-JS program;
 - ``batch FILE... | batch --survey -n N`` — run many analyses across a
   worker pool with a shared solver query cache (the service layer);
+- ``serve --socket PATH | --port N`` — keep that worker pool warm in a
+  long-lived daemon; concurrent clients submit jobs over
+  newline-delimited JSON and results stream back as they land, with
+  duplicate work coalesced across clients (see :mod:`repro.serve`);
+- ``submit [--socket PATH | --port N] FILE...`` — client for ``serve``:
+  job-spec ``.json`` files or mini-JS programs in, a batch report (or
+  ``--stream``\\ ed JSON result lines) out; ``--stats`` prints the
+  daemon's scheduler gauges and observability snapshot;
 
 ``solve``/``analyze``/``batch`` accept ``--backend SPEC`` to pick the
 solver backend (``native``, ``smtlib:z3``, ``session:z3``,
@@ -307,6 +315,22 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0 if all(r.status == "ok" for r in report.results) else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.cli import run_serve
+
+    if _check_query_cache_flags(args):
+        return 2
+    return run_serve(args)
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.serve.cli import run_submit
+
+    if _check_backend_spec(args.backend):
+        return 2
+    return run_submit(args)
+
+
 def _cmd_survey(args: argparse.Namespace) -> int:
     from repro.corpus import (
         CorpusConfig,
@@ -508,6 +532,108 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--json", help="also write the report as JSON")
     _add_obs_flags(batch)
     batch.set_defaults(fn=_cmd_batch)
+
+    serve = sub.add_parser(
+        "serve", help="run the long-lived analysis daemon"
+    )
+    serve.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="listen on a unix socket at PATH",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="TCP bind host (with --port)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=None,
+        help="listen on a TCP port (0 = pick one)",
+    )
+    serve.add_argument(
+        "-w", "--workers", type=int, default=2,
+        help="worker processes (0 = run jobs inline)",
+    )
+    serve.add_argument("--job-timeout", type=float, default=300.0)
+    serve.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the solver query cache",
+    )
+    serve.add_argument("--cache-size", type=int, default=4096)
+    serve.add_argument(
+        "--shared-cache", action="store_true",
+        help="share one cache across all workers (manager-backed)",
+    )
+    serve.add_argument(
+        "--automata-cache", default=None, help=automata_cache_help
+    )
+    serve.add_argument(
+        "--query-cache", default=None, help=query_cache_help
+    )
+    serve.add_argument(
+        "--query-cache-max", type=int, default=None,
+        help=query_cache_max_help,
+    )
+    serve.add_argument(
+        "--session-idle-s", type=float, default=None, metavar="S",
+        help="close pooled solver sessions idle for S seconds "
+        "(default: keep them for the daemon's life)",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=128,
+        help="admission bound: queued jobs beyond this are rejected "
+        "with an explicit 'overloaded' frame",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=None,
+        help="jobs dispatched into the pool at once (default: workers)",
+    )
+    serve.add_argument(
+        "--no-single-flight", action="store_true",
+        help="disable cross-client coalescing of identical jobs",
+    )
+    _add_obs_flags(serve)
+    serve.set_defaults(fn=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit jobs to a running serve daemon"
+    )
+    submit.add_argument(
+        "files", nargs="*",
+        help="job-spec .json files (object or list) or mini-JS programs",
+    )
+    submit.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="daemon unix socket path",
+    )
+    submit.add_argument("--host", default="127.0.0.1")
+    submit.add_argument(
+        "--port", type=int, default=None, help="daemon TCP port"
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=300.0,
+        help="socket timeout while waiting on results",
+    )
+    submit.add_argument(
+        "--wait", action="store_true",
+        help="block for all results and print a batch report (default)",
+    )
+    submit.add_argument(
+        "--stream", action="store_true",
+        help="print each result as a JSON line the moment it lands",
+    )
+    submit.add_argument(
+        "--stats", action="store_true",
+        help="print the daemon's stats (scheduler gauges + obs snapshot)",
+    )
+    submit.add_argument(
+        "--level", default="refined",
+        choices=["concrete", "model", "captures", "refined"],
+        help="analysis level for mini-JS FILEs",
+    )
+    submit.add_argument("--max-tests", type=int, default=40)
+    submit.add_argument("--time-budget", type=float, default=10.0)
+    submit.add_argument("--backend", default=None, help=backend_help)
+    submit.add_argument("--json", help="also write the report as JSON")
+    submit.set_defaults(fn=_cmd_submit)
 
     survey = sub.add_parser("survey", help="regenerate Tables 4/5")
     survey.add_argument("-n", "--packages", type=int, default=4000)

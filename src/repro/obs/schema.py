@@ -135,39 +135,48 @@ def validate_trace_file(path: str, format: str = "jsonl") -> List[str]:
     return [f"unknown trace format {format!r}"]
 
 
-def validate_metrics_file(path: str) -> List[str]:
+def validate_metrics_payload(payload, where: str = "metrics") -> List[str]:
+    """Validate an in-memory metrics snapshot (registry or merged file).
+
+    The serve daemon's ``stats`` op returns this payload straight off
+    the wire under ``obs.metrics`` — same shape as the file on disk.
+    """
     errors: List[str] = []
-    try:
-        with open(path, encoding="utf-8") as handle:
-            payload = json.load(handle)
-    except (OSError, ValueError) as exc:
-        return [f"cannot load {path}: {exc}"]
     if not isinstance(payload, dict):
-        return [f"{path}: top level is not an object"]
+        return [f"{where}: top level is not an object"]
     for section in ("counters", "gauges", "histograms"):
         series_map = payload.get(section)
         if not isinstance(series_map, dict):
-            errors.append(f"{path}: missing section {section!r}")
+            errors.append(f"{where}: missing section {section!r}")
             continue
         for name, series in series_map.items():
-            where = f"{path}: {section}[{name!r}]"
+            where_ = f"{where}: {section}[{name!r}]"
             if not isinstance(series, list):
-                errors.append(f"{where}: not a list")
+                errors.append(f"{where_}: not a list")
                 continue
             for entry in series:
                 if not isinstance(entry, dict) or not isinstance(
                     entry.get("labels"), dict
                 ):
-                    errors.append(f"{where}: entry without 'labels'")
+                    errors.append(f"{where_}: entry without 'labels'")
                     continue
                 if section == "histograms":
                     if not isinstance(entry.get("buckets"), dict):
-                        errors.append(f"{where}: histogram without buckets")
+                        errors.append(f"{where_}: histogram without buckets")
                     if not isinstance(entry.get("count"), int):
-                        errors.append(f"{where}: histogram without count")
+                        errors.append(f"{where_}: histogram without count")
                 elif not isinstance(entry.get("value"), (int, float)):
-                    errors.append(f"{where}: entry without numeric value")
+                    errors.append(f"{where_}: entry without numeric value")
     return errors
+
+
+def validate_metrics_file(path: str) -> List[str]:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as exc:
+        return [f"cannot load {path}: {exc}"]
+    return validate_metrics_payload(payload, where=path)
 
 
 def main(argv=None) -> int:

@@ -1,0 +1,205 @@
+"""Implementations of ``python -m repro serve`` and ``... submit``.
+
+Kept out of :mod:`repro.__main__` so the parser stays import-light;
+the command functions receive the parsed ``argparse`` namespace.
+
+``serve`` brings up the daemon of :mod:`repro.serve.server` on a unix
+socket (``--socket``) or TCP port (``--port``) and runs until
+SIGTERM/SIGINT, then drains gracefully and exits 0.
+
+``submit`` is the matching client: job files in, streamed results out.
+A ``.json`` argument is read as one job-spec object (or a list of
+them); anything else is treated as a mini-JS program and wrapped in an
+``analyze`` job spec — so ``repro submit --socket S prog.js`` is the
+daemon-shaped twin of ``repro batch prog.js``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import List
+
+
+def _job_specs_from_args(args) -> List[dict]:
+    specs: List[dict] = []
+    for path in args.files:
+        if path.endswith(".json"):
+            with open(path) as handle:
+                loaded = json.load(handle)
+            if isinstance(loaded, dict):
+                loaded = [loaded]
+            if not isinstance(loaded, list):
+                raise ValueError(
+                    f"{path}: expected a job-spec object or list"
+                )
+            specs.extend(loaded)
+        else:
+            with open(path) as handle:
+                source = handle.read()
+            specs.append(
+                {
+                    "kind": "analyze",
+                    "job_id": "",
+                    "source": source,
+                    "path": path,
+                    "level": args.level,
+                    "max_tests": args.max_tests,
+                    "time_budget": args.time_budget,
+                    "backend": args.backend,
+                }
+            )
+    return specs
+
+
+def run_serve(args) -> int:
+    import asyncio
+
+    from repro.obs.export import ObsRun
+    from repro.serve.server import ServeConfig, ServeServer
+    from repro.service.runner import BatchRunner, RunnerConfig
+
+    if not args.socket and not args.port:
+        print("serve: provide --socket PATH or --port N", file=sys.stderr)
+        return 2
+    obs_run = None
+    if args.trace or args.metrics_json or args.slow_query_ms:
+        obs_run = ObsRun.start(
+            trace=args.trace,
+            trace_format=args.trace_format,
+            metrics_json=args.metrics_json,
+            slow_query_ms=args.slow_query_ms,
+        )
+    inline_concurrency = 1
+    if args.workers == 0 and args.max_inflight:
+        # An inline daemon overlaps jobs on executor threads; size the
+        # executor to the requested in-flight bound.
+        inline_concurrency = args.max_inflight
+    runner = BatchRunner(
+        RunnerConfig(
+            workers=args.workers,
+            inline_concurrency=inline_concurrency,
+            job_timeout=args.job_timeout,
+            use_cache=not args.no_cache,
+            cache_size=args.cache_size,
+            shared_cache=args.shared_cache,
+            automata_cache=args.automata_cache,
+            query_cache=args.query_cache,
+            query_cache_max=args.query_cache_max,
+            session_idle_s=args.session_idle_s,
+        )
+    )
+    server = ServeServer(
+        runner,
+        ServeConfig(
+            socket=args.socket,
+            host=args.host,
+            port=args.port,
+            max_queue=args.max_queue,
+            max_inflight=args.max_inflight,
+            single_flight=not args.no_single_flight,
+        ),
+        obs_run=obs_run,
+    )
+
+    async def main() -> None:
+        task = asyncio.ensure_future(server.run(install_signals=True))
+        while server.address is None and not task.done():
+            await asyncio.sleep(0.01)
+        if server.address is not None:
+            where = (
+                server.address[1]
+                if server.address[0] == "unix"
+                else f"{server.address[1]}:{server.address[2]}"
+            )
+            print(
+                f"serving on {where} "
+                f"(workers={args.workers}, max_queue={args.max_queue})",
+                flush=True,
+            )
+        await task
+
+    try:
+        asyncio.run(main())
+    except BaseException:
+        if obs_run is not None:
+            obs_run.abort()
+        raise
+    if obs_run is not None:
+        summary = obs_run.finish()
+        if summary.metrics_path:
+            print(f"metrics: {summary.metrics_path}")
+    print("drained, exiting")
+    return 0
+
+
+def run_submit(args) -> int:
+    from repro.serve.client import Rejected, ServeClient
+    from repro.service.report import BatchReport, format_batch_report
+
+    if not args.socket and not args.port:
+        print("submit: provide --socket PATH or --port N", file=sys.stderr)
+        return 2
+    with ServeClient(
+        socket_path=args.socket,
+        host=args.host,
+        port=args.port,
+        timeout=args.timeout,
+    ) as client:
+        if args.stats:
+            frame = client.stats()
+            print(
+                json.dumps(
+                    {"server": frame["server"], "obs": frame["obs"]},
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+            return 0
+        try:
+            specs = _job_specs_from_args(args)
+        except (OSError, ValueError) as exc:
+            print(f"submit: {exc}", file=sys.stderr)
+            return 2
+        if not specs:
+            print("submit: no jobs (give job .json or mini-JS files)",
+                  file=sys.stderr)
+            return 2
+        started = time.monotonic()
+        order = {}
+        rejected = 0
+        for index, spec in enumerate(specs):
+            try:
+                ack = client.submit(spec)
+            except Rejected as exc:
+                rejected += 1
+                print(
+                    f"rejected ({exc.reason}): job {index}",
+                    file=sys.stderr,
+                )
+                continue
+            order[ack["id"]] = index
+        results = []
+        for request_id, result, coalesced in client.iter_results():
+            results.append(result)
+            if args.stream:
+                line = dict(result.to_spec())
+                line["coalesced"] = coalesced
+                print(json.dumps(line, sort_keys=True), flush=True)
+        if not args.stream:
+            report = BatchReport(
+                results=results,
+                wall_time=time.monotonic() - started,
+                workers=0,
+                jobs_submitted=len(specs),
+                jobs_executed=len(results),
+            )
+            print(format_batch_report(report))
+            if args.json:
+                with open(args.json, "w") as handle:
+                    json.dump(report.to_spec(), handle, indent=2)
+                print(f"\nwrote {args.json}")
+    if rejected:
+        return 3
+    return 0 if all(r.status == "ok" for r in results) else 1

@@ -1,0 +1,193 @@
+"""Synchronous client for the serve daemon's wire protocol.
+
+A thin blocking client (plain stdlib sockets — the daemon is the async
+side) used by ``python -m repro submit`` and by tests.  One socket, one
+in-order frame stream; because the daemon streams ``result`` frames in
+completion order, the client keeps a small pending table keyed by
+request id and surfaces results either per-request
+(:meth:`ServeClient.wait_result`) or as they land
+(:meth:`ServeClient.iter_results`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.serve import protocol
+from repro.service.jobs import JobResult
+
+
+class ServeError(RuntimeError):
+    """An ``error`` frame from the daemon (or a protocol violation)."""
+
+    def __init__(self, code: str, detail: str = ""):
+        super().__init__(f"{code}: {detail}" if detail else code)
+        self.code = code
+        self.detail = detail
+
+
+class Rejected(ServeError):
+    """Admission refused (``overloaded`` / ``draining``)."""
+
+    def __init__(self, reason: str, frame: dict):
+        super().__init__(reason)
+        self.reason = reason
+        self.frame = frame
+
+
+class ServeClient:
+    """One connection to a serve daemon."""
+
+    def __init__(
+        self,
+        socket_path: Optional[str] = None,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        timeout: Optional[float] = 300.0,
+    ):
+        if socket_path:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.connect(socket_path)
+        elif port:
+            sock = socket.create_connection((host or "127.0.0.1", port))
+        else:
+            raise ValueError("need a socket path or a port")
+        sock.settimeout(timeout)
+        self._sock = sock
+        self._reader = sock.makefile("rb")
+        self._request_ids = itertools.count(1)
+        #: request_id → ack frame, for submits awaiting their result.
+        self._pending: Dict[object, dict] = {}
+        #: result frames received while waiting on a different id.
+        self._stashed: Dict[object, dict] = {}
+
+    # -- context / teardown --------------------------------------------------
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    # -- frame transport -----------------------------------------------------
+
+    def _send(self, frame: dict) -> None:
+        self._sock.sendall(protocol.encode_frame(frame))
+
+    def _recv(self) -> dict:
+        line = self._reader.readline(protocol.MAX_FRAME_BYTES + 2)
+        if not line:
+            raise ConnectionError("daemon closed the connection")
+        return protocol.decode_frame(line)
+
+    def _next_frame(self, request_id, ops: Tuple[str, ...]) -> dict:
+        """Read until a frame for ``request_id`` with an op in ``ops``.
+
+        Frames for *other* requests (streamed results landing out of
+        order) are stashed for their own waiters; ``error`` frames
+        raise.
+        """
+        stashed = self._stashed.get(request_id)
+        if stashed is not None and stashed.get("op") in ops:
+            return self._stashed.pop(request_id)
+        while True:
+            frame = self._recv()
+            op = frame.get("op")
+            if op == "error":
+                raise ServeError(
+                    frame.get("error", "error"), frame.get("detail", "")
+                )
+            if frame.get("id") == request_id and op in ops:
+                return frame
+            if op == "result":
+                self._stashed[frame.get("id")] = frame
+
+    # -- requests ------------------------------------------------------------
+
+    def ping(self) -> None:
+        request_id = f"ping-{next(self._request_ids)}"
+        self._send({"op": "ping", "id": request_id})
+        self._next_frame(request_id, ("pong",))
+
+    def stats(self) -> dict:
+        request_id = f"stats-{next(self._request_ids)}"
+        self._send({"op": "stats", "id": request_id})
+        return self._next_frame(request_id, ("stats",))
+
+    def submit(self, job_spec: dict) -> dict:
+        """Submit one job spec; returns the ``queued`` ack frame.
+
+        Raises :class:`Rejected` on admission refusal.  The result
+        arrives later — collect it with :meth:`wait_result` or
+        :meth:`iter_results`.
+        """
+        request_id = f"req-{next(self._request_ids)}"
+        self._send({"op": "submit", "id": request_id, "job": job_spec})
+        ack = self._next_frame(request_id, ("queued", "rejected"))
+        if ack["op"] == "rejected":
+            raise Rejected(ack.get("error", "rejected"), ack)
+        self._pending[request_id] = ack
+        return ack
+
+    def wait_result(self, request_id) -> JobResult:
+        """Block until the result for one submitted request lands."""
+        frame = self._next_frame(request_id, ("result",))
+        self._pending.pop(request_id, None)
+        return JobResult.from_spec(frame["result"])
+
+    def iter_results(self) -> Iterator[Tuple[object, JobResult, bool]]:
+        """Yield ``(request_id, result, coalesced)`` as results stream in.
+
+        Drains every pending submit in completion order — the first
+        finished job is yielded first regardless of submission order.
+        """
+        while self._pending:
+            for request_id in list(self._stashed):
+                if request_id in self._pending:
+                    frame = self._stashed.pop(request_id)
+                    self._pending.pop(request_id)
+                    yield request_id, JobResult.from_spec(
+                        frame["result"]
+                    ), bool(frame.get("coalesced"))
+                    break
+            else:
+                frame = self._recv()
+                op = frame.get("op")
+                if op == "error":
+                    raise ServeError(
+                        frame.get("error", "error"),
+                        frame.get("detail", ""),
+                    )
+                if op != "result":
+                    continue
+                request_id = frame.get("id")
+                if request_id not in self._pending:
+                    self._stashed[request_id] = frame
+                    continue
+                self._pending.pop(request_id)
+                yield request_id, JobResult.from_spec(
+                    frame["result"]
+                ), bool(frame.get("coalesced"))
+
+    def run(self, job_specs: List[dict]) -> List[JobResult]:
+        """Submit specs and block for all results, in submission order."""
+        order: Dict[object, int] = {}
+        for index, spec in enumerate(job_specs):
+            ack = self.submit(spec)
+            order[ack["id"]] = index
+        results: List[Optional[JobResult]] = [None] * len(job_specs)
+        for request_id, result, _coalesced in self.iter_results():
+            results[order[request_id]] = result
+        return results

@@ -1,0 +1,184 @@
+"""The serve daemon's wire protocol: newline-delimited JSON frames.
+
+One frame is one JSON object on one line, UTF-8, terminated by ``\\n``
+— trivially streamable, inspectable with ``nc`` + ``jq``, and
+resynchronizable after a bad frame (the next newline starts the next
+frame).  Frames over ``max_frame_bytes`` are the one unrecoverable
+case: the server cannot know where the oversized line ends without
+buffering it, so it answers ``oversized-frame`` and closes.
+
+Requests (client → server)::
+
+    {"op": "submit", "id": "r1", "job": {"kind": "solve", ...}}
+    {"op": "stats",  "id": "r2"}
+    {"op": "ping",   "id": "r3"}
+
+``job`` is exactly the batch job-spec dict of
+:func:`repro.service.jobs.job_from_spec` (``kind`` +
+kind-specific fields); a missing ``job_id`` is filled in server-side.
+
+Responses (server → client)::
+
+    {"op": "queued",   "id": "r1", "job_id": ..., "coalesced": bool}
+    {"op": "rejected", "id": "r1", "job_id": ..., "error":
+        "overloaded" | "draining", "queue_depth": N, "max_queue": N}
+    {"op": "result",   "id": "r1", "job_id": ..., "coalesced": bool,
+        "result": {JobResult spec}}
+    {"op": "stats",    "id": "r2", "server": {...}, "obs": {...}}
+    {"op": "pong",     "id": "r3"}
+    {"op": "error",    "id": ...?, "error": "bad-json" |
+        "oversized-frame" | "bad-request" | "unknown-op",
+        "detail": "..."}
+
+``queued``/``rejected`` acks arrive in request order; ``result``
+frames arrive **whenever the job lands** — after later acks, between
+other requests' results — which is the streaming contract.  ``id`` is
+the client's correlation token (any JSON scalar) and is echoed
+verbatim; results additionally echo ``job_id``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Optional
+
+#: Default ceiling on one frame's byte length (requests and responses).
+#: Generous enough for survey shards carrying package sources; small
+#: enough that one bad client cannot balloon server memory.
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+#: Request operations the server understands.
+REQUEST_OPS = ("submit", "stats", "ping")
+
+#: ``rejected.error`` values (admission control outcomes).
+REJECT_OVERLOADED = "overloaded"
+REJECT_DRAINING = "draining"
+
+
+class ProtocolError(Exception):
+    """A frame the peer cannot process; ``code`` is the wire error."""
+
+    def __init__(self, code: str, detail: str = ""):
+        super().__init__(detail or code)
+        self.code = code
+        self.detail = detail
+
+
+def encode_frame(payload: dict) -> bytes:
+    """One frame: compact JSON + newline, UTF-8."""
+    return (
+        json.dumps(payload, separators=(",", ":"), default=repr) + "\n"
+    ).encode("utf-8")
+
+
+def decode_frame(data: bytes) -> dict:
+    """Parse one received line into a frame dict.
+
+    Raises :class:`ProtocolError` (``bad-json``) on undecodable bytes,
+    malformed JSON, or a non-object top level.
+    """
+    try:
+        frame = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError("bad-json", str(exc)) from None
+    if not isinstance(frame, dict):
+        raise ProtocolError(
+            "bad-json", f"frame is {type(frame).__name__}, not an object"
+        )
+    return frame
+
+
+@dataclass
+class Request:
+    """One validated client request."""
+
+    op: str
+    request_id: Any = None
+    job_spec: Optional[dict] = None
+
+
+def parse_request(frame: dict) -> Request:
+    """Validate a decoded frame as a request.
+
+    Raises :class:`ProtocolError` with code ``unknown-op`` for an
+    unrecognized ``op`` and ``bad-request`` for a structurally invalid
+    one (the job spec's *semantic* validation — unknown kind, bad
+    fields — happens when the server instantiates the job, so the
+    error can carry the constructor's message).
+    """
+    op = frame.get("op")
+    if not isinstance(op, str) or op not in REQUEST_OPS:
+        raise ProtocolError("unknown-op", f"unknown op {op!r}")
+    request = Request(op=op, request_id=frame.get("id"))
+    if op == "submit":
+        job_spec = frame.get("job")
+        if not isinstance(job_spec, dict):
+            raise ProtocolError(
+                "bad-request", "submit frame without a 'job' object"
+            )
+        if "kind" not in job_spec:
+            raise ProtocolError(
+                "bad-request", "job spec without a 'kind'"
+            )
+        request.job_spec = job_spec
+    return request
+
+
+# -- response constructors ----------------------------------------------------
+
+
+def queued_frame(request_id, job_id: str, coalesced: bool) -> dict:
+    return {
+        "op": "queued",
+        "id": request_id,
+        "job_id": job_id,
+        "coalesced": coalesced,
+    }
+
+
+def rejected_frame(
+    request_id, job_id: Optional[str], reason: str, **extra
+) -> dict:
+    frame = {
+        "op": "rejected",
+        "id": request_id,
+        "job_id": job_id,
+        "error": reason,
+    }
+    frame.update(extra)
+    return frame
+
+
+def result_frame(
+    request_id, result_spec: dict, coalesced: bool
+) -> dict:
+    return {
+        "op": "result",
+        "id": request_id,
+        "job_id": result_spec.get("job_id"),
+        "coalesced": coalesced,
+        "result": result_spec,
+    }
+
+
+def stats_frame(request_id, server: dict, obs_snapshot: dict) -> dict:
+    return {
+        "op": "stats",
+        "id": request_id,
+        "server": server,
+        "obs": obs_snapshot,
+    }
+
+
+def pong_frame(request_id) -> dict:
+    return {"op": "pong", "id": request_id}
+
+
+def error_frame(code: str, detail: str = "", request_id=None) -> dict:
+    return {
+        "op": "error",
+        "id": request_id,
+        "error": code,
+        "detail": detail,
+    }

@@ -1,0 +1,324 @@
+"""Admission control, per-client fairness, and cross-client single-flight.
+
+The daemon-side job scheduler between the connection layer and the
+persistent :class:`~repro.service.runner.BatchRunner` pool.  All of its
+methods run on the daemon's event loop thread (runner completions are
+marshalled back via ``loop.call_soon_threadsafe``), so the data
+structures need no locks.
+
+- **Admission control.**  At most ``max_queue`` jobs wait beyond the
+  ``max_inflight`` dispatched into the pool; a submit past the bound
+  raises :class:`Overloaded` and the connection layer answers with an
+  explicit ``rejected`` frame — shedding load at the door instead of
+  queueing unboundedly toward a timeout storm.
+- **Per-client fairness.**  Queued jobs live in one FIFO per client;
+  dispatch round-robins clients and takes each one's *oldest* job, so
+  a client that dumped 1,000 jobs cannot starve one that submitted a
+  single query — under overload everyone drains at the same rate.
+- **Cross-client single-flight.**  Jobs with equal
+  :meth:`~repro.service.jobs._JobBase.dedup_key` (canonical query /
+  refinement-stream fingerprints) attach to the in-flight or queued
+  representative instead of occupying a queue slot; when it lands, the
+  one result fans out to every attached waiter as a
+  :func:`~repro.service.runner.replay_result` copy.  This is the
+  scheduler-level dedup of ``--dedup`` lifted from one batch to the
+  whole daemon: duplicates coalesce *across* clients and arrival
+  times, closing the ROADMAP's deferred in-flight-dedup item.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Set
+
+from repro.service.jobs import JobResult, _JobBase
+from repro.service.runner import BatchRunner, replay_result
+
+
+class Overloaded(Exception):
+    """Admission refused; ``reason`` is the wire ``rejected.error``."""
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+#: Delivery callback: ``(result, coalesced)`` on the event loop thread.
+DeliverFn = Callable[[JobResult, bool], None]
+
+
+class _Waiter:
+    """One submitter attached to a flight."""
+
+    __slots__ = ("client_id", "job", "deliver")
+
+    def __init__(self, client_id: str, job: _JobBase, deliver: DeliverFn):
+        self.client_id = client_id
+        self.job = job
+        self.deliver = deliver
+
+
+class _Flight:
+    """One execution: a representative job plus its attached waiters."""
+
+    __slots__ = ("job", "key", "owner", "waiters", "dispatched", "timer")
+
+    def __init__(self, job: _JobBase, key: Optional[str], owner: str):
+        self.job = job
+        self.key = key
+        self.owner = owner  # client whose fairness queue holds it
+        self.waiters: List[_Waiter] = []
+        self.dispatched = False
+        self.timer: Optional[asyncio.TimerHandle] = None
+
+
+class JobScheduler:
+    """Fair, bounded, deduplicating dispatch onto a started runner."""
+
+    def __init__(
+        self,
+        runner: BatchRunner,
+        loop: asyncio.AbstractEventLoop,
+        max_queue: int = 128,
+        max_inflight: Optional[int] = None,
+        single_flight: bool = True,
+        job_timeout: Optional[float] = None,
+    ):
+        self.runner = runner
+        self.loop = loop
+        self.max_queue = max(1, int(max_queue))
+        if max_inflight is None:
+            # Match the pool's real concurrency: process workers, or
+            # the inline executor's threads when there is no pool.
+            max_inflight = (
+                runner.config.workers
+                or runner.config.inline_concurrency
+            )
+        self.max_inflight = max(1, max_inflight)
+        self.single_flight = single_flight
+        self.job_timeout = (
+            job_timeout
+            if job_timeout is not None
+            else runner.config.job_timeout
+        )
+        self.draining = False
+        self._queues: Dict[str, Deque[_Flight]] = {}
+        self._rotation: Deque[str] = deque()
+        self._by_key: Dict[str, _Flight] = {}
+        self._inflight: Set[_Flight] = set()
+        self._queued = 0
+        self._idle_event = asyncio.Event()
+        self._idle_event.set()
+        # -- lifetime counters (the daemon's /stats gauges) ----------------
+        self.submitted = 0
+        self.executed = 0
+        self.completed = 0
+        self.coalesced = 0
+        self.rejected = 0
+        self.timeouts = 0
+        self.results_dropped = 0
+
+    # -- admission -----------------------------------------------------------
+
+    def submit(
+        self,
+        client_id: str,
+        job: _JobBase,
+        deliver: DeliverFn,
+    ) -> bool:
+        """Admit one job; returns ``True`` when it coalesced.
+
+        Raises :class:`Overloaded` when draining or past ``max_queue``.
+        A coalesced job consumes no queue slot — attaching to a flight
+        is free, which is the point of single-flight under load.
+        """
+        if self.draining:
+            raise Overloaded("draining")
+        self.submitted += 1
+        waiter = _Waiter(client_id, job, deliver)
+        key = job.dedup_key() if self.single_flight else None
+        if key is not None:
+            flight = self._by_key.get(key)
+            if flight is not None:
+                flight.waiters.append(waiter)
+                self.coalesced += 1
+                return True
+        if self._queued >= self.max_queue:
+            self.rejected += 1
+            raise Overloaded("overloaded")
+        flight = _Flight(job, key, client_id)
+        flight.waiters.append(waiter)
+        if key is not None:
+            self._by_key[key] = flight
+        self._enqueue(client_id, flight)
+        self._idle_event.clear()
+        self._pump()
+        return False
+
+    def _enqueue(
+        self, client_id: str, flight: _Flight, oldest_first: bool = False
+    ) -> None:
+        queue = self._queues.get(client_id)
+        if queue is None:
+            queue = self._queues[client_id] = deque()
+            self._rotation.append(client_id)
+        if oldest_first:
+            queue.appendleft(flight)
+        else:
+            queue.append(flight)
+        self._queued += 1
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _pump(self) -> None:
+        while len(self._inflight) < self.max_inflight and self._rotation:
+            client_id = self._rotation.popleft()
+            queue = self._queues.get(client_id)
+            if not queue:
+                self._queues.pop(client_id, None)
+                continue
+            flight = queue.popleft()
+            self._queued -= 1
+            if queue:
+                self._rotation.append(client_id)
+            else:
+                del self._queues[client_id]
+            self._dispatch(flight)
+
+    def _dispatch(self, flight: _Flight) -> None:
+        flight.dispatched = True
+        self._inflight.add(flight)
+        self.executed += 1
+        if self.job_timeout:
+            flight.timer = self.loop.call_later(
+                self.job_timeout, self._on_timeout, flight
+            )
+        self.runner.submit(
+            flight.job,
+            lambda result: self.loop.call_soon_threadsafe(
+                self._on_complete, flight, result
+            ),
+        )
+
+    def _on_complete(self, flight: _Flight, result: JobResult) -> None:
+        if flight not in self._inflight:
+            return  # already timed out; late worker result dropped
+        self._inflight.discard(flight)
+        if flight.timer is not None:
+            flight.timer.cancel()
+            flight.timer = None
+        self._finish(flight, result)
+
+    def _on_timeout(self, flight: _Flight) -> None:
+        if flight not in self._inflight:
+            return
+        self._inflight.discard(flight)
+        flight.timer = None
+        self.timeouts += 1
+        self._finish(
+            flight,
+            JobResult(
+                job_id=flight.job.job_id,
+                kind=flight.job.KIND,
+                status="timeout",
+                seconds=self.job_timeout,
+                error=(
+                    "job exceeded the scheduler's "
+                    f"{self.job_timeout}s backstop"
+                ),
+            ),
+        )
+
+    def _finish(self, flight: _Flight, result: JobResult) -> None:
+        if flight.key is not None:
+            self._by_key.pop(flight.key, None)
+        self.completed += 1
+        if not flight.waiters:
+            # Every submitter disconnected mid-job: the work completed
+            # (the slot is recycled either way), the result is dropped.
+            self.results_dropped += 1
+        for waiter in flight.waiters:
+            if waiter.job is flight.job:
+                waiter.deliver(result, False)
+            else:
+                waiter.deliver(
+                    replay_result(waiter.job, flight.job, result), True
+                )
+        self._pump()
+        self._check_idle()
+
+    # -- disconnects ---------------------------------------------------------
+
+    def forget_client(self, client_id: str) -> None:
+        """Drop a disconnected client's stake in every flight.
+
+        Its queued-and-unshared flights are cancelled outright; shared
+        queued flights are re-owned by a surviving waiter's client (the
+        oldest-first slot keeps their queue age); dispatched flights
+        keep running — their results fan out to surviving waiters or,
+        with none left, are dropped on completion.
+        """
+        queue = self._queues.pop(client_id, None)
+        if client_id in self._rotation:
+            self._rotation.remove(client_id)
+        for flight in queue or ():
+            self._queued -= 1
+            flight.waiters = [
+                w for w in flight.waiters if w.client_id != client_id
+            ]
+            survivor = flight.waiters[0] if flight.waiters else None
+            if survivor is None:
+                if flight.key is not None:
+                    self._by_key.pop(flight.key, None)
+                continue
+            flight.owner = survivor.client_id
+            self._enqueue(survivor.client_id, flight, oldest_first=True)
+        for flights in (self._inflight, *map(tuple, self._queues.values())):
+            for flight in flights:
+                flight.waiters = [
+                    w
+                    for w in flight.waiters
+                    if w.client_id != client_id
+                ]
+        self._pump()
+        self._check_idle()
+
+    # -- drain ---------------------------------------------------------------
+
+    def _check_idle(self) -> None:
+        if not self._inflight and not self._queued:
+            self._idle_event.set()
+
+    async def wait_idle(self) -> None:
+        """Block until no job is queued or in flight (drain barrier)."""
+        while self._inflight or self._queued:
+            self._idle_event.clear()
+            await self._idle_event.wait()
+
+    # -- stats ---------------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queued
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._inflight)
+
+    def stats(self) -> dict:
+        return {
+            "queue_depth": self._queued,
+            "in_flight": len(self._inflight),
+            "max_queue": self.max_queue,
+            "max_inflight": self.max_inflight,
+            "single_flight": self.single_flight,
+            "jobs_submitted": self.submitted,
+            "jobs_executed": self.executed,
+            "jobs_completed": self.completed,
+            "singleflight_coalesced": self.coalesced,
+            "rejected": self.rejected,
+            "timeouts": self.timeouts,
+            "results_dropped": self.results_dropped,
+            "draining": self.draining,
+        }

@@ -5,6 +5,13 @@ rows plus a rendered text table.  Everything consumes the JSON-shaped
 :class:`~repro.service.jobs.JobResult` payloads, never live objects, so
 the same code paths aggregate in-process, cross-process, and (later)
 cross-machine results.
+
+Merging is **order-independent**: every merge function and table
+canonicalizes its inputs by job id first (:func:`ordered_results`), so
+results collected as-completed from the serve daemon's stream render
+byte-identical reports to the batch runner's submission-order joins —
+down to float summation order, which would otherwise drift in the last
+bits between two arrival orders.
 """
 
 from __future__ import annotations
@@ -13,6 +20,16 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.service.jobs import JobResult
+
+
+def ordered_results(results: Sequence[JobResult]) -> List[JobResult]:
+    """The canonical aggregation order: sorted by job id.
+
+    Submitted job ids are unique within a batch, so this is a total
+    order no matter how the results arrived (submission-order joins,
+    the as-completed stream, or a shuffled JSON round-trip).
+    """
+    return sorted(results, key=lambda result: result.job_id)
 
 
 @dataclass
@@ -67,7 +84,10 @@ class BatchReport:
         return counts
 
     def of_kind(self, kind: str) -> List[JobResult]:
-        return [r for r in self.results if r.kind == kind]
+        """Results of one kind, in canonical (job-id) order."""
+        return ordered_results(
+            [r for r in self.results if r.kind == kind]
+        )
 
     def to_spec(self) -> dict:
         return {
@@ -103,6 +123,7 @@ class BatchReport:
 
 def merge_analyze(results: Sequence[JobResult]) -> dict:
     """Corpus-level coverage/query/timing aggregates over analyze jobs."""
+    results = ordered_results(results)
     ok = [r for r in results if r.status == "ok"]
     payloads = [r.payload for r in ok]
     covered = sum(p["covered"] for p in payloads)
@@ -130,6 +151,7 @@ def merge_analyze(results: Sequence[JobResult]) -> dict:
 
 
 def format_analyze_table(results: Sequence[JobResult]) -> str:
+    results = ordered_results(results)
     lines = [
         "Program                        Tests  Cov(%)  Queries   SAT  Bugs",
     ]
@@ -162,6 +184,7 @@ def format_analyze_table(results: Sequence[JobResult]) -> str:
 
 
 def merge_solve(results: Sequence[JobResult]) -> dict:
+    results = ordered_results(results)
     ok = [r for r in results if r.status == "ok"]
     found = [r for r in ok if r.payload.get("found")]
     return {
@@ -189,7 +212,7 @@ def merge_automata_counters(results: Sequence[JobResult]) -> dict:
     coalesced duplicates carry an empty dict and contribute nothing.
     """
     totals = {"hits": 0, "misses": 0, "disk_hits": 0, "disk_stores": 0}
-    for result in results:
+    for result in ordered_results(results):
         if result.status != "ok":
             continue
         counters = result.payload.get("automata_cache") or {}
@@ -216,7 +239,7 @@ def merge_backend_tallies(results: Sequence[JobResult]) -> Dict[str, dict]:
     from repro.solver.stats import BackendTally
 
     totals: Dict[str, BackendTally] = {}
-    for result in results:
+    for result in ordered_results(results):
         if result.status != "ok":
             continue
         tallies = result.payload.get("backend_tallies") or {}
@@ -238,7 +261,7 @@ def merge_session_tallies(results: Sequence[JobResult]) -> Dict[str, dict]:
     from repro.solver.stats import SessionTally
 
     totals: Dict[str, SessionTally] = {}
-    for result in results:
+    for result in ordered_results(results):
         if result.status != "ok":
             continue
         tallies = result.payload.get("session_tallies") or {}
@@ -251,7 +274,7 @@ def merge_session_tallies(results: Sequence[JobResult]) -> Dict[str, dict]:
 def merge_route_tallies(results: Sequence[JobResult]) -> Dict[str, int]:
     """Sum routing decision counts (``feature->target``) across payloads."""
     totals: Dict[str, int] = {}
-    for result in results:
+    for result in ordered_results(results):
         if result.status != "ok":
             continue
         for key, count in (result.payload.get("route_tallies") or {}).items():
@@ -353,7 +376,7 @@ def merge_survey(results: Sequence[JobResult]):
     merged.feature_totals = {name: 0 for name in feature_names}
     merged.feature_uniques = {name: 0 for name in feature_names}
     uniques: Dict[str, object] = {}
-    for result in results:
+    for result in ordered_results(results):
         if result.status != "ok":
             continue
         p = result.payload
@@ -486,7 +509,9 @@ def format_batch_report(report: BatchReport) -> str:
         lines.append("")
         lines.append(format_table5(merged))
 
-    errors = [r for r in report.results if r.status != "ok"]
+    errors = ordered_results(
+        [r for r in report.results if r.status != "ok"]
+    )
     if errors:
         lines += ["", "== Failed jobs " + "=" * 49]
         for result in errors:

@@ -35,9 +35,19 @@ points:
 from __future__ import annotations
 
 import multiprocessing
+import queue as queue_module
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro import obs
 from repro.obs.export import ObsRun
@@ -58,6 +68,7 @@ def _worker_init(
     query_cache=None,
     query_cache_max=None,
     obs_config=None,
+    session_idle_s=None,
 ) -> None:
     global _WORKER_CACHE
     if shared_cache is not None:
@@ -72,6 +83,10 @@ def _worker_init(
         from repro.automata import configure_automata_cache
 
         configure_automata_cache(automata_cache)
+    if session_idle_s:
+        from repro.solver.backends import get_session_pool
+
+        get_session_pool().set_idle_timeout(session_idle_s)
     obs.configure_worker(obs_config)
 
 
@@ -155,6 +170,12 @@ class RunnerConfig:
     """Knobs of the batch runner."""
 
     workers: int = 2  # 0 = run inline in this process (no pool)
+    #: Thread count of the *persistent* inline executor
+    #: (:meth:`BatchRunner.start` with ``workers == 0``) — lets an
+    #: inline serve daemon overlap jobs without process workers.  The
+    #: threads share one query cache (thread-safe); classic
+    #: :meth:`BatchRunner.run` inline batches stay strictly serial.
+    inline_concurrency: int = 1
     job_timeout: float = 300.0  # outer backstop per job, seconds
     use_cache: bool = True
     cache_size: int = 4096
@@ -174,6 +195,12 @@ class RunnerConfig:
     #: Coalesce jobs with identical ``dedup_key()`` into single-flight
     #: executions before dispatch (scheduler-level query dedup).
     dedup: bool = False
+    #: Close pooled incremental solver sessions idle for this many
+    #: seconds (armed in every worker and inline; ``None`` keeps the
+    #: PR 5 behaviour of pinning idle sessions until process exit).
+    #: The serve daemon's ``--session-idle-s`` lands here so a quiet
+    #: daemon does not hold solver processes forever.
+    session_idle_s: Optional[float] = None
     #: Observability (all off by default — the strictly-disabled path):
     #: merged trace output file, its format (``jsonl`` | ``chrome``),
     #: batch-level metrics JSON, and the slow-query threshold in ms.
@@ -184,13 +211,30 @@ class RunnerConfig:
 
 
 class BatchRunner:
-    """Run a batch of service jobs and collect ordered results."""
+    """Run a batch of service jobs and collect ordered results.
+
+    Two execution modes share the worker plumbing:
+
+    - :meth:`run` — the classic batch call: a pool is created for the
+      call, every job joins in submission order, one report comes back.
+    - :meth:`start` / :meth:`submit` / :meth:`run_iter` / :meth:`close`
+      — the as-completed seam the serve daemon multiplexes clients
+      onto: one *persistent* pool outlives any single batch, jobs are
+      submitted individually, and each result is delivered the moment
+      it lands (a completion callback for ``submit``, an as-completed
+      iterator for ``run_iter``) instead of joining per-slot.
+    """
 
     def __init__(self, config: Optional[RunnerConfig] = None, **kwargs):
         self.config = config or RunnerConfig(**kwargs)
         if self.config.workers < 0:
             raise ValueError("workers must be >= 0")
         self._obs_run: Optional[ObsRun] = None
+        self._pool = None
+        self._manager = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._inline_factory: Optional[Callable[..., object]] = None
+        self._started = False
 
     def run(self, jobs: Sequence[_JobBase]) -> "BatchReport":
         from repro.service.report import BatchReport
@@ -240,9 +284,197 @@ class BatchRunner:
             report.obs_pids = summary.pids
         return report
 
+    # -- persistent pool lifecycle (the serve daemon's seam) -----------------
+
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    def start(self, obs_run: Optional[ObsRun] = None) -> "BatchRunner":
+        """Bring up a persistent worker pool for :meth:`submit`.
+
+        With ``workers == 0`` jobs execute on one internal thread in
+        this process (same inline cache semantics as :meth:`run`);
+        otherwise a ``multiprocessing.Pool`` is created once and reused
+        across every submitted job.  ``obs_run`` is the optional
+        observability run whose worker config the pool initializer
+        forwards.  Idempotent; pair with :meth:`close`.
+        """
+        if self._started:
+            return self
+        self._obs_run = obs_run
+        if self.config.session_idle_s:
+            from repro.solver.backends import get_session_pool
+
+            get_session_pool().set_idle_timeout(self.config.session_idle_s)
+        if self.config.workers == 0:
+            self._inline_factory = self._build_inline_factory()
+            self._executor = ThreadPoolExecutor(
+                max_workers=max(1, self.config.inline_concurrency),
+                thread_name_prefix="repro-inline-job",
+            )
+        else:
+            shared = None
+            if self.config.shared_cache and self.config.use_cache:
+                self._manager = multiprocessing.Manager()
+                shared = SharedQueryCache.create(
+                    self._manager, maxsize=self.config.cache_size
+                )
+            self._pool = multiprocessing.Pool(
+                processes=self.config.workers,
+                initializer=_worker_init,
+                initargs=self._worker_initargs(shared),
+            )
+        self._started = True
+        return self
+
+    def close(self, graceful: bool = True) -> None:
+        """Tear the persistent pool down.
+
+        ``graceful`` joins workers after their in-flight jobs finish
+        (so worker ``atexit`` hooks close pooled solver sessions — no
+        leaked ``Popen``); ``graceful=False`` terminates them.
+        """
+        if not self._started:
+            return
+        self._started = False
+        pool, self._pool = self._pool, None
+        executor, self._executor = self._executor, None
+        manager, self._manager = self._manager, None
+        self._inline_factory = None
+        if pool is not None:
+            if graceful:
+                pool.close()
+            else:
+                pool.terminate()
+            pool.join()
+        if executor is not None:
+            executor.shutdown(wait=graceful)
+        if manager is not None:
+            manager.shutdown()
+
+    def __enter__(self) -> "BatchRunner":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def submit(
+        self, job: _JobBase, on_done: Callable[[JobResult], None]
+    ) -> None:
+        """Submit one job to the started pool; deliver as it completes.
+
+        ``on_done`` receives the :class:`JobResult` from an internal
+        thread (the pool's result handler, or the inline executor
+        thread) — callers that live on an event loop must marshal it
+        themselves (``loop.call_soon_threadsafe``).  Exceptions raised
+        by ``on_done`` are swallowed: a broken consumer must not kill
+        the shared result-handler thread the rest of the pool needs.
+        """
+        if not self._started:
+            raise RuntimeError("BatchRunner.submit() before start()")
+
+        def deliver(result: JobResult) -> None:
+            try:
+                on_done(result)
+            except Exception:
+                pass
+
+        def failed(exc: BaseException) -> JobResult:
+            return JobResult(
+                job_id=job.job_id,
+                kind=job.KIND,
+                status="error",
+                error=f"{type(exc).__name__}: {exc}",
+            )
+
+        if self._pool is not None:
+            self._pool.apply_async(
+                _run_spec,
+                (job.to_spec(),),
+                callback=lambda spec: deliver(JobResult.from_spec(spec)),
+                error_callback=lambda exc: deliver(failed(exc)),
+            )
+        else:
+            factory = self._inline_factory
+
+            def run_inline() -> None:
+                try:
+                    result = job.run(solver_factory=factory)
+                except Exception as exc:  # job.run traps; belt-and-braces
+                    result = failed(exc)
+                deliver(result)
+
+            self._executor.submit(run_inline)
+
+    def run_iter(
+        self, jobs: Sequence[_JobBase]
+    ) -> Iterator[Tuple[int, JobResult]]:
+        """Yield ``(submission_index, result)`` pairs as jobs complete.
+
+        No per-slot join: the first finished job is yielded first, no
+        matter where it was submitted.  The runner's ``job_timeout``
+        backstop still applies — an overdue job yields a ``"timeout"``
+        result and its late completion (the worker keeps running it) is
+        dropped.  Starts and closes a pool of its own unless the runner
+        was already :meth:`start`\\ ed.  No scheduler-level dedup: the
+        caller owns coalescing in as-completed mode (the serve daemon's
+        single-flight table does exactly that).
+        """
+        jobs = list(jobs)
+        owns_pool = not self._started
+        if owns_pool:
+            self.start()
+        results: "queue_module.Queue[Tuple[int, JobResult]]" = (
+            queue_module.Queue()
+        )
+        try:
+            for index, job in enumerate(jobs):
+                self.submit(
+                    job,
+                    lambda result, index=index: results.put((index, result)),
+                )
+            pending = set(range(len(jobs)))
+            deadlines = {
+                index: time.monotonic() + self.config.job_timeout
+                for index in pending
+            }
+            while pending:
+                patience = max(
+                    0.0,
+                    min(deadlines[i] for i in pending) - time.monotonic(),
+                )
+                try:
+                    index, result = results.get(timeout=patience)
+                except queue_module.Empty:
+                    now = time.monotonic()
+                    for index in sorted(
+                        i for i in pending if deadlines[i] <= now
+                    ):
+                        pending.discard(index)
+                        job = jobs[index]
+                        yield index, JobResult(
+                            job_id=job.job_id,
+                            kind=job.KIND,
+                            status="timeout",
+                            seconds=self.config.job_timeout,
+                            error=(
+                                "job exceeded the runner's "
+                                f"{self.config.job_timeout}s backstop"
+                            ),
+                        )
+                    continue
+                if index not in pending:
+                    continue  # late completion of a timed-out job
+                pending.discard(index)
+                yield index, result
+        finally:
+            if owns_pool:
+                self.close()
+
     # -- execution strategies ------------------------------------------------
 
-    def _run_inline(self, jobs: Sequence[_JobBase]) -> List[JobResult]:
+    def _build_inline_factory(self) -> Callable[..., object]:
         if self.config.automata_cache:
             from repro.automata import configure_automata_cache
 
@@ -257,7 +489,24 @@ class BatchRunner:
                 self.config.query_cache,
                 max_entries=self.config.query_cache_max,
             )
-        factory = _make_solver_factory(cache)
+        return _make_solver_factory(cache)
+
+    def _worker_initargs(self, shared) -> tuple:
+        return (
+            self.config.use_cache,
+            self.config.cache_size,
+            shared,
+            self.config.automata_cache,
+            self.config.query_cache,
+            self.config.query_cache_max,
+            self._obs_run.worker_config()
+            if self._obs_run is not None
+            else None,
+            self.config.session_idle_s,
+        )
+
+    def _run_inline(self, jobs: Sequence[_JobBase]) -> List[JobResult]:
+        factory = self._build_inline_factory()
         return [job.run(solver_factory=factory) for job in jobs]
 
     def _run_pool(self, jobs: Sequence[_JobBase]) -> List[JobResult]:
@@ -273,17 +522,7 @@ class BatchRunner:
             with multiprocessing.Pool(
                 processes=self.config.workers,
                 initializer=_worker_init,
-                initargs=(
-                    self.config.use_cache,
-                    self.config.cache_size,
-                    shared,
-                    self.config.automata_cache,
-                    self.config.query_cache,
-                    self.config.query_cache_max,
-                    self._obs_run.worker_config()
-                    if self._obs_run is not None
-                    else None,
-                ),
+                initargs=self._worker_initargs(shared),
             ) as pool:
                 pending = [
                     pool.apply_async(_run_spec, (spec,)) for spec in specs
@@ -350,52 +589,61 @@ def _coalesce(
     return unique, assignment
 
 
+def replay_result(
+    job: _JobBase, rep_job: _JobBase, rep_result: JobResult
+) -> JobResult:
+    """The result a coalesced job replays from its representative.
+
+    A copy of the representative's result with the coalesced job's own
+    ``job_id``, zeroed work counters (it performed no solves of its own
+    — that is the point), and a ``deduped_from`` marker so the report
+    can tell replayed results from executed ones.  Shared by the batch
+    scheduler's dedup fan-out and the serve daemon's cross-client
+    single-flight table.
+    """
+    payload = dict(rep_result.payload)
+    payload["deduped_from"] = rep_job.job_id
+    if "name" in payload:
+        # Analyze payloads carry a display name derived from the
+        # job's own path; a replayed copy must not keep the
+        # representative's (reports would list one program twice).
+        payload["name"] = getattr(job, "path", None) or job.job_id
+    for zeroed, value in (
+        ("solver_queries", 0),
+        ("solver_seconds", 0.0),
+        ("backend_tallies", {}),
+        ("session_tallies", {}),
+        ("route_tallies", {}),
+        ("automata_cache", {}),
+    ):
+        if zeroed in payload:
+            payload[zeroed] = value
+    return JobResult(
+        job_id=job.job_id,
+        kind=rep_result.kind,
+        status=rep_result.status,
+        seconds=0.0,
+        payload=payload,
+        error=rep_result.error,
+        cache_hits=0,
+        cache_misses=0,
+    )
+
+
 def _fan_out(
     jobs: Sequence[_JobBase],
     unique_jobs: Sequence[_JobBase],
     executed: Sequence[JobResult],
     assignment: Sequence[int],
 ) -> List[JobResult]:
-    """Expand representative results back to submission order.
-
-    A coalesced job receives a copy of its representative's result with
-    its own ``job_id``, zeroed work counters (it performed no solves of
-    its own — that is the point), and a ``deduped_from`` marker so the
-    report can tell replayed results from executed ones.
-    """
+    """Expand representative results back to submission order."""
     results: List[JobResult] = []
     for job, slot in zip(jobs, assignment):
         rep_result = executed[slot]
         if unique_jobs[slot] is job:
             results.append(rep_result)
-            continue
-        payload = dict(rep_result.payload)
-        payload["deduped_from"] = unique_jobs[slot].job_id
-        if "name" in payload:
-            # Analyze payloads carry a display name derived from the
-            # job's own path; a replayed copy must not keep the
-            # representative's (reports would list one program twice).
-            payload["name"] = getattr(job, "path", None) or job.job_id
-        for zeroed, value in (
-            ("solver_queries", 0),
-            ("solver_seconds", 0.0),
-            ("backend_tallies", {}),
-            ("session_tallies", {}),
-            ("route_tallies", {}),
-            ("automata_cache", {}),
-        ):
-            if zeroed in payload:
-                payload[zeroed] = value
-        results.append(
-            JobResult(
-                job_id=job.job_id,
-                kind=rep_result.kind,
-                status=rep_result.status,
-                seconds=0.0,
-                payload=payload,
-                error=rep_result.error,
-                cache_hits=0,
-                cache_misses=0,
+        else:
+            results.append(
+                replay_result(job, unique_jobs[slot], rep_result)
             )
-        )
     return results

@@ -34,6 +34,7 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from time import perf_counter
@@ -279,6 +280,11 @@ class QueryCache:
     ):
         self.maxsize = maxsize
         self._entries: "OrderedDict[str, CachedResult]" = OrderedDict()
+        # Guards the LRU structure: the batch runner's inline mode can
+        # execute jobs on several threads sharing this one instance
+        # (``RunnerConfig.inline_concurrency``), and an OrderedDict
+        # mid-``move_to_end`` is not safe to race.
+        self._mutex = threading.Lock()
         self.store: Optional[QueryDiskStore] = None
         self.hits = 0
         self.misses = 0
@@ -305,29 +311,34 @@ class QueryCache:
         return self.hits / lookups if lookups else 0.0
 
     def get(self, key: str) -> Optional[CachedResult]:
-        entry = self._entries.get(key)
-        if entry is not None:
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return entry
+        with self._mutex:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return entry
         if self.store is not None:
             entry = self.store.get(key)
             if entry is not None:
-                self._insert(key, entry)
-                self.disk_hits += 1
-                self.hits += 1
+                with self._mutex:
+                    self._insert(key, entry)
+                    self.disk_hits += 1
+                    self.hits += 1
                 return entry
-        self.misses += 1
+        with self._mutex:
+            self.misses += 1
         return None
 
     def put(self, key: str, entry: CachedResult) -> None:
-        self._insert(key, entry)
+        with self._mutex:
+            self._insert(key, entry)
         if self.store is not None:
             self.store.put(key, entry)
 
     def _insert(self, key: str, entry: CachedResult) -> None:
         """Memory-only insert with LRU eviction (no store write-through:
-        disk-hit promotion must not rewrite the entry it just read)."""
+        disk-hit promotion must not rewrite the entry it just read).
+        Callers hold ``_mutex``."""
         if key in self._entries:
             self._entries.move_to_end(key)
         elif len(self._entries) >= self.maxsize:
@@ -336,7 +347,8 @@ class QueryCache:
         self._entries[key] = entry
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._mutex:
+            self._entries.clear()
 
     def counters(self) -> dict:
         return {

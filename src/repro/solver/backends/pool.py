@@ -69,18 +69,27 @@ class SessionPool:
     queue before falling back to a private overflow session.
     """
 
-    def __init__(self, max_per_key: int = 4, wait_timeout: float = 1.0):
+    def __init__(
+        self,
+        max_per_key: int = 4,
+        wait_timeout: float = 1.0,
+        idle_timeout: Optional[float] = None,
+    ):
         self.max_per_key = max(1, int(max_per_key))
         self.wait_timeout = wait_timeout
+        self.idle_timeout = idle_timeout
         self._cond = threading.Condition()
         self._idle: Dict[_PoolKey, List[SessionBackend]] = {}
         self._leased: Dict[_PoolKey, int] = {}
         self._closed = False
+        self._reaper: Optional[threading.Thread] = None
+        self._reaper_stop = threading.Event()
         # -- lifetime counters (pool-wide; per-caller shares land in the
         # caller's SolverStats via checkout) -----------------------------
         self.checkouts = 0
         self.waits = 0
         self.overflows = 0
+        self.reaped = 0
 
     # -- leasing -------------------------------------------------------------
 
@@ -174,6 +183,7 @@ class SessionPool:
                 closing = session
             else:
                 closing = None
+                session._parked_at = monotonic()
                 self._idle.setdefault(key, []).append(session)
             # All keys share this condition; waiters re-check and
             # re-wait, so waking every one of them is what keeps a
@@ -181,6 +191,65 @@ class SessionPool:
             self._cond.notify_all()
         if closing is not None:
             closing.close()
+
+    # -- idle reaping --------------------------------------------------------
+
+    def set_idle_timeout(self, seconds: Optional[float]) -> None:
+        """Arm (or with ``None`` disarm) the idle-session reaper.
+
+        With a timeout set, a background daemon thread periodically
+        closes idle sessions parked longer than ``seconds`` — a quiet
+        serve daemon stops pinning solver processes instead of holding
+        them until interpreter exit.  Leased sessions are never touched;
+        the next checkout after a reap simply spawns fresh.
+        """
+        with self._cond:
+            self.idle_timeout = seconds
+            if not seconds or self._closed or self._reaper is not None:
+                return
+            self._reaper = threading.Thread(
+                target=self._reap_loop,
+                name="repro-session-reaper",
+                daemon=True,
+            )
+        self._reaper.start()
+
+    def reap_idle(self, max_idle: Optional[float] = None) -> int:
+        """Close idle sessions parked longer than ``max_idle`` seconds
+        (default: the armed ``idle_timeout``); returns how many."""
+        limit = self.idle_timeout if max_idle is None else max_idle
+        if limit is None:
+            return 0
+        cutoff = monotonic() - limit
+        stale: List[SessionBackend] = []
+        with self._cond:
+            for key in list(self._idle):
+                kept: List[SessionBackend] = []
+                for session in self._idle[key]:
+                    if getattr(session, "_parked_at", 0.0) > cutoff:
+                        kept.append(session)
+                    else:
+                        stale.append(session)
+                if kept:
+                    self._idle[key] = kept
+                else:
+                    del self._idle[key]
+            self.reaped += len(stale)
+        for session in stale:
+            session.close()
+        if stale:
+            obs.event("session:reap", closed=len(stale))
+        return len(stale)
+
+    def _reap_loop(self) -> None:
+        while not self._reaper_stop.is_set():
+            timeout = self.idle_timeout
+            if not timeout:
+                return
+            self._reaper_stop.wait(max(0.05, timeout / 4.0))
+            if self._reaper_stop.is_set():
+                return
+            self.reap_idle()
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -196,6 +265,7 @@ class SessionPool:
         """Close every idle session and mark the pool closed: a lease
         still in flight (e.g. an abandoned portfolio straggler) closes
         its session on release instead of re-pooling it."""
+        self._reaper_stop.set()
         with self._cond:
             idle, self._idle = self._idle, {}
             self._leased.clear()

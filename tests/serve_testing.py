@@ -1,0 +1,126 @@
+"""Shared harness for the serve-daemon tests.
+
+The daemon under test runs *in process* (background thread, inline
+``workers=0`` runner) so tests can register extra job kinds in
+``repro.service.jobs._JOB_KINDS`` and control job timing with plain
+``threading.Event``\\ s — the jobs execute on the runner's inline
+executor thread of the same interpreter.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.serve.server import ServeConfig, ServeServer
+from repro.service.jobs import _JobBase
+from repro.service.runner import BatchRunner, RunnerConfig
+
+#: Gates ``GateJob``\\ s wait on, keyed by token (test-managed).
+GATES: Dict[str, threading.Event] = {}
+
+#: Execution order of ``RecordJob``\\ s (fairness assertions).
+RECORD: list = []
+
+#: Daemons brought up by :func:`start_daemon`, stopped by the tests'
+#: autouse teardown fixture so no background loop outlives its test.
+_STARTED: list = []
+
+
+def open_gate(token: str) -> None:
+    GATES.setdefault(token, threading.Event()).set()
+
+
+def reset_gates() -> None:
+    for event in GATES.values():
+        event.set()  # unblock any straggler before forgetting it
+    GATES.clear()
+    del RECORD[:]
+
+
+def stop_started() -> None:
+    while _STARTED:
+        _STARTED.pop().stop()
+
+
+@dataclass
+class GateJob(_JobBase):
+    """A job that blocks until its gate opens (deterministic timing).
+
+    ``key`` feeds ``dedup_key`` so tests control which jobs coalesce;
+    ``None`` never coalesces.  Registered into ``_JOB_KINDS`` by the
+    tests (monkeypatch), which works because the in-process daemon's
+    inline runner executes jobs in this interpreter.
+    """
+
+    gate: str = ""
+    key: Optional[str] = None
+    payload_note: str = ""
+
+    KIND = "gate"
+
+    def dedup_key(self) -> Optional[str]:
+        return f"gate|{self.key}" if self.key else None
+
+    def _run(self, solver_factory) -> dict:
+        if self.gate:
+            event = GATES.setdefault(self.gate, threading.Event())
+            if not event.wait(timeout=30.0):
+                raise TimeoutError(f"gate {self.gate!r} never opened")
+        return {"note": self.payload_note, "gate": self.gate}
+
+
+@dataclass
+class RecordJob(_JobBase):
+    """Appends its note to ``RECORD`` — executions are serialized when
+    ``max_inflight == 1``, so ``RECORD`` *is* the dispatch order."""
+
+    note: str = ""
+
+    KIND = "record"
+
+    def _run(self, solver_factory) -> dict:
+        RECORD.append(self.note)
+        return {"note": self.note}
+
+
+def start_daemon(
+    tmp_path,
+    workers: int = 0,
+    max_queue: int = 128,
+    max_inflight: Optional[int] = None,
+    single_flight: bool = True,
+    max_frame_bytes: Optional[int] = None,
+    **runner_kwargs,
+):
+    """An in-process daemon on a fresh unix socket; returns (server, path)."""
+    sock = str(tmp_path / f"serve-{time.monotonic_ns()}.sock")
+    config = ServeConfig(
+        socket=sock,
+        max_queue=max_queue,
+        max_inflight=max_inflight,
+        single_flight=single_flight,
+    )
+    if max_frame_bytes is not None:
+        config.max_frame_bytes = max_frame_bytes
+    if workers == 0 and max_inflight:
+        # Inline daemons overlap jobs on executor threads; give the
+        # runner enough of them to honor the requested concurrency.
+        runner_kwargs.setdefault("inline_concurrency", max_inflight)
+    runner = BatchRunner(RunnerConfig(workers=workers, **runner_kwargs))
+    server = ServeServer(runner, config).start_background()
+    _STARTED.append(server)
+    return server, sock
+
+
+def wait_until(predicate, timeout: float = 10.0, interval: float = 0.01):
+    """Poll ``predicate`` until truthy (returns its value) or fail."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(interval)
+    raise AssertionError("condition not reached within timeout")

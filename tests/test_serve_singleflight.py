@@ -1,0 +1,301 @@
+"""Cross-client single-flight, fairness, and the serve/batch equivalence.
+
+Gate jobs (see ``serve_testing``) hold the pipeline so coalescing
+windows are deterministic: a duplicate submitted while its twin is
+queued or in flight *must* coalesce — no sleeps, no timing luck.
+"""
+
+import threading
+
+import pytest
+
+from repro.serve.client import ServeClient
+from repro.service import jobs
+from repro.service.jobs import AnalyzeJob, SolveJob, SurveyJob
+from repro.service.report import merge_solve, merge_survey
+from repro.service.runner import BatchRunner, RunnerConfig
+
+from serve_testing import (
+    GateJob,
+    RECORD,
+    RecordJob,
+    open_gate,
+    reset_gates,
+    start_daemon,
+    stop_started,
+    wait_until,
+)
+
+
+@pytest.fixture(autouse=True)
+def _serve_teardown():
+    reset_gates()
+    yield
+    reset_gates()
+    stop_started()
+
+
+@pytest.fixture
+def gate_kind(monkeypatch):
+    monkeypatch.setitem(jobs._JOB_KINDS, "gate", GateJob)
+    monkeypatch.setitem(jobs._JOB_KINDS, "record", RecordJob)
+
+
+class TestSingleFlight:
+    def test_duplicate_in_flight_coalesces_across_clients(
+        self, tmp_path, gate_kind
+    ):
+        server, sock_path = start_daemon(tmp_path)
+        a = ServeClient(socket_path=sock_path, timeout=15.0)
+        b = ServeClient(socket_path=sock_path, timeout=15.0)
+        try:
+            first = a.submit({"kind": "gate", "gate": "g", "key": "same"})
+            wait_until(lambda: server.scheduler.in_flight == 1)
+            second = b.submit({"kind": "gate", "gate": "g", "key": "same"})
+            assert first["coalesced"] is False
+            assert second["coalesced"] is True
+            open_gate("g")
+            result_a = a.wait_result(first["id"])
+            result_b = b.wait_result(second["id"])
+            assert result_a.status == result_b.status == "ok"
+            # The replayed copy carries its own id and the marker.
+            assert result_b.job_id == second["job_id"]
+            assert result_b.payload["deduped_from"] == first["job_id"]
+            assert "deduped_from" not in result_a.payload
+            stats = server.scheduler
+            assert stats.executed == 1
+            assert stats.coalesced == 1
+            assert stats.completed == 1
+        finally:
+            a.close()
+            b.close()
+
+    def test_fan_out_to_many_clients(self, tmp_path, gate_kind):
+        server, sock_path = start_daemon(tmp_path)
+        clients = [
+            ServeClient(socket_path=sock_path, timeout=15.0)
+            for _ in range(4)
+        ]
+        try:
+            acks = [
+                client.submit({"kind": "gate", "gate": "fan", "key": "k"})
+                for client in clients
+            ]
+            assert [ack["coalesced"] for ack in acks] == [
+                False, True, True, True,
+            ]
+            open_gate("fan")
+            results = [
+                client.wait_result(ack["id"])
+                for client, ack in zip(clients, acks)
+            ]
+            assert all(r.status == "ok" for r in results)
+            assert server.scheduler.executed == 1
+            assert server.scheduler.coalesced == 3
+        finally:
+            for client in clients:
+                client.close()
+
+    def test_queued_duplicates_coalesce_without_queue_slots(
+        self, tmp_path, gate_kind
+    ):
+        # One slot in flight, one queue slot — yet any number of
+        # duplicates of the queued job are admitted (they attach).
+        server, sock_path = start_daemon(
+            tmp_path, max_inflight=1, max_queue=1
+        )
+        a = ServeClient(socket_path=sock_path, timeout=15.0)
+        b = ServeClient(socket_path=sock_path, timeout=15.0)
+        try:
+            a.submit({"kind": "gate", "gate": "head"})  # occupies the pool
+            queued = a.submit({"kind": "gate", "gate": "q", "key": "dup"})
+            assert server.scheduler.queue_depth == 1  # queue now full
+            twin = b.submit({"kind": "gate", "gate": "q", "key": "dup"})
+            assert twin["coalesced"] is True
+            from repro.serve.client import Rejected
+
+            with pytest.raises(Rejected):  # a *distinct* job is shed
+                b.submit({"kind": "gate", "gate": "other"})
+            open_gate("head")
+            open_gate("q")
+            assert a.wait_result(queued["id"]).status == "ok"
+            assert b.wait_result(twin["id"]).status == "ok"
+        finally:
+            a.close()
+            b.close()
+
+    def test_owner_disconnect_reassigns_shared_flight(
+        self, tmp_path, gate_kind
+    ):
+        server, sock_path = start_daemon(tmp_path, max_inflight=1)
+        owner = ServeClient(socket_path=sock_path, timeout=15.0)
+        survivor = ServeClient(socket_path=sock_path, timeout=15.0)
+        try:
+            owner.submit({"kind": "gate", "gate": "head"})
+            shared = owner.submit(
+                {"kind": "gate", "gate": "s", "key": "shared"}
+            )
+            twin = survivor.submit(
+                {"kind": "gate", "gate": "s", "key": "shared"}
+            )
+            assert twin["coalesced"] is True
+            owner.close()
+            wait_until(lambda: len(server._connections) == 1)
+            open_gate("head")
+            open_gate("s")
+            result = survivor.wait_result(twin["id"])
+            assert result.status == "ok"
+            # The survivor's copy replays the (gone) owner's execution.
+            assert result.payload["deduped_from"] == shared["job_id"]
+        finally:
+            owner.close()
+            survivor.close()
+
+    def test_single_flight_can_be_disabled(self, tmp_path, gate_kind):
+        server, sock_path = start_daemon(
+            tmp_path, single_flight=False, max_inflight=2
+        )
+        with ServeClient(socket_path=sock_path, timeout=15.0) as client:
+            one = client.submit({"kind": "gate", "gate": "x", "key": "k"})
+            two = client.submit({"kind": "gate", "gate": "x", "key": "k"})
+            assert two["coalesced"] is False
+            open_gate("x")
+            done = {rid for rid, _, _ in client.iter_results()}
+            assert done == {one["id"], two["id"]}
+            assert server.scheduler.executed == 2
+            assert server.scheduler.coalesced == 0
+
+
+class TestFairness:
+    def test_round_robin_oldest_job_per_client(self, tmp_path, gate_kind):
+        server, sock_path = start_daemon(tmp_path, max_inflight=1)
+        a = ServeClient(socket_path=sock_path, timeout=15.0)
+        b = ServeClient(socket_path=sock_path, timeout=15.0)
+        try:
+            a.submit({"kind": "gate", "gate": "head"})  # holds the slot
+            for note in ("a1", "a2", "a3"):
+                a.submit({"kind": "record", "note": note})
+            b.submit({"kind": "record", "note": "b1"})
+            wait_until(lambda: server.scheduler.queue_depth == 4)
+            open_gate("head")
+            wait_until(lambda: server.scheduler.completed == 5)
+            # B's lone job is not starved behind A's backlog: dispatch
+            # alternates clients, oldest job first within each.
+            assert RECORD == ["a1", "b1", "a2", "a3"]
+        finally:
+            a.close()
+            b.close()
+
+
+class TestServeMatchesBatch:
+    def _mixed_jobs(self):
+        program = (
+            'var s = symbol("s", "");\n'
+            'if (/^a(b|c)+$/.test(s)) { 1; } else { 2; }\n'
+        )
+        mixed = []
+        for i in range(4):
+            # Every client submits the same duplicated solve patterns —
+            # the cross-client coalescing case.
+            mixed.append(
+                [
+                    SolveJob(job_id=f"c{i}-s0", pattern="x(y|z)+w"),
+                    SolveJob(job_id=f"c{i}-s1", pattern="x(y|z)+w"),
+                    SolveJob(job_id=f"c{i}-s2", pattern="p+q", negate=True),
+                    SolveJob(job_id=f"c{i}-s3", pattern=f"u{{{i + 1}}}v"),
+                    SolveJob(job_id=f"c{i}-s4", pattern="[0-9]+-[a-f]+"),
+                    AnalyzeJob(
+                        job_id=f"c{i}-a0", source=program,
+                        max_tests=4, time_budget=5.0,
+                    ),
+                    AnalyzeJob(
+                        job_id=f"c{i}-a1", source=program,
+                        max_tests=4, time_budget=5.0,
+                    ),
+                    SurveyJob(
+                        job_id=f"c{i}-v0",
+                        package_files=[["var r = /a(b)c/; var t = /d+/;"]],
+                    ),
+                    SolveJob(job_id=f"c{i}-s5", pattern="m[no]p"),
+                    SolveJob(job_id=f"c{i}-s6", pattern="x(y|z)+w"),
+                ]
+            )
+        return mixed
+
+    def test_four_clients_forty_jobs_match_batch(
+        self, tmp_path, gate_kind
+    ):
+        per_client = self._mixed_jobs()
+        server, sock_path = start_daemon(tmp_path)
+        # Hold the pipeline so every duplicate is submitted while its
+        # twin is still queued — the coalesce window is deterministic.
+        warmup = ServeClient(socket_path=sock_path, timeout=60.0)
+        warmup.submit({"kind": "gate", "gate": "open"})
+        collected = {}
+        errors = []
+
+        def run_client(client_jobs):
+            try:
+                with ServeClient(
+                    socket_path=sock_path, timeout=120.0
+                ) as client:
+                    results = client.run(
+                        [job.to_spec() for job in client_jobs]
+                    )
+                    for job, result in zip(client_jobs, results):
+                        collected[job.job_id] = result
+            except Exception as exc:  # surface in the main thread
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=run_client, args=(client_jobs,))
+            for client_jobs in per_client
+        ]
+        for thread in threads:
+            thread.start()
+        wait_until(lambda: server.scheduler.submitted == 41, timeout=30.0)
+        open_gate("open")
+        for thread in threads:
+            thread.join(timeout=120.0)
+        warmup.close()
+        assert not errors
+        assert len(collected) == 40
+        assert all(r.status == "ok" for r in collected.values())
+        # Duplicates coalesced across clients (counter-asserted): 12
+        # copies of x(y|z)+w → 1 execution, 4 copies each of the other
+        # repeated specs → 1 execution each.
+        assert server.scheduler.coalesced >= 11
+        assert server.scheduler.executed < 40
+
+        # The daemon's results aggregate exactly like the same jobs run
+        # through the classic batch path (order-independent merging).
+        flat = [job for client_jobs in per_client for job in client_jobs]
+        batch = BatchRunner(RunnerConfig(workers=0, dedup=True)).run(flat)
+        served = list(collected.values())
+        batch_solve = merge_solve(
+            [r for r in batch.results if r.kind == "solve"]
+        )
+        serve_solve = merge_solve(
+            [r for r in served if r.kind == "solve"]
+        )
+        for field in ("jobs", "solved", "unsolved", "failed_jobs"):
+            assert serve_solve[field] == batch_solve[field]
+        batch_survey = merge_survey(
+            [r for r in batch.results if r.kind == "survey"]
+        )
+        serve_survey = merge_survey(
+            [r for r in served if r.kind == "survey"]
+        )
+        assert serve_survey.total_regexes == batch_survey.total_regexes
+        assert serve_survey.unique_regexes == batch_survey.unique_regexes
+        solved_words = {
+            r.job_id: r.payload.get("word")
+            for r in served
+            if r.kind == "solve"
+        }
+        batch_words = {
+            r.job_id: r.payload.get("word")
+            for r in batch.results
+            if r.kind == "solve"
+        }
+        assert solved_words == batch_words

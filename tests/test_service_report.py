@@ -1,5 +1,7 @@
 """Tests for batch report merging and rendering."""
 
+import random
+
 from repro.service import (
     BatchReport,
     BatchRunner,
@@ -182,6 +184,72 @@ class TestBatchReport:
         assert "jobs:" in text
         assert "query cache:" in text
         assert "Total Regex" in text  # table 5 section
+
+    def test_report_is_order_independent(self):
+        """Streamed (as-completed) result order must not change a report.
+
+        The serve daemon delivers results in completion order; the same
+        result set arriving in any permutation has to render the exact
+        same bytes — including float aggregates, whose summation order
+        would otherwise drift in the last bits.
+        """
+        results = [
+            analyze_result(
+                f"a{i}", 5 + i, 10,
+                solver_seconds=0.1 * (10 ** (i % 5)) + 1e-9,
+                wall_time=0.3 * (7 ** (i % 3)),
+            )
+            for i in range(8)
+        ]
+        results += [
+            JobResult(
+                job_id=f"s{i}", kind="solve", status="ok",
+                payload={
+                    "found": i % 2 == 0,
+                    "solver_queries": i,
+                    "solver_seconds": 0.01 * (3 ** i) + 1e-10,
+                    "backend_tallies": {
+                        "native": {
+                            "queries": i, "sat": i, "unsat": 0,
+                            "unknown": 0, "errors": 0,
+                            "seconds": 0.001 * (5 ** (i % 4)),
+                        }
+                    },
+                },
+            )
+            for i in range(6)
+        ]
+        results.append(
+            JobResult(
+                job_id="bad", kind="solve", status="error",
+                error="Boom\nlast line",
+            )
+        )
+
+        def render(ordering):
+            return format_batch_report(
+                BatchReport(results=list(ordering), wall_time=2.0, workers=2)
+            )
+
+        reference = render(results)
+        rng = random.Random(1909)
+        for _ in range(5):
+            shuffled = list(results)
+            rng.shuffle(shuffled)
+            assert render(shuffled) == reference
+
+    def test_of_kind_is_canonically_ordered(self):
+        report = BatchReport(
+            results=[
+                JobResult(job_id="s2", kind="solve", status="ok"),
+                JobResult(job_id="s0", kind="solve", status="ok"),
+                JobResult(job_id="a0", kind="analyze", status="ok"),
+                JobResult(job_id="s1", kind="solve", status="ok"),
+            ]
+        )
+        assert [r.job_id for r in report.of_kind("solve")] == [
+            "s0", "s1", "s2",
+        ]
 
     def test_format_lists_failed_jobs(self):
         report = BatchReport(

@@ -1,5 +1,9 @@
 """Tests for the worker-pool batch runner."""
 
+import threading
+import time
+from dataclasses import dataclass
+
 import pytest
 
 from repro.service import (
@@ -9,6 +13,8 @@ from repro.service import (
     SolveJob,
     SurveyJob,
 )
+from repro.service.jobs import _JobBase
+from repro.service.runner import replay_result
 
 PROGRAM = (
     'var s = symbol("s", "");\n'
@@ -83,6 +89,131 @@ class TestPool:
         assert report.results[0].status == "error"
         assert report.results[1].status == "ok"
         assert report.by_status() == {"error": 1, "ok": 1}
+
+
+@dataclass
+class NapJob(_JobBase):
+    """Sleeps, then reports — for as-completed ordering assertions.
+
+    Only usable with the inline runner (``workers=0``): the class is
+    test-local, so a pool worker process could not unpickle its spec.
+    """
+
+    duration: float = 0.0
+
+    KIND = "nap"
+
+    def _run(self, solver_factory) -> dict:
+        time.sleep(self.duration)
+        return {"duration": self.duration}
+
+
+@pytest.fixture
+def nap_kind(monkeypatch):
+    from repro.service import jobs
+
+    monkeypatch.setitem(jobs._JOB_KINDS, "nap", NapJob)
+
+
+class TestPersistentPool:
+    """The start/submit/run_iter/close seam the serve daemon sits on."""
+
+    def test_submit_before_start_raises(self):
+        with pytest.raises(RuntimeError):
+            BatchRunner(workers=0).submit(
+                SolveJob(job_id="s", pattern="a"), lambda result: None
+            )
+
+    def test_submit_delivers_on_completion(self):
+        done = threading.Event()
+        landed = []
+        with BatchRunner(workers=0) as runner:
+            assert runner.started
+            runner.submit(
+                SolveJob(job_id="s0", pattern="a+b"),
+                lambda result: (landed.append(result), done.set()),
+            )
+            assert done.wait(timeout=60.0)
+        assert landed[0].job_id == "s0"
+        assert landed[0].status == "ok"
+        assert not runner.started  # context exit closed the pool
+
+    def test_submit_reuses_the_inline_cache(self):
+        done = threading.Event()
+        landed = []
+
+        def on_done(result):
+            landed.append(result)
+            if len(landed) == 2:
+                done.set()
+
+        with BatchRunner(workers=0) as runner:
+            runner.submit(SolveJob(job_id="s0", pattern="q(r)+s"), on_done)
+            runner.submit(SolveJob(job_id="s1", pattern="q(r)+s"), on_done)
+            assert done.wait(timeout=60.0)
+        assert sum(r.cache_hits for r in landed) >= 1
+
+    def test_run_iter_yields_as_completed(self, nap_kind):
+        runner = BatchRunner(
+            RunnerConfig(workers=0, inline_concurrency=2)
+        )
+        jobs = [
+            NapJob(job_id="slow", duration=0.5),
+            NapJob(job_id="fast", duration=0.0),
+        ]
+        order = [
+            result.job_id for _, result in runner.run_iter(jobs)
+        ]
+        assert order == ["fast", "slow"]  # not submission order
+
+    def test_run_iter_indices_follow_submission(self, nap_kind):
+        runner = BatchRunner(workers=0)
+        jobs = [NapJob(job_id=f"n{i}") for i in range(3)]
+        pairs = list(runner.run_iter(jobs))
+        assert {index for index, _ in pairs} == {0, 1, 2}
+        for index, result in pairs:
+            assert result.job_id == f"n{index}"
+
+    def test_run_iter_timeout_yields_timeout_result(self, nap_kind):
+        runner = BatchRunner(RunnerConfig(workers=0, job_timeout=0.2))
+        jobs = [NapJob(job_id="stuck", duration=5.0)]
+        (_, result), = runner.run_iter(jobs)
+        assert result.status == "timeout"
+        assert result.job_id == "stuck"
+
+    def test_pool_mode_submit(self):
+        with BatchRunner(workers=2, job_timeout=120.0) as runner:
+            done = threading.Event()
+            landed = []
+            runner.submit(
+                SolveJob(job_id="p0", pattern="a[bc]+d"),
+                lambda result: (landed.append(result), done.set()),
+            )
+            assert done.wait(timeout=120.0)
+        assert landed[0].status == "ok"
+        assert landed[0].payload["found"] is True
+
+    def test_close_is_idempotent(self):
+        runner = BatchRunner(workers=0).start()
+        runner.close()
+        runner.close()
+        assert not runner.started
+
+
+class TestReplayResult:
+    def test_replay_marks_and_zeroes(self):
+        rep_job = SolveJob(job_id="rep", pattern="a+")
+        dup_job = SolveJob(job_id="dup", pattern="a+")
+        rep_result = rep_job.run()
+        replayed = replay_result(dup_job, rep_job, rep_result)
+        assert replayed.job_id == "dup"
+        assert replayed.status == rep_result.status
+        assert replayed.payload["deduped_from"] == "rep"
+        assert replayed.payload["solver_queries"] == 0
+        assert replayed.seconds == 0.0
+        assert replayed.cache_hits == 0
+        # The representative's own result is untouched.
+        assert "deduped_from" not in rep_result.payload
 
 
 class TestConfig:

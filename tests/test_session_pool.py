@@ -9,6 +9,7 @@ one-shot ``smtlib:`` backend's on the same corpus.
 
 import stat
 import textwrap
+import time as time_module
 import threading
 
 import pytest
@@ -480,3 +481,69 @@ class TestEquivalenceWithOneShot:
         assert tally["spawns"] == 1  # whole corpus on one process
         assert tally["queries"] == len(formulas)
         pool.close()
+
+
+class TestIdleReaper:
+    """``--session-idle-s``: parked sessions are closed, not pinned."""
+
+    def _park_one(self, tmp_path, pool):
+        cmd = fake_solver(tmp_path)
+        backend = PooledSessionBackend(cmd, pool=pool)
+        assert backend.solve(membership("a+b")).status == UNSAT
+        assert pool.idle_count(cmd) == 1
+        return cmd
+
+    def test_reap_idle_closes_stale_sessions(self, tmp_path):
+        pool = SessionPool()
+        cmd = self._park_one(tmp_path, pool)
+        assert pool.reap_idle(max_idle=0.0) == 1
+        assert pool.reaped == 1
+        assert pool.idle_count(cmd) == 0
+        # The next checkout simply spawns fresh.
+        stats = SolverStats()
+        backend = PooledSessionBackend(cmd, stats=stats, pool=pool)
+        assert backend.solve(membership("c+d")).status == UNSAT
+        assert stats.session_summary()[backend.name]["spawns"] == 1
+        pool.close()
+
+    def test_recently_parked_sessions_survive(self, tmp_path):
+        pool = SessionPool()
+        cmd = self._park_one(tmp_path, pool)
+        assert pool.reap_idle(max_idle=60.0) == 0
+        assert pool.idle_count(cmd) == 1
+        pool.close()
+
+    def test_unarmed_reap_is_a_noop(self, tmp_path):
+        pool = SessionPool()
+        cmd = self._park_one(tmp_path, pool)
+        assert pool.reap_idle() == 0  # no idle_timeout armed
+        assert pool.idle_count(cmd) == 1
+        pool.close()
+
+    def test_leased_sessions_are_never_reaped(self, tmp_path):
+        pool = SessionPool()
+        cmd = fake_solver(tmp_path)
+        with pool.checkout(cmd):
+            assert pool.reap_idle(max_idle=0.0) == 0
+        assert pool.idle_count(cmd) == 1  # released after the reap
+        pool.close()
+
+    def test_reaper_thread_closes_idle_sessions(self, tmp_path):
+        pool = SessionPool()
+        cmd = self._park_one(tmp_path, pool)
+        pool.set_idle_timeout(0.05)
+        deadline = time_module.monotonic() + 10.0
+        while pool.idle_count(cmd) and time_module.monotonic() < deadline:
+            threading.Event().wait(0.02)
+        assert pool.idle_count(cmd) == 0
+        assert pool.reaped >= 1
+        pool.close()
+
+    def test_close_stops_the_reaper(self, tmp_path):
+        pool = SessionPool()
+        pool.set_idle_timeout(0.05)
+        reaper = pool._reaper
+        assert reaper is not None and reaper.is_alive()
+        pool.close()
+        reaper.join(timeout=5.0)
+        assert not reaper.is_alive()
