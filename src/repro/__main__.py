@@ -35,6 +35,13 @@ gauge / histogram snapshot), and ``--slow-query-ms MS`` (log solver
 queries over the threshold with fingerprint, route, backend, and
 refinement depth) — see :mod:`repro.obs`.
 
+``batch``/``serve`` accept the fault-tolerance flags ``--retry-max N``
+/ ``--retry-backoff-s S`` (re-dispatch jobs whose worker crashed or
+timed out, with exponential backoff and deterministic jitter),
+``--quarantine-after N`` (poison-job fuse), and ``--fault-plan FILE``
+(chaos-testing fault injection; see :mod:`repro.faults`); ``submit
+--health`` prints the daemon's liveness/readiness report.
+
 - ``survey [-n N]`` — regenerate the §7.1 survey tables;
 - ``smtlib PATTERN [-f FLAGS]`` — print the membership model as SMT-LIB;
 - ``dot PATTERN`` — print the DFA of a classical regex as Graphviz DOT.
@@ -289,6 +296,10 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     else:
         print("batch: provide mini-JS FILEs or --survey", file=sys.stderr)
         return 2
+    fault_plan = None
+    if args.fault_plan:
+        with open(args.fault_plan) as handle:
+            fault_plan = json.load(handle)
     runner = BatchRunner(
         RunnerConfig(
             workers=args.workers,
@@ -304,6 +315,10 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             trace_format=args.trace_format,
             metrics_json=args.metrics_json,
             slow_query_ms=args.slow_query_ms,
+            retry_max=args.retry_max,
+            retry_backoff_s=args.retry_backoff_s,
+            quarantine_after=args.quarantine_after,
+            fault_plan=fault_plan,
         )
     )
     report = runner.run(jobs)
@@ -400,6 +415,28 @@ def build_parser() -> argparse.ArgumentParser:
         "cap the persistent query cache at N entries (age-based GC "
         "evicts the oldest entries past the cap)"
     )
+
+    def _add_fault_flags(command) -> None:
+        command.add_argument(
+            "--retry-max", type=int, default=0, metavar="N",
+            help="re-dispatch a job up to N times after a worker crash "
+            "or timeout (exponential backoff; 0 = fail fast)",
+        )
+        command.add_argument(
+            "--retry-backoff-s", type=float, default=0.25, metavar="S",
+            help="base backoff before the first retry (doubles per "
+            "attempt, deterministic jitter)",
+        )
+        command.add_argument(
+            "--quarantine-after", type=int, default=None, metavar="N",
+            help="quarantine a job after it kills N workers "
+            "(default: retry-max + 1)",
+        )
+        command.add_argument(
+            "--fault-plan", default=None, metavar="FILE",
+            help="JSON fault-injection plan (chaos testing; "
+            "faults are never active without one)",
+        )
 
     def _add_obs_flags(command) -> None:
         command.add_argument(
@@ -530,6 +567,7 @@ def build_parser() -> argparse.ArgumentParser:
         "single-flight executions before dispatch",
     )
     batch.add_argument("--json", help="also write the report as JSON")
+    _add_fault_flags(batch)
     _add_obs_flags(batch)
     batch.set_defaults(fn=_cmd_batch)
 
@@ -590,6 +628,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-single-flight", action="store_true",
         help="disable cross-client coalescing of identical jobs",
     )
+    _add_fault_flags(serve)
     _add_obs_flags(serve)
     serve.set_defaults(fn=_cmd_serve)
 
@@ -623,6 +662,11 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument(
         "--stats", action="store_true",
         help="print the daemon's stats (scheduler gauges + obs snapshot)",
+    )
+    submit.add_argument(
+        "--health", action="store_true",
+        help="print the daemon's health report (liveness, readiness, "
+        "pool/breaker state); exit 0 iff ready",
     )
     submit.add_argument(
         "--level", default="refined",

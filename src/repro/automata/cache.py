@@ -32,6 +32,7 @@ import os
 import pickle
 from typing import Callable, Dict, List, Optional
 
+from repro import faults
 from repro.obs import metrics as _metrics
 from repro.regex import ast
 from repro.regex.charclass import CharSet
@@ -168,6 +169,9 @@ class DfaDiskStore:
 
     def get(self, fingerprint: str) -> Optional[Dfa]:
         entry = self._entry(fingerprint)
+        # Chaos hook: an installed fault plan may scribble over the
+        # entry here, exercising the defensive read path below.
+        faults.corrupt_file("dfa_store:get", entry, fingerprint=fingerprint)
         try:
             with open(entry, "rb") as handle:
                 blob = pickle.load(handle)

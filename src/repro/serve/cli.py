@@ -76,6 +76,10 @@ def run_serve(args) -> int:
         # An inline daemon overlaps jobs on executor threads; size the
         # executor to the requested in-flight bound.
         inline_concurrency = args.max_inflight
+    fault_plan = None
+    if getattr(args, "fault_plan", None):
+        with open(args.fault_plan) as handle:
+            fault_plan = json.load(handle)
     runner = BatchRunner(
         RunnerConfig(
             workers=args.workers,
@@ -88,6 +92,10 @@ def run_serve(args) -> int:
             query_cache=args.query_cache,
             query_cache_max=args.query_cache_max,
             session_idle_s=args.session_idle_s,
+            retry_max=getattr(args, "retry_max", 0),
+            retry_backoff_s=getattr(args, "retry_backoff_s", 0.25),
+            quarantine_after=getattr(args, "quarantine_after", None),
+            fault_plan=fault_plan,
         )
     )
     server = ServeServer(
@@ -146,6 +154,7 @@ def run_submit(args) -> int:
         host=args.host,
         port=args.port,
         timeout=args.timeout,
+        reconnect=True,
     ) as client:
         if args.stats:
             frame = client.stats()
@@ -157,6 +166,10 @@ def run_submit(args) -> int:
                 )
             )
             return 0
+        if getattr(args, "health", False):
+            health = client.health()
+            print(json.dumps(health, indent=2, sort_keys=True))
+            return 0 if health.get("ready") else 1
         try:
             specs = _job_specs_from_args(args)
         except (OSError, ValueError) as exc:

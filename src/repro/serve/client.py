@@ -7,12 +7,22 @@ completion order, the client keeps a small pending table keyed by
 request id and surfaces results either per-request
 (:meth:`ServeClient.wait_result`) or as they land
 (:meth:`ServeClient.iter_results`).
+
+With ``reconnect=True`` the client survives a daemon restart: a
+request that hits a closed/refused connection redials with bounded
+exponential backoff and retries once.  Reconnection forgets pending
+submits — their results died with the old connection — so it is a
+*request-level* recovery (ping/stats/health/submit), not a resumption
+of in-flight streams; callers that lose a connection mid-batch
+resubmit.  Read *timeouts* are never retried: the connection is still
+alive, the answer is just slow, and redialing would abandon it.
 """
 
 from __future__ import annotations
 
 import itertools
 import socket
+import time
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.serve import protocol
@@ -36,6 +46,12 @@ class Rejected(ServeError):
         self.reason = reason
         self.frame = frame
 
+    @property
+    def retry_after(self) -> Optional[float]:
+        """The daemon's backoff hint (seconds), when it sent one."""
+        value = self.frame.get("retry_after")
+        return float(value) if value is not None else None
+
 
 class ServeClient:
     """One connection to a serve daemon."""
@@ -46,22 +62,37 @@ class ServeClient:
         host: Optional[str] = None,
         port: Optional[int] = None,
         timeout: Optional[float] = 300.0,
+        reconnect: bool = False,
+        reconnect_attempts: int = 5,
+        reconnect_backoff_s: float = 0.2,
     ):
-        if socket_path:
-            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-            sock.connect(socket_path)
-        elif port:
-            sock = socket.create_connection((host or "127.0.0.1", port))
-        else:
+        if not socket_path and not port:
             raise ValueError("need a socket path or a port")
-        sock.settimeout(timeout)
-        self._sock = sock
-        self._reader = sock.makefile("rb")
+        self._socket_path = socket_path
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._reconnect = reconnect
+        self._reconnect_attempts = max(1, reconnect_attempts)
+        self._reconnect_backoff_s = reconnect_backoff_s
         self._request_ids = itertools.count(1)
         #: request_id → ack frame, for submits awaiting their result.
         self._pending: Dict[object, dict] = {}
         #: result frames received while waiting on a different id.
         self._stashed: Dict[object, dict] = {}
+        self._connect()
+
+    def _connect(self) -> None:
+        if self._socket_path:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.connect(self._socket_path)
+        else:
+            sock = socket.create_connection(
+                (self._host or "127.0.0.1", self._port)
+            )
+        sock.settimeout(self._timeout)
+        self._sock = sock
+        self._reader = sock.makefile("rb")
 
     # -- context / teardown --------------------------------------------------
 
@@ -80,6 +111,32 @@ class ServeClient:
             self._sock.close()
         except OSError:
             pass
+
+    # -- reconnect -----------------------------------------------------------
+
+    def reconnect(self) -> None:
+        """Redial the daemon with bounded exponential backoff.
+
+        Pending submits and stashed results are forgotten: they belong
+        to the dead connection (the daemon dropped that client's stake
+        on disconnect).  Raises :class:`ConnectionError` when every
+        attempt fails.
+        """
+        self.close()
+        self._pending.clear()
+        self._stashed.clear()
+        last_error: Optional[Exception] = None
+        for attempt in range(self._reconnect_attempts):
+            try:
+                self._connect()
+                return
+            except OSError as exc:
+                last_error = exc
+                time.sleep(self._reconnect_backoff_s * 2**attempt)
+        raise ConnectionError(
+            f"could not reconnect after {self._reconnect_attempts} "
+            f"attempts: {last_error}"
+        )
 
     # -- frame transport -----------------------------------------------------
 
@@ -114,28 +171,59 @@ class ServeClient:
             if op == "result":
                 self._stashed[frame.get("id")] = frame
 
+    def _request(self, frame: dict, request_id, ops: Tuple[str, ...]) -> dict:
+        """One request/response exchange, reconnecting once when armed.
+
+        ``socket.timeout`` is re-raised *before* the ``OSError`` branch
+        it subclasses: a timed-out read means the connection is alive
+        and the answer slow — redialing would abandon it for nothing.
+        """
+        try:
+            self._send(frame)
+            return self._next_frame(request_id, ops)
+        except socket.timeout:
+            raise
+        except (ConnectionError, OSError):
+            if not self._reconnect:
+                raise
+            self.reconnect()
+            self._send(frame)
+            return self._next_frame(request_id, ops)
+
     # -- requests ------------------------------------------------------------
 
     def ping(self) -> None:
         request_id = f"ping-{next(self._request_ids)}"
-        self._send({"op": "ping", "id": request_id})
-        self._next_frame(request_id, ("pong",))
+        self._request({"op": "ping", "id": request_id}, request_id, ("pong",))
 
     def stats(self) -> dict:
         request_id = f"stats-{next(self._request_ids)}"
-        self._send({"op": "stats", "id": request_id})
-        return self._next_frame(request_id, ("stats",))
+        return self._request(
+            {"op": "stats", "id": request_id}, request_id, ("stats",)
+        )
+
+    def health(self) -> dict:
+        """The daemon's liveness/readiness report (``health`` op)."""
+        request_id = f"health-{next(self._request_ids)}"
+        frame = self._request(
+            {"op": "health", "id": request_id}, request_id, ("health",)
+        )
+        return frame.get("health", {})
 
     def submit(self, job_spec: dict) -> dict:
         """Submit one job spec; returns the ``queued`` ack frame.
 
-        Raises :class:`Rejected` on admission refusal.  The result
+        Raises :class:`Rejected` on admission refusal (its
+        ``retry_after`` carries the daemon's backoff hint).  The result
         arrives later — collect it with :meth:`wait_result` or
         :meth:`iter_results`.
         """
         request_id = f"req-{next(self._request_ids)}"
-        self._send({"op": "submit", "id": request_id, "job": job_spec})
-        ack = self._next_frame(request_id, ("queued", "rejected"))
+        ack = self._request(
+            {"op": "submit", "id": request_id, "job": job_spec},
+            request_id,
+            ("queued", "rejected"),
+        )
         if ack["op"] == "rejected":
             raise Rejected(ack.get("error", "rejected"), ack)
         self._pending[request_id] = ack

@@ -12,6 +12,7 @@ Requests (client → server)::
     {"op": "submit", "id": "r1", "job": {"kind": "solve", ...}}
     {"op": "stats",  "id": "r2"}
     {"op": "ping",   "id": "r3"}
+    {"op": "health", "id": "r4"}
 
 ``job`` is exactly the batch job-spec dict of
 :func:`repro.service.jobs.job_from_spec` (``kind`` +
@@ -21,7 +22,9 @@ Responses (server → client)::
 
     {"op": "queued",   "id": "r1", "job_id": ..., "coalesced": bool}
     {"op": "rejected", "id": "r1", "job_id": ..., "error":
-        "overloaded" | "draining", "queue_depth": N, "max_queue": N}
+        "overloaded" | "draining", "queue_depth": N, "max_queue": N,
+        "retry_after": seconds}
+    {"op": "health",   "id": "r4", "health": {"live": ..., "ready": ...}}
     {"op": "result",   "id": "r1", "job_id": ..., "coalesced": bool,
         "result": {JobResult spec}}
     {"op": "stats",    "id": "r2", "server": {...}, "obs": {...}}
@@ -49,7 +52,7 @@ from typing import Any, Optional
 MAX_FRAME_BYTES = 8 * 1024 * 1024
 
 #: Request operations the server understands.
-REQUEST_OPS = ("submit", "stats", "ping")
+REQUEST_OPS = ("submit", "stats", "ping", "health")
 
 #: ``rejected.error`` values (admission control outcomes).
 REJECT_OVERLOADED = "overloaded"
@@ -173,6 +176,10 @@ def stats_frame(request_id, server: dict, obs_snapshot: dict) -> dict:
 
 def pong_frame(request_id) -> dict:
     return {"op": "pong", "id": request_id}
+
+
+def health_frame(request_id, health: dict) -> dict:
+    return {"op": "health", "id": request_id, "health": health}
 
 
 def error_frame(code: str, detail: str = "", request_id=None) -> dict:

@@ -62,7 +62,10 @@ class _Waiter:
 class _Flight:
     """One execution: a representative job plus its attached waiters."""
 
-    __slots__ = ("job", "key", "owner", "waiters", "dispatched", "timer")
+    __slots__ = (
+        "job", "key", "owner", "waiters", "dispatched", "timer",
+        "attempt", "crashes", "last_result",
+    )
 
     def __init__(self, job: _JobBase, key: Optional[str], owner: str):
         self.job = job
@@ -71,6 +74,14 @@ class _Flight:
         self.waiters: List[_Waiter] = []
         self.dispatched = False
         self.timer: Optional[asyncio.TimerHandle] = None
+        #: Retry bookkeeping (see :meth:`JobScheduler._maybe_retry`):
+        #: redispatches so far, worker kills attributed to this job, and
+        #: the last failure result (delivered if a drain cuts the retry
+        #: short).  The flight object survives retries, so single-flight
+        #: waiters stay attached across a worker death.
+        self.attempt = 0
+        self.crashes = 0
+        self.last_result: Optional[JobResult] = None
 
 
 class JobScheduler:
@@ -107,9 +118,15 @@ class JobScheduler:
         self._rotation: Deque[str] = deque()
         self._by_key: Dict[str, _Flight] = {}
         self._inflight: Set[_Flight] = set()
+        #: Flights waiting out a retry backoff: not queued, not in
+        #: flight, but still owed a delivery (drain waits on them too).
+        self._retrying: Set[_Flight] = set()
         self._queued = 0
         self._idle_event = asyncio.Event()
         self._idle_event.set()
+        #: EWMA of completed-job runtimes, seeding the overload
+        #: ``retry-after`` hint before the first completion lands.
+        self._ewma_seconds = 0.5
         # -- lifetime counters (the daemon's /stats gauges) ----------------
         self.submitted = 0
         self.executed = 0
@@ -118,6 +135,8 @@ class JobScheduler:
         self.rejected = 0
         self.timeouts = 0
         self.results_dropped = 0
+        self.retries = 0
+        self.quarantined = 0
 
     # -- admission -----------------------------------------------------------
 
@@ -194,21 +213,35 @@ class JobScheduler:
             flight.timer = self.loop.call_later(
                 self.job_timeout, self._on_timeout, flight
             )
+        # Completions are attempt-tagged: a dead worker's job can be
+        # redispatched while the runner's monitor is still settling the
+        # old attempt, and the stale delivery must not be mistaken for
+        # the new attempt's answer.
+        attempt = flight.attempt
         self.runner.submit(
             flight.job,
-            lambda result: self.loop.call_soon_threadsafe(
-                self._on_complete, flight, result
+            lambda result, attempt=attempt: self.loop.call_soon_threadsafe(
+                self._on_complete, flight, result, attempt
             ),
         )
 
-    def _on_complete(self, flight: _Flight, result: JobResult) -> None:
+    def _on_complete(
+        self,
+        flight: _Flight,
+        result: JobResult,
+        attempt: Optional[int] = None,
+    ) -> None:
         if flight not in self._inflight:
             return  # already timed out; late worker result dropped
+        if attempt is not None and attempt != flight.attempt:
+            return  # stale delivery from a superseded attempt
         self._inflight.discard(flight)
         if flight.timer is not None:
             flight.timer.cancel()
             flight.timer = None
-        self._finish(flight, result)
+        if self._maybe_retry(flight, result):
+            return
+        self._finalize(flight, result)
 
     def _on_timeout(self, flight: _Flight) -> None:
         if flight not in self._inflight:
@@ -216,24 +249,72 @@ class JobScheduler:
         self._inflight.discard(flight)
         flight.timer = None
         self.timeouts += 1
-        self._finish(
-            flight,
-            JobResult(
-                job_id=flight.job.job_id,
-                kind=flight.job.KIND,
-                status="timeout",
-                seconds=self.job_timeout,
-                error=(
-                    "job exceeded the scheduler's "
-                    f"{self.job_timeout}s backstop"
-                ),
+        result = JobResult(
+            job_id=flight.job.job_id,
+            kind=flight.job.KIND,
+            status="timeout",
+            seconds=self.job_timeout,
+            error=(
+                "job exceeded the scheduler's "
+                f"{self.job_timeout}s backstop"
             ),
         )
+        if self._maybe_retry(flight, result):
+            return
+        self._finalize(flight, result)
+
+    # -- retry ---------------------------------------------------------------
+
+    def _maybe_retry(self, flight: _Flight, result: JobResult) -> bool:
+        """Re-queue a crashed/timed-out flight under the runner's retry
+        policy.  The flight object (and so its coalesced waiters) is
+        retained: it stays out of ``_inflight`` during the backoff but
+        keeps its ``_by_key`` slot, so new submitters coalesce onto the
+        retry instead of racing it."""
+        policy = self.runner.retry
+        kind = policy.classify(result)
+        if kind == "crash":
+            flight.crashes += 1
+        if kind is None or self.draining:
+            return False
+        if not policy.should_retry(kind, flight.attempt, flight.crashes):
+            return False
+        flight.attempt += 1
+        flight.last_result = result
+        self.retries += 1
+        self._retrying.add(flight)
+        flight.timer = self.loop.call_later(
+            policy.delay(flight.attempt, flight.job.job_id),
+            self._redispatch,
+            flight,
+        )
+        return True
+
+    def _redispatch(self, flight: _Flight) -> None:
+        self._retrying.discard(flight)
+        flight.timer = None
+        if self.draining:
+            # The drain barrier is waiting on this flight: deliver the
+            # failure it would have retried instead of racing the pool
+            # teardown with a fresh dispatch.
+            self._finalize(flight, flight.last_result)
+            return
+        self._dispatch(flight)
+
+    def _finalize(self, flight: _Flight, result: JobResult) -> None:
+        self.runner.retry.finalize(result, flight.attempt, flight.crashes)
+        if result.status == "quarantined":
+            self.quarantined += 1
+        self._finish(flight, result)
 
     def _finish(self, flight: _Flight, result: JobResult) -> None:
         if flight.key is not None:
             self._by_key.pop(flight.key, None)
         self.completed += 1
+        if result.seconds > 0:
+            # EWMA of job runtimes, feeding the overload retry-after
+            # hint; alpha 0.2 smooths over the bimodal cold/warm split.
+            self._ewma_seconds += 0.2 * (result.seconds - self._ewma_seconds)
         if not flight.waiters:
             # Every submitter disconnected mid-job: the work completed
             # (the slot is recycled either way), the result is dropped.
@@ -274,7 +355,11 @@ class JobScheduler:
                 continue
             flight.owner = survivor.client_id
             self._enqueue(survivor.client_id, flight, oldest_first=True)
-        for flights in (self._inflight, *map(tuple, self._queues.values())):
+        for flights in (
+            self._inflight,
+            self._retrying,
+            *map(tuple, self._queues.values()),
+        ):
             for flight in flights:
                 flight.waiters = [
                     w
@@ -287,12 +372,13 @@ class JobScheduler:
     # -- drain ---------------------------------------------------------------
 
     def _check_idle(self) -> None:
-        if not self._inflight and not self._queued:
+        if not self._inflight and not self._queued and not self._retrying:
             self._idle_event.set()
 
     async def wait_idle(self) -> None:
-        """Block until no job is queued or in flight (drain barrier)."""
-        while self._inflight or self._queued:
+        """Block until no job is queued, in flight, or awaiting a retry
+        backoff (drain barrier)."""
+        while self._inflight or self._queued or self._retrying:
             self._idle_event.clear()
             await self._idle_event.wait()
 
@@ -305,6 +391,16 @@ class JobScheduler:
     @property
     def in_flight(self) -> int:
         return len(self._inflight)
+
+    def retry_after_hint(self) -> float:
+        """Seconds an overload-rejected client should wait before
+        retrying: the backlog it would sit behind, paced by the EWMA
+        job runtime spread over the pool's slots.  Clamped to
+        ``[0.1, 60]`` so a cold estimate can't tell clients to hammer
+        or to give up."""
+        backlog = self._queued + len(self._inflight) + 1
+        per_slot = self._ewma_seconds / max(1, self.max_inflight)
+        return min(60.0, max(0.1, round(backlog * per_slot, 3)))
 
     def stats(self) -> dict:
         return {
@@ -320,5 +416,7 @@ class JobScheduler:
             "rejected": self.rejected,
             "timeouts": self.timeouts,
             "results_dropped": self.results_dropped,
+            "retries": self.retries,
+            "quarantined": self.quarantined,
             "draining": self.draining,
         }

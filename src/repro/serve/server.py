@@ -30,7 +30,8 @@ import threading
 from dataclasses import dataclass
 from typing import Dict, Optional, Set
 
-from repro import obs
+from repro import faults, obs
+from repro.faults.breaker import breakers_snapshot
 from repro.obs import metrics
 from repro.obs.export import ObsRun
 from repro.serve import protocol
@@ -38,6 +39,7 @@ from repro.serve.scheduler import JobScheduler, Overloaded
 from repro.service.jobs import JobResult, job_from_spec
 from repro.service.runner import BatchRunner
 from repro.solver.backends import reset_session_pool
+from repro.solver.backends.pool import get_session_pool
 
 
 @dataclass
@@ -63,8 +65,29 @@ class _Connection:
         self.closing = False
 
     def send(self, frame: dict) -> None:
-        if not self.closing:
-            self.outbox.put_nowait(protocol.encode_frame(frame))
+        if self.closing:
+            return
+        encoded = protocol.encode_frame(frame)
+        if faults.enabled():
+            # Chaos hook: drop or delay one outbound frame, exercising
+            # the client's reconnect/timeout recovery paths.
+            rule = faults.fire(
+                "serve:frame", op=frame.get("op"), client=self.client_id
+            )
+            if rule is not None:
+                if rule.action == "drop":
+                    return
+                if rule.action == "delay":
+                    try:
+                        asyncio.get_running_loop().call_later(
+                            rule.delay_s or 0.5,
+                            self.outbox.put_nowait,
+                            encoded,
+                        )
+                        return
+                    except RuntimeError:
+                        pass  # off-loop caller: deliver undelayed
+        self.outbox.put_nowait(encoded)
 
     def close(self) -> None:
         if not self.closing:
@@ -218,6 +241,39 @@ class ServeServer:
         )
         return stats
 
+    def health(self) -> dict:
+        """Liveness + readiness, for the wire ``health`` op.
+
+        ``live`` means the event loop is answering at all (trivially
+        true when this runs); ``ready`` means the daemon is accepting
+        work and its pool has live workers — a draining daemon or one
+        whose every worker died reports unready so a supervisor can
+        rotate it out before clients pile up on timeouts.
+        """
+        pool = self.runner.pool_health()
+        scheduler = self.scheduler.stats() if self.scheduler else {}
+        workers_ok = (
+            pool.get("mode") != "pool"
+            or pool.get("workers_alive", 0) > 0
+        )
+        draining = bool(scheduler.get("draining"))
+        health = {
+            "live": True,
+            "ready": bool(not draining and workers_ok),
+            "draining": draining,
+            "runner": pool,
+            "queue_depth": scheduler.get("queue_depth", 0),
+            "in_flight": scheduler.get("in_flight", 0),
+            "retries": scheduler.get("retries", 0),
+            "quarantined": scheduler.get("quarantined", 0),
+            "session_pool": {"idle_sessions": get_session_pool().idle_count()},
+            "breakers": breakers_snapshot(),
+        }
+        faults_snapshot = faults.snapshot()
+        if faults_snapshot:
+            health["faults"] = faults_snapshot
+        return health
+
     # -- connection handling -------------------------------------------------
 
     async def _handle_connection(
@@ -300,6 +356,10 @@ class ServeServer:
                     request.request_id, self.server_stats(), obs.snapshot()
                 )
             )
+        elif request.op == "health":
+            connection.send(
+                protocol.health_frame(request.request_id, self.health())
+            )
         else:
             self._handle_submit(connection, request)
 
@@ -341,6 +401,7 @@ class ServeServer:
                     exc.reason,
                     queue_depth=self.scheduler.queue_depth,
                     max_queue=self.scheduler.max_queue,
+                    retry_after=self.scheduler.retry_after_hint(),
                 )
             )
             return

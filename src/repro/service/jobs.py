@@ -157,12 +157,15 @@ class JobResult:
 
     job_id: str
     kind: str
-    status: str  # "ok" | "error" | "timeout"
+    status: str  # "ok" | "error" | "timeout" | "quarantined"
     seconds: float = 0.0
     payload: Dict[str, object] = field(default_factory=dict)
     error: Optional[str] = None
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Re-dispatches this job took before its terminal result (stamped
+    #: by the runner's / scheduler's RetryPolicy; 0 on the fast path).
+    retries: int = 0
 
     def to_spec(self) -> dict:
         return asdict(self)
@@ -311,6 +314,11 @@ class AnalyzeJob(_JobBase):
             "backend_tallies": result.stats.backend_summary(),
             "session_tallies": result.stats.session_summary(),
             "route_tallies": result.stats.route_summary(),
+            **(
+                {"breaker_tallies": result.stats.breaker_summary()}
+                if result.stats.breaker_summary()
+                else {}
+            ),
             "automata_cache": result.stats.automata_summary(),
             "covered": len(result.covered),
             "statement_count": result.statement_count,
@@ -433,6 +441,11 @@ class SolveJob(_JobBase):
         payload["backend_tallies"] = stats.backend_summary()
         payload["session_tallies"] = stats.session_summary()
         payload["route_tallies"] = stats.route_summary()
+        breaker_tallies = stats.breaker_summary()
+        if breaker_tallies:
+            # Only when a breaker actually transitioned: the common
+            # no-trip payload stays byte-identical to earlier releases.
+            payload["breaker_tallies"] = breaker_tallies
         stats.record_automata(
             counters_delta(automata0, automata_cache_counters())
         )

@@ -77,6 +77,17 @@ class BatchReport:
         lookups = self.cache_hits + self.cache_misses
         return self.cache_hits / lookups if lookups else 0.0
 
+    @property
+    def total_retries(self) -> int:
+        """Worker-crash/timeout redispatches absorbed across the batch."""
+        return sum(getattr(r, "retries", 0) for r in self.results)
+
+    @property
+    def quarantined_jobs(self) -> int:
+        return sum(
+            1 for r in self.results if r.status == "quarantined"
+        )
+
     def by_status(self) -> Dict[str, int]:
         counts: Dict[str, int] = {}
         for result in self.results:
@@ -108,6 +119,10 @@ class BatchReport:
             "routes": merge_route_tallies(self.results),
             "sessions": merge_session_tallies(self.results),
             "statuses": self.by_status(),
+            "recovery": {
+                "retries": self.total_retries,
+                "quarantined": self.quarantined_jobs,
+            },
             "observability": {
                 "trace_path": self.trace_path,
                 "metrics_path": self.metrics_path,
@@ -442,6 +457,11 @@ def format_batch_report(report: BatchReport) -> str:
             f"dedup:       {report.jobs_submitted} submitted, "
             f"{report.jobs_executed} executed, "
             f"{report.jobs_coalesced} coalesced"
+        )
+    if report.total_retries or report.quarantined_jobs:
+        lines.append(
+            f"recovery:    {report.total_retries} retries, "
+            f"{report.quarantined_jobs} quarantined"
         )
 
     analyze = report.of_kind("analyze")

@@ -40,7 +40,7 @@ from dataclasses import dataclass
 from time import perf_counter
 from typing import Dict, Optional, Tuple
 
-from repro import obs
+from repro import faults, obs
 from repro.constraints.formulas import Formula
 from repro.constraints.printer import canonical_fingerprint
 from repro.constraints.terms import StrVar, Value
@@ -109,6 +109,9 @@ class QueryDiskStore:
 
     def get(self, fingerprint: str) -> Optional[CachedResult]:
         entry = self._entry(fingerprint)
+        # Chaos hook: an installed fault plan may scribble over the
+        # entry here, exercising the defensive read path below.
+        faults.corrupt_file("query_store:get", entry, fingerprint=fingerprint)
         try:
             with open(entry, "rb") as handle:
                 blob = pickle.load(handle)

@@ -47,6 +47,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro import obs
 from repro.constraints.formulas import Formula
+from repro.faults.breaker import get_breaker
 from repro.solver.core import SolverResult, UNKNOWN
 from repro.solver.stats import SolverStats
 
@@ -361,6 +362,11 @@ class PooledSessionBackend(SolverBackend):
         self._pool = pool
         self._available: Optional[bool] = None
         self.last_error: Optional[str] = None
+        #: Per-command circuit breaker (process-global, shared with the
+        #: raw sessions that feed it).  This is the *gate*: while open,
+        #: queries short-circuit to UNKNOWN without touching the pool,
+        #: and the router's fallback answers natively instead.
+        self.breaker = get_breaker(self.name)
 
     @property
     def pool(self) -> SessionPool:
@@ -373,12 +379,25 @@ class PooledSessionBackend(SolverBackend):
             self._available = probe_solver_command(self.command) is None
         return self._available
 
+    @property
+    def circuit_open(self) -> bool:
+        """Non-consuming breaker peek (the router's divert signal)."""
+        return self.breaker.peek_open()
+
     def solve(self, formula: Formula) -> SolverResult:
         if not self.available:
             # Match SessionBackend: no process is ever touched, so no
             # checkout either — the pool stays empty on binary-less
             # machines and the router's native fallback takes over.
             self.last_error = probe_solver_command(self.command)
+            return SolverResult(UNKNOWN)
+        if not self.breaker.allow():
+            # Open breaker (and no probe slot): the command has been
+            # failing repeatedly — short-circuit to UNKNOWN for the
+            # cool-down window instead of paying spawn-and-fail again.
+            self.last_error = f"circuit open for {self.command!r}"
+            if self.stats is not None:
+                self.stats.record_breaker(self.name, "short_circuit")
             return SolverResult(UNKNOWN)
         with self.pool.checkout(
             self.command,

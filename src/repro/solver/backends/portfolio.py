@@ -141,20 +141,46 @@ class PortfolioBackend(SolverBackend):
             return SolverResult(UNKNOWN)
         return definitive
 
-    @staticmethod
-    def _member_solve(member, formula: Formula, parent) -> SolverResult:
+    def _member_solve(self, member, formula: Formula, parent) -> SolverResult:
         """One member's leg of the race, on an executor thread.
 
         Losers are recorded exactly like winners: each leg gets its own
         span (abandoned stragglers simply finish late), so a trace shows
-        what every member spent, not just the answer that was kept.
+        what every member spent, not just the answer that was kept.  A
+        *crashed* member (anything but a disagreement) still degrades
+        the race to UNKNOWN, but no longer silently: the exception is
+        recorded in the member's backend tally (``errors`` +
+        ``last_error``) and on the leg span's ``error`` attribute, so
+        crashes are diagnosable from payloads and traces.
         """
+        name = getattr(member, "name", type(member).__name__)
+        started = perf_counter()
         with obs.span(
-            "portfolio:member",
-            parent=parent,
-            member=getattr(member, "name", type(member).__name__),
+            "portfolio:member", parent=parent, member=name
         ) as leg:
-            result = member.solve(formula)
+            try:
+                result = member.solve(formula)
+            except BackendDisagreement:
+                leg.set(status="error", error="backend disagreement")
+                raise
+            except Exception as exc:
+                detail = f"{type(exc).__name__}: {exc}"
+                leg.set(status="error", error=detail)
+                if self.stats is not None:
+                    # Members tally their own successes; a crash never
+                    # reached their tally path, so the portfolio books
+                    # it for them — with the detail, not a bare count.
+                    self.stats.record_backend(
+                        name, "error", perf_counter() - started,
+                        error=detail,
+                    )
+                obs.event(
+                    "portfolio:member_crash",
+                    portfolio=self.name,
+                    member=name,
+                    error=detail,
+                )
+                raise
             leg.set(status=result.status)
             return result
 

@@ -193,6 +193,12 @@ class RouterBackend(SolverBackend):
         """Pick ``(feature, target_name, backend)`` for one formula."""
         feature = classify_formula(formula)
         if feature == CLASSICAL:
+            if getattr(self.session, "circuit_open", False):
+                # The command's circuit breaker is open: its binary has
+                # been failing repeatedly, so classical queries divert
+                # to native for the cool-down window (the breaker's own
+                # half-open probe re-admits the session).
+                return feature, "native-breaker", self.native
             if getattr(self.session, "available", True):
                 return feature, "session", self.session
             # No solver binary: classical queries still deserve a
@@ -230,6 +236,8 @@ class RouterBackend(SolverBackend):
             return feature, "portfolio", self.portfolio
         # Classical, or captures-only (printable): the session decides
         # the refined stream without a per-query subprocess spawn.
+        if getattr(self.session, "circuit_open", False):
+            return feature, "native-breaker", self.native
         if getattr(self.session, "available", True):
             return feature, "session", self.session
         return feature, "native", self.native
@@ -277,6 +285,27 @@ class RouterBackend(SolverBackend):
                     self.stats.record_route(route_label, "native-fallback")
                 obs.event(
                     "route:fallback", route=route_label, target="native"
+                )
+                result = self.native.solve(formula)
+            elif (
+                not refined
+                and result.status == UNKNOWN
+                and target is self.session
+                and str(getattr(target, "last_error", "")).startswith(
+                    "circuit open"
+                )
+            ):
+                # The breaker slammed shut between route() and solve()
+                # (or a concurrent query lost the half-open probe
+                # race): a classical query still deserves a definitive
+                # answer, so it pays one native solve instead of
+                # surfacing the short-circuit UNKNOWN.
+                if self.stats is not None:
+                    self.stats.record_route(route_label, "native-breaker")
+                obs.event(
+                    "route:fallback",
+                    route=route_label,
+                    target="native-breaker",
                 )
                 result = self.native.solve(formula)
         except Exception:

@@ -43,8 +43,9 @@ import threading
 from time import monotonic, perf_counter
 from typing import List, Optional
 
-from repro import obs
+from repro import faults, obs
 from repro.constraints.formulas import Formula, to_nnf
+from repro.faults.breaker import get_breaker
 from repro.constraints.printer import (
     smtlib_prelude,
     smtlib_query_symbols,
@@ -117,6 +118,13 @@ class SessionBackend(SolverBackend):
         self._available: Optional[bool] = None
         #: Why the last query degraded to UNKNOWN (diagnostics only).
         self.last_error: Optional[str] = None
+        #: Per-command circuit breaker (process-global; shared with the
+        #: pooled form).  The raw session backend only *feeds* it —
+        #: crashes/spawn failures count as failures, a completed round
+        #: trip as success; the gating (short-circuit to UNKNOWN while
+        #: open) lives in ``PooledSessionBackend``/the router, so a
+        #: directly-held session keeps its crash-restart semantics.
+        self.breaker = get_breaker(self.name)
         # -- live-session state ------------------------------------------
         self._proc: Optional[subprocess.Popen] = None
         self._lines: Optional["queue.Queue"] = None
@@ -177,6 +185,7 @@ class SessionBackend(SolverBackend):
         output = self._round_trip(script)
         if output is None:
             return SolverResult(UNKNOWN)  # crash path set last_error
+        self._breaker_feed(ok=True)
         self.queries += 1
         self._since_reset += 1
         self._srecord(queries=1)
@@ -214,9 +223,24 @@ class SessionBackend(SolverBackend):
         """Send one command batch, read lines until a fresh echo marker."""
         self._seq += 1
         marker = f"repro-sync-{self._seq}"
+        wedged = False
+        rule = faults.fire("session:query", command=self.command)
+        if rule is not None:
+            if rule.action == "kill" and self._proc is not None:
+                # Solver dies mid-query: the write below hits a broken
+                # pipe, or the reader sees EOF — the crash path either way.
+                try:
+                    self._proc.kill()
+                except OSError:
+                    pass
+            elif rule.action == "wedge":
+                # Swallow the script: the solver never sees it, so the
+                # read loop waits out the full timeout — a wedged solver.
+                wedged = True
         try:
-            self._proc.stdin.write(script + f'\n(echo "{marker}")\n')
-            self._proc.stdin.flush()
+            if not wedged:
+                self._proc.stdin.write(script + f'\n(echo "{marker}")\n')
+                self._proc.stdin.flush()
         except (OSError, ValueError):
             return self._crash_none("session stdin closed")
         deadline = monotonic() + self.timeout + 1.0
@@ -277,6 +301,9 @@ class SessionBackend(SolverBackend):
 
     def _spawn(self) -> None:
         spawn_started = perf_counter()
+        rule = faults.fire("session:spawn", command=self.command)
+        if rule is not None and rule.action in ("error", "kill"):
+            raise OSError("fault injected at session:spawn")
         template = _ARGV_TEMPLATES.get(
             os.path.basename(self._argv_prefix[0]), _generic_argv
         )
@@ -327,6 +354,7 @@ class SessionBackend(SolverBackend):
                 f"could not start {self._argv_prefix[0]!r}: {exc}"
             )
             self._proc = None
+            self._breaker_feed(ok=False)
             return False
         return True
 
@@ -362,6 +390,7 @@ class SessionBackend(SolverBackend):
         self._kill()
         self.restarts += 1
         self._srecord(restarts=1)
+        self._breaker_feed(ok=False)
         obs.event("session:restart", session=self.name, reason=reason)
         self._respawn()  # best effort; failure leaves last_error set
         return self._unknown(reason)
@@ -369,6 +398,21 @@ class SessionBackend(SolverBackend):
     def _crash_none(self, reason: str) -> None:
         self._crash(reason)
         return None
+
+    def _breaker_feed(self, ok: bool) -> None:
+        """Feed the per-command breaker (and point its transition
+        recorder at this solve's stats, so trips land in the right
+        run's ``breaker_tallies``)."""
+        breaker = self.breaker
+        if breaker is None:
+            return
+        breaker.recorder = (
+            self.stats.record_breaker if self.stats is not None else None
+        )
+        if ok:
+            breaker.record_success()
+        else:
+            breaker.record_failure()
 
     def _unknown(self, reason: str) -> SolverResult:
         self.last_error = reason

@@ -41,6 +41,11 @@ class BackendTally:
     unknown: int = 0
     errors: int = 0
     seconds: float = 0.0
+    #: Most recent error detail (``"ExcType: message"``) — populated by
+    #: crash-capturing callers (the portfolio's member wrapper) so a
+    #: crashed backend is diagnosable from the tallies, not just a bare
+    #: ``errors`` count.
+    last_error: Optional[str] = None
 
     @property
     def definitive(self) -> int:
@@ -50,7 +55,8 @@ class BackendTally:
     def definitive_rate(self) -> float:
         return self.definitive / self.queries if self.queries else 0.0
 
-    def add(self, status: str, seconds: float) -> None:
+    def add(self, status: str, seconds: float,
+            error: Optional[str] = None) -> None:
         self.queries += 1
         self.seconds += seconds
         if status == "sat":
@@ -61,9 +67,11 @@ class BackendTally:
             self.errors += 1
         else:
             self.unknown += 1
+        if error is not None:
+            self.last_error = error
 
     def as_dict(self) -> dict:
-        return {
+        shaped = {
             "queries": self.queries,
             "sat": self.sat,
             "unsat": self.unsat,
@@ -72,6 +80,11 @@ class BackendTally:
             "seconds": self.seconds,
             "definitive_rate": self.definitive_rate,
         }
+        if self.last_error is not None:
+            # Only when an error was captured: the common clean-path
+            # payload keeps its pre-existing shape exactly.
+            shaped["last_error"] = self.last_error
+        return shaped
 
     def merge_dict(self, other: dict) -> None:
         """Fold a JSON-shaped tally (``as_dict`` output) into this one."""
@@ -81,6 +94,8 @@ class BackendTally:
         self.unknown += other.get("unknown", 0)
         self.errors += other.get("errors", 0)
         self.seconds += other.get("seconds", 0.0)
+        if other.get("last_error") is not None:
+            self.last_error = other["last_error"]
 
 
 @dataclass
@@ -170,6 +185,11 @@ class SolverStats:
     #: Routing decision counters, keyed by ``"<feature>-><target>"``
     #: (populated by ``repro.solver.backends.router``).
     route_tallies: Dict[str, int] = field(default_factory=dict)
+    #: Circuit-breaker transition counters, keyed by
+    #: ``"<command>:<event>"`` (``open`` / ``close`` / ``reopen`` /
+    #: ``probe`` / ``short_circuit`` — populated by
+    #: ``repro.faults.breaker`` through the session backends).
+    breaker_tallies: Dict[str, int] = field(default_factory=dict)
     #: Automata compilation-cache counters (this run's share of the
     #: process-global interner; populated by the engine and the service
     #: jobs from :func:`repro.automata.automata_cache_counters` deltas).
@@ -221,12 +241,13 @@ class SolverStats:
             outcome="hit" if hit else "miss",
         )
 
-    def record_backend(self, name: str, status: str, seconds: float) -> None:
+    def record_backend(self, name: str, status: str, seconds: float,
+                       error: Optional[str] = None) -> None:
         with self._tally_lock:
             tally = self.backend_tallies.get(name)
             if tally is None:
                 tally = self.backend_tallies[name] = BackendTally()
-            tally.add(status, seconds)
+            tally.add(status, seconds, error=error)
         _metrics.count("backend_queries_total", backend=name, status=status)
         _metrics.observe("backend_seconds", seconds, backend=name)
 
@@ -259,6 +280,15 @@ class SolverStats:
         with self._tally_lock:
             self.route_tallies[key] = self.route_tallies.get(key, 0) + 1
         _metrics.count("route_decisions_total", route=feature, target=target)
+
+    def record_breaker(self, name: str, event: str) -> None:
+        """Count one circuit-breaker event for session command ``name``
+        (``open`` / ``close`` / ``reopen`` / ``probe`` /
+        ``short_circuit``).  The breaker itself mirrors transitions into
+        obs metrics; this is the per-run bucketing for payloads."""
+        key = f"{name}:{event}"
+        with self._tally_lock:
+            self.breaker_tallies[key] = self.breaker_tallies.get(key, 0) + 1
 
     def record_automata(self, delta: Dict[str, int]) -> None:
         """Fold a compilation-cache counters delta into this collector.
@@ -311,6 +341,12 @@ class SolverStats:
         """JSON-shaped routing decision counts (for payloads/reports)."""
         with self._tally_lock:
             return dict(sorted(self.route_tallies.items()))
+
+    def breaker_summary(self) -> Dict[str, int]:
+        """JSON-shaped breaker transition counts (for payloads/reports);
+        empty on the no-trip fast path."""
+        with self._tally_lock:
+            return dict(sorted(self.breaker_tallies.items()))
 
     def cache_summary(self) -> dict:
         """Hit/miss counters of the solver query cache, if one was used."""

@@ -35,6 +35,23 @@ def _reset_obs():
 
 
 @pytest.fixture(autouse=True)
+def _reset_faults():
+    """No fault plan and no tripped breakers may outlive a test.
+
+    Fault injection and circuit breakers are process-global (the plan
+    so workers can inherit it, the breakers so they persist across
+    backend instances); a chaos test that fails midway must not leave
+    later tests running under its faults or short-circuiting through
+    its opened breakers.
+    """
+    yield
+    from repro import faults
+
+    faults.reset()
+    faults.reset_breakers()
+
+
+@pytest.fixture(autouse=True)
 def _drain_session_pool():
     """Close the process-global session pool after every test.
 

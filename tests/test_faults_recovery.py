@@ -1,0 +1,401 @@
+"""Chaos suite: fault injection exercising the recovery paths end to end.
+
+Every test installs a :mod:`repro.faults` plan (cleared by the autouse
+``_reset_faults`` fixture) and asserts the system *recovers* — retried
+jobs succeed, poison jobs quarantine without starving their coalesced
+twins, a wedged solver trips its breaker and is re-admitted by the
+half-open probe, corrupt store entries are evicted and re-solved, and a
+serve client survives a daemon restart.  Faults are never active by
+default: with no plan installed all sites are inert.
+
+Pool-mode tests use only built-in job kinds (monkeypatched kinds do not
+cross the worker process boundary); the fault plan reaches workers via
+the pool initializer, and per-process hit counters restart with each
+respawned worker — which is exactly what lets a retried job succeed.
+"""
+
+import os
+import socket
+import stat
+import textwrap
+import time
+
+import pytest
+
+from repro import faults
+from repro.automata import DfaDiskStore, dfa_for_pattern
+from repro.automata.build import erase_captures
+from repro.constraints import InRe, StrVar
+from repro.faults import get_breaker, reset_breakers
+from repro.regex import parse_regex
+from repro.serve.client import ServeClient
+from repro.serve.server import ServeConfig, ServeServer
+from repro.service.jobs import SolveJob
+from repro.service.runner import BatchRunner, RunnerConfig
+from repro.solver import SolverStats, UNKNOWN, UNSAT
+from repro.solver.backends import PooledSessionBackend, SessionPool
+from repro.solver.backends.cached import CachedResult, QueryDiskStore
+
+from serve_testing import _STARTED, start_daemon, stop_started, wait_until
+
+
+@pytest.fixture(autouse=True)
+def _serve_teardown():
+    yield
+    stop_started()
+
+
+def membership(pattern: str, var_name: str = "x"):
+    node = erase_captures(parse_regex(pattern, "").body)
+    return InRe(StrVar(var_name), node)
+
+
+#: Interactive fake solver: answers every check-sat with unsat (sound
+#: under the guarded encoding, so the session trusts it directly).
+_FAKE = textwrap.dedent(
+    '''\
+    #!/usr/bin/env python3
+    import re, sys
+    for line in sys.stdin:
+        line = line.strip()
+        if line == "(check-sat)":
+            print("unsat", flush=True)
+        elif line.startswith("(get-value"):
+            print("()", flush=True)
+        else:
+            m = re.match(r'\\(echo "(.*)"\\)', line)
+            if m:
+                print(m.group(1), flush=True)
+    '''
+)
+
+
+def fake_solver(tmp_path, name="fakechaos"):
+    path = tmp_path / name
+    path.write_text(_FAKE)
+    path.chmod(path.stat().st_mode | stat.S_IXUSR)
+    return str(path)
+
+
+class TestWorkerKillRetry:
+    def test_killed_worker_job_retries_and_succeeds(self):
+        """A SIGKILLed worker costs one retry, never the batch.
+
+        ``nth=2`` kills the worker on its second job; the respawned
+        worker's fault counters restart, so the retried job lands as
+        hit 1 of the fresh process and completes.
+        """
+        runner = BatchRunner(
+            RunnerConfig(
+                workers=1,
+                retry_max=2,
+                retry_backoff_s=0.05,
+                heal_interval_s=0.05,
+                fault_plan={
+                    "rules": [
+                        {"site": "worker:job", "action": "kill", "nth": 2}
+                    ]
+                },
+            )
+        )
+        jobs = [
+            SolveJob(job_id="victim-a", pattern="ab", solver_timeout=1.0),
+            SolveJob(job_id="victim-b", pattern="cd", solver_timeout=1.0),
+        ]
+        report = runner.run(jobs)
+        assert [r.status for r in report.results] == ["ok", "ok"]
+        assert report.total_retries == 1
+        assert report.quarantined_jobs == 0
+        assert sum(r.retries for r in report.results) == 1
+        spec = report.to_spec()
+        assert spec["recovery"] == {"retries": 1, "quarantined": 0}
+
+    def test_no_fault_plan_means_no_retries(self):
+        runner = BatchRunner(RunnerConfig(workers=0))
+        report = runner.run(
+            [SolveJob(job_id="plain", pattern="ab", solver_timeout=1.0)]
+        )
+        assert report.results[0].status == "ok"
+        assert report.total_retries == 0
+
+
+class TestPoisonQuarantine:
+    def test_poison_job_quarantines_without_starving_twins(self, tmp_path):
+        """A job that kills every worker it touches is quarantined after
+        ``quarantine_after`` kills; its coalesced twin shares the result
+        (one flight, one quarantine) and healthy jobs still complete."""
+        server, sock = start_daemon(
+            tmp_path,
+            workers=1,
+            retry_max=5,
+            retry_backoff_s=0.05,
+            quarantine_after=2,
+            heal_interval_s=0.05,
+            fault_plan={
+                "rules": [
+                    {
+                        "site": "worker:job",
+                        "action": "kill",
+                        "match": "poison",
+                    }
+                ]
+            },
+        )
+        with ServeClient(socket_path=sock, timeout=60.0) as client:
+            first = client.submit(
+                {
+                    "kind": "solve",
+                    "job_id": "poison-a",
+                    "pattern": "xy",
+                    "solver_timeout": 1.0,
+                }
+            )
+            twin = client.submit(
+                {
+                    "kind": "solve",
+                    "job_id": "poison-b",
+                    "pattern": "xy",
+                    "solver_timeout": 1.0,
+                }
+            )
+            healthy = client.submit(
+                {
+                    "kind": "solve",
+                    "job_id": "healthy-1",
+                    "pattern": "ab",
+                    "solver_timeout": 1.0,
+                }
+            )
+            assert twin["coalesced"] is True
+            results = {
+                request_id: result
+                for request_id, result, _ in client.iter_results()
+            }
+            assert results[first["id"]].status == "quarantined"
+            assert results[twin["id"]].status == "quarantined"
+            assert "killing" in results[first["id"]].error
+            assert results[first["id"]].retries == 1
+            assert results[healthy["id"]].status == "ok"
+            health = client.health()
+        assert health["live"] is True
+        assert health["quarantined"] == 1  # one flight, not one per twin
+        assert health["retries"] >= 1
+        assert health["runner"]["worker_crashes"] >= 2
+
+
+class TestBreakerRecovery:
+    def test_wedged_session_trips_breaker_then_half_open_probe_readmits(
+        self, tmp_path
+    ):
+        cmd = fake_solver(tmp_path)
+        reset_breakers()
+        # Tuned thresholds must exist before the backend resolves its
+        # breaker: the registry hands out the first-created instance.
+        breaker = get_breaker(
+            f"session:{cmd}", fail_threshold=2, cooldown_s=0.4
+        )
+        pool = SessionPool()
+        stats = SolverStats()
+        backend = PooledSessionBackend(
+            cmd, timeout=0.2, stats=stats, pool=pool
+        )
+        faults.install(
+            {
+                "rules": [
+                    {"site": "session:query", "action": "wedge", "count": 2}
+                ]
+            }
+        )
+        try:
+            formula = membership("a+b")
+            # Two wedged queries: each waits out the session timeout,
+            # kills the wedged process, and feeds the breaker a failure.
+            assert backend.solve(formula).status == UNKNOWN
+            assert backend.solve(formula).status == UNKNOWN
+            assert breaker.snapshot()["state"] == "open"
+            assert backend.circuit_open is True
+            # Within the cool-down every query short-circuits — no
+            # session traffic, UNKNOWN with an explicit reason.
+            result = backend.solve(formula)
+            assert result.status == UNKNOWN
+            assert "circuit open" in backend.last_error
+            assert breaker.snapshot()["short_circuits"] >= 1
+            time.sleep(0.45)
+            assert backend.circuit_open is False  # probe traffic admitted
+            # The half-open probe reaches a fresh (un-wedged: the rule's
+            # fire budget is spent) session and closes the breaker.
+            assert backend.solve(formula).status == UNSAT
+            snapshot = breaker.snapshot()
+            assert snapshot["state"] == "closed"
+            assert snapshot["trips"] == 1
+            tallies = stats.breaker_summary()
+            assert tallies.get(f"session:{cmd}:short_circuit", 0) >= 1
+            assert tallies.get(f"session:{cmd}:open", 0) == 1
+        finally:
+            pool.close()
+
+
+class TestCorruptStoreEviction:
+    def test_corrupt_query_store_entry_evicted_and_rewritable(
+        self, tmp_path
+    ):
+        store = QueryDiskStore(str(tmp_path / "qstore"))
+        store.put("fp-chaos", CachedResult("unsat", None))
+        assert store.get("fp-chaos").status == "unsat"
+        faults.install(
+            {
+                "rules": [
+                    {
+                        "site": "query_store:get",
+                        "action": "corrupt",
+                        "nth": 1,
+                    }
+                ]
+            }
+        )
+        # The corrupted entry reads as a miss, is evicted, and the
+        # store keeps working — a bad directory degrades to solving.
+        assert store.get("fp-chaos") is None
+        assert store.failures == 1
+        assert not os.path.exists(store._entry("fp-chaos"))
+        store.put("fp-chaos", CachedResult("unsat", None))
+        assert store.get("fp-chaos").status == "unsat"
+
+    def test_corrupt_dfa_store_entry_evicted_and_recompiled(
+        self, tmp_path, clean_automata
+    ):
+        store = DfaDiskStore(str(tmp_path / "dstore"))
+        store.put("chaosdfa", dfa_for_pattern("ab*c"))
+        assert store.get("chaosdfa") is not None
+        faults.install(
+            {
+                "rules": [
+                    {
+                        "site": "dfa_store:get",
+                        "action": "corrupt",
+                        "nth": 1,
+                    }
+                ]
+            }
+        )
+        assert store.get("chaosdfa") is None
+        assert store.failures == 1
+        assert not os.path.exists(store._entry("chaosdfa"))
+        store.put("chaosdfa", dfa_for_pattern("ab*c"))
+        assert store.get("chaosdfa").accepts_word("abbc")
+
+
+class TestServeRecovery:
+    def test_client_survives_daemon_restart(self, tmp_path):
+        server_a, sock = start_daemon(tmp_path, workers=0)
+        client = ServeClient(
+            socket_path=sock,
+            timeout=15.0,
+            reconnect=True,
+            reconnect_backoff_s=0.05,
+        )
+        try:
+            client.ping()
+            server_a.stop()
+            if os.path.exists(sock):
+                os.unlink(sock)  # asyncio does not reap unix sockets
+            runner = BatchRunner(RunnerConfig(workers=0))
+            server_b = ServeServer(
+                runner, ServeConfig(socket=sock)
+            ).start_background()
+            _STARTED.append(server_b)
+            # The first request on the dead connection redials with
+            # backoff and retries — callers never see the restart.
+            client.ping()
+            ack = client.submit(
+                {
+                    "kind": "solve",
+                    "job_id": "after-restart",
+                    "pattern": "ab",
+                    "solver_timeout": 1.0,
+                }
+            )
+            assert client.wait_result(ack["id"]).status == "ok"
+        finally:
+            client.close()
+
+    def test_reconnect_gives_up_after_bounded_attempts(self, tmp_path):
+        server, sock = start_daemon(tmp_path, workers=0)
+        client = ServeClient(
+            socket_path=sock,
+            timeout=5.0,
+            reconnect=True,
+            reconnect_attempts=2,
+            reconnect_backoff_s=0.01,
+        )
+        try:
+            client.ping()  # ensure the daemon accepted this connection
+            server.stop()
+            if os.path.exists(sock):
+                os.unlink(sock)  # nothing will ever listen here again
+            with pytest.raises(ConnectionError):
+                client.ping()
+        finally:
+            client.close()
+
+    def test_dropped_frame_times_out_then_recovers(self, tmp_path):
+        """A dropped response frame surfaces as a read timeout (the
+        connection is alive — auto-reconnect must NOT eat it); the
+        connection's read stream is poisoned past a timeout, so the
+        caller redials explicitly and the next request goes through
+        once the rule's fire budget is spent."""
+        server, sock = start_daemon(tmp_path, workers=0)
+        client = ServeClient(socket_path=sock, timeout=0.5, reconnect=True)
+        try:
+            faults.install(
+                {
+                    "rules": [
+                        {
+                            "site": "serve:frame",
+                            "action": "drop",
+                            "match": "pong",
+                            "count": 1,
+                        }
+                    ]
+                }
+            )
+            with pytest.raises(socket.timeout):
+                client.ping()
+            client.reconnect()
+            client.ping()  # rule exhausted: the daemon answers again
+        finally:
+            client.close()
+
+    def test_delayed_frame_still_delivered(self, tmp_path):
+        server, sock = start_daemon(tmp_path, workers=0)
+        client = ServeClient(socket_path=sock, timeout=15.0)
+        try:
+            faults.install(
+                {
+                    "rules": [
+                        {
+                            "site": "serve:frame",
+                            "action": "delay",
+                            "match": "pong",
+                            "delay_s": 0.15,
+                            "count": 1,
+                        }
+                    ]
+                }
+            )
+            started = time.monotonic()
+            client.ping()
+            assert time.monotonic() - started >= 0.1
+        finally:
+            client.close()
+
+    def test_health_op_reports_ready_daemon(self, tmp_path):
+        server, sock = start_daemon(tmp_path, workers=0)
+        with ServeClient(socket_path=sock, timeout=15.0) as client:
+            health = client.health()
+        assert health["live"] is True
+        assert health["ready"] is True
+        assert health["draining"] is False
+        assert health["runner"]["mode"] == "inline"
+        assert "breakers" in health
+        assert "faults" not in health  # only reported when a plan is live
