@@ -338,6 +338,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return run_serve(args)
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.serve.cli import run_worker
+
+    return run_worker(args)
+
+
 def _cmd_submit(args: argparse.Namespace) -> int:
     from repro.serve.cli import run_submit
 
@@ -628,9 +634,60 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-single-flight", action="store_true",
         help="disable cross-client coalescing of identical jobs",
     )
+    serve.add_argument(
+        "--cluster", action="store_true",
+        help="act as the fleet coordinator: accept worker-node "
+        "registrations and shard jobs across them under leases "
+        "(falls back to the local pool when no workers are healthy)",
+    )
+    serve.add_argument(
+        "--heartbeat-s", type=float, default=2.0, metavar="S",
+        help="heartbeat interval assigned to worker nodes (--cluster)",
+    )
+    serve.add_argument(
+        "--heartbeat-miss", type=int, default=3, metavar="N",
+        help="missed heartbeats before a node is declared dead and "
+        "its leases re-dispatched (--cluster)",
+    )
     _add_fault_flags(serve)
     _add_obs_flags(serve)
     serve.set_defaults(fn=_cmd_serve)
+
+    worker = sub.add_parser(
+        "worker", help="run one cluster worker node (joins a --cluster "
+        "serve daemon and executes leased jobs)"
+    )
+    worker.add_argument(
+        "--join", required=True, metavar="ADDR",
+        help="coordinator address: unix socket path (or unix:PATH) "
+        "or HOST:PORT",
+    )
+    worker.add_argument(
+        "--capacity", type=int, default=1,
+        help="concurrent leases this node accepts",
+    )
+    worker.add_argument(
+        "-w", "--workers", type=int, default=0,
+        help="local worker processes (0 = run jobs inline on "
+        "capacity-many threads)",
+    )
+    worker.add_argument(
+        "--worker-id", default=None,
+        help="stable node name (default: coordinator-assigned)",
+    )
+    worker.add_argument("--job-timeout", type=float, default=300.0)
+    worker.add_argument(
+        "--automata-cache", default=None, help=automata_cache_help
+    )
+    worker.add_argument(
+        "--query-cache", default=None, help=query_cache_help
+    )
+    worker.add_argument(
+        "--no-remote-cache", action="store_true",
+        help="do not read caches through the coordinator's stores",
+    )
+    _add_fault_flags(worker)
+    worker.set_defaults(fn=_cmd_worker)
 
     submit = sub.add_parser(
         "submit", help="submit jobs to a running serve daemon"
@@ -676,6 +733,12 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--max-tests", type=int, default=40)
     submit.add_argument("--time-budget", type=float, default=10.0)
     submit.add_argument("--backend", default=None, help=backend_help)
+    submit.add_argument(
+        "--wait-on-overload", type=float, default=0.0, metavar="S",
+        help="on an 'overloaded' rejection, back off per the daemon's "
+        "retry_after hint and retry for up to S seconds before "
+        "counting the job as rejected (default 0 = fail fast)",
+    )
     submit.add_argument("--json", help="also write the report as JSON")
     submit.set_defaults(fn=_cmd_submit)
 

@@ -30,6 +30,7 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import weakref
 from typing import Callable, Dict, List, Optional
 
 from repro import faults
@@ -44,6 +45,30 @@ FINGERPRINT_VERSION = 1
 #: Bump when the on-disk blob layout changes; old entries are ignored.
 STORE_VERSION = 1
 _MAGIC = "repro-automata"
+
+#: Every live store handle in this process (weak), for the aggregate
+#: corruption counters in ``obs.snapshot()`` / the daemon ``health`` op.
+_OPEN_STORES: "weakref.WeakSet" = weakref.WeakSet()
+
+
+def dfa_store_counters() -> Dict[str, int]:
+    """Aggregate counters over every live automata store in this
+    process; ``corrupt_evictions`` counts entries the defensive read
+    path evicted as garbled rather than served."""
+    totals = {
+        "open_stores": 0,
+        "loads": 0,
+        "stores": 0,
+        "failures": 0,
+        "corrupt_evictions": 0,
+    }
+    for store in list(_OPEN_STORES):
+        totals["open_stores"] += 1
+        totals["loads"] += store.loads
+        totals["stores"] += store.stores
+        totals["failures"] += store.failures
+        totals["corrupt_evictions"] += store.corrupt_evictions
+    return totals
 
 
 # -- structural fingerprints --------------------------------------------------
@@ -163,6 +188,9 @@ class DfaDiskStore:
         self.loads = 0
         self.stores = 0
         self.failures = 0
+        #: Entries evicted by the defensive read path specifically.
+        self.corrupt_evictions = 0
+        _OPEN_STORES.add(self)
 
     def _entry(self, fingerprint: str) -> str:
         return os.path.join(self.path, f"{fingerprint}.dfa")
@@ -181,6 +209,7 @@ class DfaDiskStore:
         except Exception:
             # Truncated write, foreign file, stale format: drop and recompile.
             self.failures += 1
+            self.corrupt_evictions += 1
             _metrics.count("automata_store_total", op="failure")
             try:
                 os.unlink(entry)
@@ -245,10 +274,15 @@ class AutomataInterner:
         load/store counters survive across jobs in one process.  An
         unusable path (unwritable, parent is a file, ...) degrades to
         memory-only interning — the store is a cache, never a failure
-        source (a batch worker must not crash on a bad cache dir).
+        source (a batch worker must not crash on a bad cache dir).  A
+        non-string ``path`` is used directly as a store-shaped object
+        (cluster worker nodes pass a
+        :class:`~repro.cluster.remotestore.RemoteDfaStore` here).
         """
         if path is None:
             self.store = None
+        elif not isinstance(path, str):
+            self.store = path
         elif self.store is None or self.store.root != path:
             try:
                 self.store = DfaDiskStore(path)
@@ -315,6 +349,9 @@ class AutomataInterner:
             "disk_hits": self.disk_hits,
             "disk_stores": self.store.stores if self.store else 0,
             "disk_failures": self.store.failures if self.store else 0,
+            "disk_corrupt_evictions": (
+                self.store.corrupt_evictions if self.store else 0
+            ),
             "memory_size": len(self._dfas),
         }
         return out

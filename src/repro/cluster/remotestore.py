@@ -1,0 +1,129 @@
+"""Read-through store adapters over the coordinator's cache service.
+
+A worker node's query cache and automata interner normally fall back
+to *disk* stores (:class:`~repro.solver.backends.cached.QueryDiskStore`
+/ :class:`~repro.automata.cache.DfaDiskStore`).  These adapters present
+the same duck interface — ``get``/``put``/counters/``root`` — but are
+backed by ``cache_get``/``cache_put`` frames to the coordinator, so a
+fresh node warms itself from the fleet's shared answers instead of
+re-solving and re-compiling what any other node already paid for.
+Canonical fingerprints are host-independent, which is what makes the
+keys meaningful across machines.
+
+Everything is best-effort, exactly like the disk stores: a timed-out
+or failed round trip is a miss (counted in ``failures``), an
+undecodable blob is evicted-as-miss (counted in ``corrupt_evictions``),
+and puts are fire-and-forget — the network is a cache tier, never a
+failure source.
+
+The channel (``cache_get(store, key)`` / ``cache_put(store, key,
+blob)``) is the :class:`~repro.cluster.worker.WorkerNode`'s pending-
+request table over its coordinator socket; blobs are raw pickle bytes
+(base64 framing is the channel's concern).
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Optional
+
+
+class _RemoteStoreBase:
+    """Shared shape of both adapters (the disk stores' duck type)."""
+
+    store_name = ""
+
+    def __init__(self, channel):
+        self._channel = channel
+        self.root = f"remote://{self.store_name}"
+        self.max_entries = None
+        self.loads = 0
+        self.stores = 0
+        self.failures = 0
+        self.evictions = 0
+        self.corrupt_evictions = 0
+
+    def _fetch(self, key: str) -> Optional[bytes]:
+        try:
+            return self._channel.cache_get(self.store_name, key)
+        except Exception:
+            self.failures += 1
+            return None
+
+    def _ship(self, key: str, blob: bytes) -> None:
+        try:
+            self._channel.cache_put(self.store_name, key, blob)
+            self.stores += 1
+        except Exception:
+            self.failures += 1
+
+    def gc(self) -> int:
+        return 0  # the coordinator's store owns eviction
+
+    def __len__(self) -> int:
+        return 0
+
+    def __bool__(self) -> bool:
+        # ``len() == 0`` must not read as "no store configured": the
+        # runner truth-tests ``config.query_cache`` / ``automata_cache``
+        # before attaching, and those slots may hold this adapter.
+        return True
+
+
+class RemoteQueryStore(_RemoteStoreBase):
+    """Query-store adapter: entries are ``(status, assignment)`` blobs."""
+
+    store_name = "query"
+
+    def get(self, fingerprint: str):
+        blob = self._fetch(fingerprint)
+        if blob is None:
+            return None
+        from repro.solver.backends.cached import CachedResult
+
+        try:
+            status, assignment = pickle.loads(blob)
+            result = CachedResult(
+                str(status),
+                None
+                if assignment is None
+                else tuple((str(n), v) for n, v in assignment),
+            )
+        except Exception:
+            self.corrupt_evictions += 1
+            self.failures += 1
+            return None
+        self.loads += 1
+        return result
+
+    def put(self, fingerprint: str, entry) -> None:
+        self._ship(
+            fingerprint,
+            pickle.dumps((entry.status, entry.assignment), protocol=4),
+        )
+
+
+class RemoteDfaStore(_RemoteStoreBase):
+    """Automata-store adapter: entries are ``dfa_to_blob`` pickles."""
+
+    store_name = "dfa"
+
+    def get(self, fingerprint: str):
+        blob = self._fetch(fingerprint)
+        if blob is None:
+            return None
+        from repro.automata.cache import dfa_from_blob
+
+        try:
+            dfa = dfa_from_blob(pickle.loads(blob))
+        except Exception:
+            self.corrupt_evictions += 1
+            self.failures += 1
+            return None
+        self.loads += 1
+        return dfa
+
+    def put(self, fingerprint: str, dfa) -> None:
+        from repro.automata.cache import dfa_to_blob
+
+        self._ship(fingerprint, pickle.dumps(dfa_to_blob(dfa), protocol=4))

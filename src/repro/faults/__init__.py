@@ -39,7 +39,12 @@ from repro.faults.plan import (
     reset,
     snapshot,
 )
-from repro.faults.retry import CRASH_PREFIX, RetryPolicy, crash_result
+from repro.faults.retry import (
+    CRASH_PREFIX,
+    RetryPolicy,
+    crash_result,
+    lease_lost_result,
+)
 
 __all__ = [
     "FAULT_PLAN_ENV",
@@ -58,6 +63,7 @@ __all__ = [
     "fire",
     "get_breaker",
     "install",
+    "lease_lost_result",
     "reset",
     "reset_breakers",
     "snapshot",

@@ -38,6 +38,16 @@ Named sites threaded through the codebase:
                     entry file first)
 ``dfa_store:get``   persistent automata-store read (same)
 ``serve:frame``     daemon → client frame enqueue (``drop`` / ``delay``)
+``cluster:heartbeat``  one worker-node heartbeat tick (``drop`` skips the
+                    send, so the coordinator's missed-heartbeat detector
+                    revokes the node's leases)
+``cluster:partition``  consulted once per heartbeat tick on a worker
+                    node; a fired rule silences the node — no heartbeats
+                    out, inbound frames dropped — for ``delay_s``
+                    (default 30s), simulating a network partition
+``node:kill``       worker-node assignment receipt (``kill`` SIGKILLs
+                    the whole node process mid-corpus; ``error`` fails
+                    the one assignment)
 ==================  =========================================================
 """
 

@@ -48,6 +48,20 @@ def crash_result(job_id: str, kind: str, detail: str = "") -> "JobResult":
     )
 
 
+def lease_lost_result(
+    job_id: str, kind: str, worker_id: str, reason: str
+) -> "JobResult":
+    """The result the cluster coordinator synthesizes for a revoked lease.
+
+    Carries :data:`CRASH_PREFIX` so :meth:`RetryPolicy.classify` treats
+    a dead/partitioned *node* exactly like a dead pool worker — one
+    recovery path, from SIGKILLed subprocess to unplugged machine.
+    """
+    return crash_result(
+        job_id, kind, f"lease on node {worker_id} revoked ({reason})"
+    )
+
+
 @dataclass(frozen=True)
 class RetryPolicy:
     """How the runner and the serve scheduler re-drive failed jobs.

@@ -134,12 +134,32 @@ def checkpoint() -> None:
     )
 
 
+def store_counters() -> dict:
+    """Aggregate disk-store health for this process: load/store/failure
+    and corruption-eviction totals across every live query and automata
+    store handle.  ``corrupt_evictions`` climbing is the operator's
+    early-warning for a bad disk (or an active chaos plan) — entries
+    being garbled and silently re-solved instead of served.
+    """
+    # Lazy imports: ``cached.py`` imports ``repro.obs`` at module
+    # level, so the reverse edge must stay inside the function body.
+    from repro.automata.cache import dfa_store_counters
+    from repro.solver.backends.cached import query_store_counters
+
+    return {
+        "query": query_store_counters(),
+        "dfa": dfa_store_counters(),
+    }
+
+
 def snapshot() -> dict:
     """JSON-shaped combined observability state of this process.
 
     The ``/stats`` surface of the future serve daemon: tracer counters
     and the slow-query ring under ``"tracing"``, the full metrics
-    registry under ``"metrics"`` (each ``None`` while disabled).
+    registry under ``"metrics"`` (each ``None`` while disabled), and
+    the disk stores' aggregate health under ``"stores"`` (always
+    present — store counters are plain integers, not gated telemetry).
     """
     tracer = get_tracer()
     registry = metrics.get_registry()
@@ -147,6 +167,7 @@ def snapshot() -> dict:
         "pid": os.getpid(),
         "tracing": tracer.snapshot() if tracer is not None else None,
         "metrics": registry.snapshot() if registry is not None else None,
+        "stores": store_counters(),
     }
 
 

@@ -1,11 +1,16 @@
-"""Implementations of ``python -m repro serve`` and ``... submit``.
+"""Implementations of ``python -m repro serve``, ``worker``, ``submit``.
 
 Kept out of :mod:`repro.__main__` so the parser stays import-light;
 the command functions receive the parsed ``argparse`` namespace.
 
 ``serve`` brings up the daemon of :mod:`repro.serve.server` on a unix
 socket (``--socket``) or TCP port (``--port``) and runs until
-SIGTERM/SIGINT, then drains gracefully and exits 0.
+SIGTERM/SIGINT, then drains gracefully and exits 0.  With ``--cluster``
+the same listener also acts as the fleet coordinator for worker nodes.
+
+``worker`` runs one :class:`~repro.cluster.worker.WorkerNode`: it joins
+a ``--cluster`` daemon (``--join ADDR``), executes leased jobs on its
+own local runner, and heartbeats until SIGTERM.
 
 ``submit`` is the matching client: job files in, streamed results out.
 A ``.json`` argument is read as one job-spec object (or a list of
@@ -80,6 +85,14 @@ def run_serve(args) -> int:
     if getattr(args, "fault_plan", None):
         with open(args.fault_plan) as handle:
             fault_plan = json.load(handle)
+    cluster = bool(getattr(args, "cluster", False))
+    retry_max = getattr(args, "retry_max", 0)
+    if cluster and retry_max == 0:
+        # A fleet without retries would turn every revoked lease (node
+        # death, partition) into a client-visible crash; floor it so
+        # re-dispatch works out of the box.  ``--retry-max`` still wins
+        # when set explicitly.
+        retry_max = 2
     runner = BatchRunner(
         RunnerConfig(
             workers=args.workers,
@@ -92,7 +105,7 @@ def run_serve(args) -> int:
             query_cache=args.query_cache,
             query_cache_max=args.query_cache_max,
             session_idle_s=args.session_idle_s,
-            retry_max=getattr(args, "retry_max", 0),
+            retry_max=retry_max,
             retry_backoff_s=getattr(args, "retry_backoff_s", 0.25),
             quarantine_after=getattr(args, "quarantine_after", None),
             fault_plan=fault_plan,
@@ -107,6 +120,9 @@ def run_serve(args) -> int:
             max_queue=args.max_queue,
             max_inflight=args.max_inflight,
             single_flight=not args.no_single_flight,
+            cluster=cluster,
+            heartbeat_s=getattr(args, "heartbeat_s", 2.0),
+            heartbeat_miss=getattr(args, "heartbeat_miss", 3),
         ),
         obs_run=obs_run,
     )
@@ -121,8 +137,9 @@ def run_serve(args) -> int:
                 if server.address[0] == "unix"
                 else f"{server.address[1]}:{server.address[2]}"
             )
+            mode = " cluster" if cluster else ""
             print(
-                f"serving on {where} "
+                f"serving{mode} on {where} "
                 f"(workers={args.workers}, max_queue={args.max_queue})",
                 flush=True,
             )
@@ -139,6 +156,59 @@ def run_serve(args) -> int:
         if summary.metrics_path:
             print(f"metrics: {summary.metrics_path}")
     print("drained, exiting")
+    return 0
+
+
+def run_worker(args) -> int:
+    import signal
+
+    from repro.cluster.worker import WorkerConfig, WorkerNode
+    from repro.service.runner import BatchRunner, RunnerConfig
+
+    fault_plan = None
+    if getattr(args, "fault_plan", None):
+        with open(args.fault_plan) as handle:
+            fault_plan = json.load(handle)
+    inline_concurrency = (
+        args.capacity if args.workers == 0 else 1
+    )
+    runner = BatchRunner(
+        RunnerConfig(
+            workers=args.workers,
+            inline_concurrency=inline_concurrency,
+            job_timeout=args.job_timeout,
+            automata_cache=args.automata_cache,
+            query_cache=args.query_cache,
+            retry_max=0,  # the coordinator owns retries fleet-wide
+            fault_plan=fault_plan,
+        )
+    )
+    node = WorkerNode(
+        runner,
+        WorkerConfig(
+            join=args.join,
+            capacity=args.capacity,
+            worker_id=args.worker_id,
+            remote_cache=not args.no_remote_cache,
+        ),
+    )
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(signum, lambda *_: node.stop())
+        except (ValueError, OSError):
+            pass  # non-main thread (tests drive run() directly)
+    print(
+        f"worker joining {args.join} "
+        f"(capacity={args.capacity}, workers={args.workers})",
+        flush=True,
+    )
+    node.run()
+    snapshot = node.snapshot()
+    print(
+        f"worker stopped ({snapshot['jobs_done']} jobs done, "
+        f"{snapshot['registrations']} registrations)",
+        flush=True,
+    )
     return 0
 
 
@@ -182,17 +252,30 @@ def run_submit(args) -> int:
         started = time.monotonic()
         order = {}
         rejected = 0
+        wait_budget = float(getattr(args, "wait_on_overload", 0.0) or 0.0)
         for index, spec in enumerate(specs):
-            try:
-                ack = client.submit(spec)
-            except Rejected as exc:
-                rejected += 1
-                print(
-                    f"rejected ({exc.reason}): job {index}",
-                    file=sys.stderr,
-                )
-                continue
-            order[ack["id"]] = index
+            deadline = time.monotonic() + wait_budget
+            while True:
+                try:
+                    ack = client.submit(spec)
+                except Rejected as exc:
+                    # Honor the daemon's retry_after hint (bounded by
+                    # --wait-on-overload) instead of dropping the job
+                    # on the first overload rejection.
+                    remaining = deadline - time.monotonic()
+                    if exc.reason == "overloaded" and remaining > 0:
+                        time.sleep(
+                            min(exc.retry_after or 0.5, max(0.05, remaining))
+                        )
+                        continue
+                    rejected += 1
+                    print(
+                        f"rejected ({exc.reason}): job {index}",
+                        file=sys.stderr,
+                    )
+                    break
+                order[ack["id"]] = index
+                break
         results = []
         for request_id, result, coalesced in client.iter_results():
             results.append(result)

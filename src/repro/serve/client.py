@@ -10,12 +10,17 @@ request id and surfaces results either per-request
 
 With ``reconnect=True`` the client survives a daemon restart: a
 request that hits a closed/refused connection redials with bounded
-exponential backoff and retries once.  Reconnection forgets pending
-submits — their results died with the old connection — so it is a
-*request-level* recovery (ping/stats/health/submit), not a resumption
-of in-flight streams; callers that lose a connection mid-batch
-resubmit.  Read *timeouts* are never retried: the connection is still
-alive, the answer is just slow, and redialing would abandon it.
+exponential backoff and retries once.  Reconnection also *resubmits*
+every submit that was still awaiting its result — the daemon forgot
+this client's stake on disconnect, so without resubmission those
+results would simply never arrive and a mid-batch ``iter_results``
+would hang.  Resubmission is idempotent from the caller's view: each
+spec is resent under its **original** request id (the daemon echoes
+ids verbatim, so existing waiters keep working), and daemon-side
+single-flight coalesces a resubmitted spec onto its still-running
+execution instead of running it twice.  Read *timeouts* are never
+retried: the connection is still alive, the answer is just slow, and
+redialing would abandon it.
 """
 
 from __future__ import annotations
@@ -78,6 +83,9 @@ class ServeClient:
         self._request_ids = itertools.count(1)
         #: request_id → ack frame, for submits awaiting their result.
         self._pending: Dict[object, dict] = {}
+        #: request_id → the submitted job spec, kept until its result
+        #: lands so :meth:`reconnect` can resubmit in-flight work.
+        self._specs: Dict[object, dict] = {}
         #: result frames received while waiting on a different id.
         self._stashed: Dict[object, dict] = {}
         self._connect()
@@ -115,28 +123,67 @@ class ServeClient:
     # -- reconnect -----------------------------------------------------------
 
     def reconnect(self) -> None:
-        """Redial the daemon with bounded exponential backoff.
+        """Redial the daemon, then resubmit every in-flight submit.
 
-        Pending submits and stashed results are forgotten: they belong
-        to the dead connection (the daemon dropped that client's stake
-        on disconnect).  Raises :class:`ConnectionError` when every
-        attempt fails.
+        Stashed results are forgotten (they belonged to the dead
+        connection), but pending submits are **resubmitted under their
+        original request ids**: the daemon dropped this client's stake
+        on disconnect, so resubmission is the only way their waiters
+        ever see a result — and because the daemon echoes request ids
+        verbatim and coalesces duplicate specs onto in-flight work,
+        the recovery is invisible to callers blocked in
+        :meth:`wait_result` / :meth:`iter_results`.  A resubmission the
+        daemon *rejects* (overloaded after the restart) surfaces as an
+        error-status result for that request rather than a hang.
+        Raises :class:`ConnectionError` when every dial fails.
         """
         self.close()
         self._pending.clear()
         self._stashed.clear()
+        resubmit = dict(self._specs)
+        self._specs.clear()
         last_error: Optional[Exception] = None
         for attempt in range(self._reconnect_attempts):
             try:
                 self._connect()
-                return
+                break
             except OSError as exc:
                 last_error = exc
                 time.sleep(self._reconnect_backoff_s * 2**attempt)
-        raise ConnectionError(
-            f"could not reconnect after {self._reconnect_attempts} "
-            f"attempts: {last_error}"
-        )
+        else:
+            raise ConnectionError(
+                f"could not reconnect after {self._reconnect_attempts} "
+                f"attempts: {last_error}"
+            )
+        for request_id, spec in resubmit.items():
+            try:
+                # Direct send/await (not ``_request``): a connection
+                # dying *during* resubmission must raise out of this
+                # reconnect, not recurse into another one.
+                self._send(
+                    {"op": "submit", "id": request_id, "job": spec}
+                )
+                ack = self._next_frame(request_id, ("queued", "rejected"))
+            except ServeError as exc:
+                ack = {"op": "rejected", "error": exc.code}
+            if ack["op"] == "rejected":
+                self._stashed[request_id] = {
+                    "op": "result",
+                    "id": request_id,
+                    "result": {
+                        "job_id": str(spec.get("job_id", "")),
+                        "kind": str(spec.get("kind", "")),
+                        "status": "error",
+                        "error": (
+                            "resubmission after reconnect rejected: "
+                            f"{ack.get('error', 'rejected')}"
+                        ),
+                    },
+                }
+                self._pending[request_id] = ack
+                continue
+            self._pending[request_id] = ack
+            self._specs[request_id] = spec
 
     # -- frame transport -----------------------------------------------------
 
@@ -226,13 +273,32 @@ class ServeClient:
         )
         if ack["op"] == "rejected":
             raise Rejected(ack.get("error", "rejected"), ack)
+        # Registered only *after* the ack: an un-acked submit that dies
+        # with the connection is retried by ``_request`` itself, and
+        # registering it early would have reconnect resubmit it twice.
         self._pending[request_id] = ack
+        self._specs[request_id] = dict(job_spec)
         return ack
 
     def wait_result(self, request_id) -> JobResult:
-        """Block until the result for one submitted request lands."""
-        frame = self._next_frame(request_id, ("result",))
+        """Block until the result for one submitted request lands.
+
+        With ``reconnect=True`` a connection lost mid-wait redials and
+        resubmits the in-flight specs (see :meth:`reconnect`), then
+        resumes waiting; only a reconnect that itself fails raises.
+        """
+        while True:
+            try:
+                frame = self._next_frame(request_id, ("result",))
+                break
+            except socket.timeout:
+                raise
+            except (ConnectionError, OSError):
+                if not self._reconnect:
+                    raise
+                self.reconnect()
         self._pending.pop(request_id, None)
+        self._specs.pop(request_id, None)
         return JobResult.from_spec(frame["result"])
 
     def iter_results(self) -> Iterator[Tuple[object, JobResult, bool]]:
@@ -246,12 +312,24 @@ class ServeClient:
                 if request_id in self._pending:
                     frame = self._stashed.pop(request_id)
                     self._pending.pop(request_id)
+                    self._specs.pop(request_id, None)
                     yield request_id, JobResult.from_spec(
                         frame["result"]
                     ), bool(frame.get("coalesced"))
                     break
             else:
-                frame = self._recv()
+                try:
+                    frame = self._recv()
+                except socket.timeout:
+                    raise
+                except (ConnectionError, OSError):
+                    if not self._reconnect:
+                        raise
+                    # Redial + resubmit the not-yet-answered specs;
+                    # the loop then keeps draining as if the daemon
+                    # had never blinked.
+                    self.reconnect()
+                    continue
                 op = frame.get("op")
                 if op == "error":
                     raise ServeError(
@@ -265,6 +343,7 @@ class ServeClient:
                     self._stashed[request_id] = frame
                     continue
                 self._pending.pop(request_id)
+                self._specs.pop(request_id, None)
                 yield request_id, JobResult.from_spec(
                     frame["result"]
                 ), bool(frame.get("coalesced"))

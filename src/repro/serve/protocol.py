@@ -38,6 +38,35 @@ frames arrive **whenever the job lands** — after later acks, between
 other requests' results — which is the streaming contract.  ``id`` is
 the client's correlation token (any JSON scalar) and is echoed
 verbatim; results additionally echo ``job_id``.
+
+Cluster operations (worker node ↔ coordinator, same listener)::
+
+    {"op": "register",  "id": ..., "worker": {"worker_id": ...?,
+        "capacity": N, "pid": N, "host": "..."}}
+    {"op": "registered","id": ..., "worker_id": ..., "epoch": N,
+        "heartbeat_s": S, "heartbeat_miss": N, "caches": {...},
+        "quarantined": [keys]}
+    {"op": "heartbeat", "worker_id": ..., "epoch": N, "ready": bool,
+        "load": {...}, "health": {...}}
+    {"op": "heartbeat_ack", "epoch": N}
+    {"op": "assign",    "lease": {"token": ..., "epoch": N,
+        "worker_id": ...}, "job": {job spec}}
+    {"op": "done",      "lease": {...}, "result": {JobResult spec}}
+    {"op": "cache_get", "id": ..., "store": "query" | "dfa", "key": fp}
+    {"op": "cache_value", "id": ..., "found": bool, "blob": base64?}
+    {"op": "cache_put", "store": ..., "key": fp, "blob": base64}
+    {"op": "quarantine", "keys": [dedup keys]}
+
+Leases are **epoch-tagged**: the coordinator bumps its epoch on every
+registration and every declared death, and a ``done`` whose lease
+token (or epoch) no longer matches the live lease table is dropped —
+that is the exactly-once contract for re-dispatched work, the wire
+twin of the runner's attempt-tagged slot healing.  ``cache_get`` /
+``cache_put`` let workers read through the coordinator's persistent
+query/automata stores (canonical fingerprints are host-independent);
+blobs are base64-wrapped pickles, which is fine inside one trusted
+fleet running one codebase and would need a real serialization before
+crossing a trust boundary.
 """
 
 from __future__ import annotations
@@ -51,8 +80,13 @@ from typing import Any, Optional
 #: enough that one bad client cannot balloon server memory.
 MAX_FRAME_BYTES = 8 * 1024 * 1024
 
-#: Request operations the server understands.
+#: Request operations the server understands from clients.
 REQUEST_OPS = ("submit", "stats", "ping", "health")
+
+#: Operations a cluster worker node sends its coordinator.  Routed only
+#: when the daemon runs with cluster mode enabled; otherwise they are
+#: answered with ``bad-request`` like any other malformed traffic.
+CLUSTER_OPS = ("register", "heartbeat", "done", "cache_get", "cache_put")
 
 #: ``rejected.error`` values (admission control outcomes).
 REJECT_OVERLOADED = "overloaded"
@@ -94,11 +128,14 @@ def decode_frame(data: bytes) -> dict:
 
 @dataclass
 class Request:
-    """One validated client request."""
+    """One validated client (or cluster-worker) request."""
 
     op: str
     request_id: Any = None
     job_spec: Optional[dict] = None
+    #: The full decoded frame, kept for cluster ops whose payloads
+    #: (lease, heartbeat load, cache blob) the coordinator validates.
+    frame: Optional[dict] = None
 
 
 def parse_request(frame: dict) -> Request:
@@ -111,9 +148,11 @@ def parse_request(frame: dict) -> Request:
     error can carry the constructor's message).
     """
     op = frame.get("op")
-    if not isinstance(op, str) or op not in REQUEST_OPS:
+    if not isinstance(op, str) or (
+        op not in REQUEST_OPS and op not in CLUSTER_OPS
+    ):
         raise ProtocolError("unknown-op", f"unknown op {op!r}")
-    request = Request(op=op, request_id=frame.get("id"))
+    request = Request(op=op, request_id=frame.get("id"), frame=frame)
     if op == "submit":
         job_spec = frame.get("job")
         if not isinstance(job_spec, dict):
@@ -125,6 +164,21 @@ def parse_request(frame: dict) -> Request:
                 "bad-request", "job spec without a 'kind'"
             )
         request.job_spec = job_spec
+    elif op == "done":
+        if not isinstance(frame.get("lease"), dict) or not isinstance(
+            frame.get("result"), dict
+        ):
+            raise ProtocolError(
+                "bad-request", "done frame needs 'lease' and 'result'"
+            )
+    elif op in ("cache_get", "cache_put"):
+        if not isinstance(frame.get("key"), str) or frame.get(
+            "store"
+        ) not in ("query", "dfa"):
+            raise ProtocolError(
+                "bad-request",
+                f"{op} frame needs a 'key' and a 'store' of query|dfa",
+            )
     return request
 
 
@@ -189,3 +243,77 @@ def error_frame(code: str, detail: str = "", request_id=None) -> dict:
         "error": code,
         "detail": detail,
     }
+
+
+# -- cluster frame constructors -----------------------------------------------
+
+
+def register_frame(request_id, worker: dict) -> dict:
+    return {"op": "register", "id": request_id, "worker": worker}
+
+
+def registered_frame(
+    request_id,
+    worker_id: str,
+    epoch: int,
+    heartbeat_s: float,
+    heartbeat_miss: int,
+    caches: dict,
+    quarantined: list,
+) -> dict:
+    return {
+        "op": "registered",
+        "id": request_id,
+        "worker_id": worker_id,
+        "epoch": epoch,
+        "heartbeat_s": heartbeat_s,
+        "heartbeat_miss": heartbeat_miss,
+        "caches": caches,
+        "quarantined": quarantined,
+    }
+
+
+def heartbeat_frame(
+    worker_id: str, epoch: int, ready: bool, load: dict, health: dict
+) -> dict:
+    return {
+        "op": "heartbeat",
+        "worker_id": worker_id,
+        "epoch": epoch,
+        "ready": ready,
+        "load": load,
+        "health": health,
+    }
+
+
+def heartbeat_ack_frame(epoch: int) -> dict:
+    return {"op": "heartbeat_ack", "epoch": epoch}
+
+
+def assign_frame(lease: dict, job_spec: dict) -> dict:
+    return {"op": "assign", "lease": lease, "job": job_spec}
+
+
+def done_frame(lease: dict, result_spec: dict) -> dict:
+    return {"op": "done", "lease": lease, "result": result_spec}
+
+
+def cache_get_frame(request_id, store: str, key: str) -> dict:
+    return {"op": "cache_get", "id": request_id, "store": store, "key": key}
+
+
+def cache_value_frame(
+    request_id, found: bool, blob: Optional[str] = None
+) -> dict:
+    frame = {"op": "cache_value", "id": request_id, "found": found}
+    if blob is not None:
+        frame["blob"] = blob
+    return frame
+
+
+def cache_put_frame(store: str, key: str, blob: str) -> dict:
+    return {"op": "cache_put", "store": store, "key": key, "blob": blob}
+
+
+def quarantine_frame(keys: list) -> dict:
+    return {"op": "quarantine", "keys": list(keys)}

@@ -24,6 +24,17 @@ structures need no locks.
   scheduler-level dedup of ``--dedup`` lifted from one batch to the
   whole daemon: duplicates coalesce *across* clients and arrival
   times, closing the ROADMAP's deferred in-flight-dedup item.
+- **Cluster dispatch (optional).**  With a
+  :class:`~repro.cluster.coordinator.ClusterCoordinator` attached, a
+  dispatch first offers the job to a ready remote worker under an
+  epoch-tagged lease; only when no worker has a free slot does it fall
+  through to the *unchanged* local-runner path.  Degraded mode is that
+  fall-through: zero healthy workers means every dispatch takes the
+  same code today's single-machine daemon takes.  A revoked lease
+  (missed heartbeats, dead connection) surfaces here as a synthesized
+  crash result, so the existing retry policy re-dispatches it — on the
+  next healthy worker or locally — with the same attempt-tagged
+  exactly-once guarantee as a pool-worker death.
 """
 
 from __future__ import annotations
@@ -64,7 +75,7 @@ class _Flight:
 
     __slots__ = (
         "job", "key", "owner", "waiters", "dispatched", "timer",
-        "attempt", "crashes", "last_result",
+        "attempt", "crashes", "last_result", "lease",
     )
 
     def __init__(self, job: _JobBase, key: Optional[str], owner: str):
@@ -74,6 +85,9 @@ class _Flight:
         self.waiters: List[_Waiter] = []
         self.dispatched = False
         self.timer: Optional[asyncio.TimerHandle] = None
+        #: Lease token while dispatched on a remote worker; ``None``
+        #: for local (degraded / single-machine) dispatches.
+        self.lease: Optional[str] = None
         #: Retry bookkeeping (see :meth:`JobScheduler._maybe_retry`):
         #: redispatches so far, worker kills attributed to this job, and
         #: the last failure result (delivered if a drain cuts the retry
@@ -95,9 +109,13 @@ class JobScheduler:
         max_inflight: Optional[int] = None,
         single_flight: bool = True,
         job_timeout: Optional[float] = None,
+        cluster=None,
     ):
         self.runner = runner
         self.loop = loop
+        #: Optional :class:`~repro.cluster.coordinator.ClusterCoordinator`;
+        #: ``None`` keeps every dispatch on the local runner.
+        self.cluster = cluster
         self.max_queue = max(1, int(max_queue))
         if max_inflight is None:
             # Match the pool's real concurrency: process workers, or
@@ -118,6 +136,10 @@ class JobScheduler:
         self._rotation: Deque[str] = deque()
         self._by_key: Dict[str, _Flight] = {}
         self._inflight: Set[_Flight] = set()
+        #: Flights occupying a *local* runner slot; remote leases do
+        #: not count against ``max_inflight``, only against their
+        #: worker's advertised capacity.
+        self._local_inflight = 0
         #: Flights waiting out a retry backoff: not queued, not in
         #: flight, but still owed a delivery (drain waits on them too).
         self._retrying: Set[_Flight] = set()
@@ -137,6 +159,9 @@ class JobScheduler:
         self.results_dropped = 0
         self.retries = 0
         self.quarantined = 0
+        self.remote_dispatched = 0
+        self.local_dispatched = 0
+        self.quarantine_blocked = 0
 
     # -- admission -----------------------------------------------------------
 
@@ -157,6 +182,28 @@ class JobScheduler:
         self.submitted += 1
         waiter = _Waiter(client_id, job, deliver)
         key = job.dedup_key() if self.single_flight else None
+        fleet_key = key if key is not None else (
+            job.dedup_key() if self.cluster is not None else None
+        )
+        if (
+            self.cluster is not None
+            and fleet_key is not None
+            and self.cluster.is_quarantined(fleet_key)
+        ):
+            # Fleet-wide quarantine: a key that already burned through
+            # its crash budget somewhere in the fleet is answered with
+            # the tombstone immediately — no queue slot, no execution,
+            # no fresh chance to kill a node.
+            self.quarantine_blocked += 1
+            self.quarantined += 1
+            tombstone = JobResult(
+                job_id=job.job_id,
+                kind=job.KIND,
+                status="quarantined",
+                error="quarantined fleet-wide after repeated crashes",
+            )
+            self.loop.call_soon(deliver, tombstone, False)
+            return False
         if key is not None:
             flight = self._by_key.get(key)
             if flight is not None:
@@ -190,8 +237,13 @@ class JobScheduler:
 
     # -- dispatch ------------------------------------------------------------
 
+    def _capacity_free(self) -> bool:
+        if self._local_inflight < self.max_inflight:
+            return True
+        return self.cluster is not None and self.cluster.has_capacity()
+
     def _pump(self) -> None:
-        while len(self._inflight) < self.max_inflight and self._rotation:
+        while self._capacity_free() and self._rotation:
             client_id = self._rotation.popleft()
             queue = self._queues.get(client_id)
             if not queue:
@@ -207,6 +259,7 @@ class JobScheduler:
 
     def _dispatch(self, flight: _Flight) -> None:
         flight.dispatched = True
+        flight.lease = None
         self._inflight.add(flight)
         self.executed += 1
         if self.job_timeout:
@@ -216,8 +269,28 @@ class JobScheduler:
         # Completions are attempt-tagged: a dead worker's job can be
         # redispatched while the runner's monitor is still settling the
         # old attempt, and the stale delivery must not be mistaken for
-        # the new attempt's answer.
+        # the new attempt's answer.  The same tag covers remote leases:
+        # a lease revoked for missed heartbeats synthesizes a crash
+        # under the *old* attempt, so the node's eventual real answer
+        # (if it was merely partitioned) is dropped exactly once.
         attempt = flight.attempt
+        if self.cluster is not None:
+            # Remote-first: coordinator callbacks already run on the
+            # event loop thread, no threadsafe marshalling needed.
+            token = self.cluster.try_dispatch(
+                flight.job,
+                lambda result, attempt=attempt: self._on_complete(
+                    flight, result, attempt
+                ),
+            )
+            if token is not None:
+                flight.lease = token
+                self.remote_dispatched += 1
+                return
+        # Degraded / single-machine mode: the pre-cluster dispatch
+        # path, verbatim.
+        self._local_inflight += 1
+        self.local_dispatched += 1
         self.runner.submit(
             flight.job,
             lambda result, attempt=attempt: self.loop.call_soon_threadsafe(
@@ -236,6 +309,7 @@ class JobScheduler:
         if attempt is not None and attempt != flight.attempt:
             return  # stale delivery from a superseded attempt
         self._inflight.discard(flight)
+        self._release_slot(flight)
         if flight.timer is not None:
             flight.timer.cancel()
             flight.timer = None
@@ -243,10 +317,22 @@ class JobScheduler:
             return
         self._finalize(flight, result)
 
+    def _release_slot(self, flight: _Flight) -> None:
+        if flight.lease is None:
+            self._local_inflight -= 1
+        else:
+            flight.lease = None
+
     def _on_timeout(self, flight: _Flight) -> None:
         if flight not in self._inflight:
             return
         self._inflight.discard(flight)
+        if flight.lease is not None and self.cluster is not None:
+            # Stop the lease before releasing the slot: a worker still
+            # chewing on the timed-out job must not have its eventual
+            # ``done`` mistaken for a live lease's answer.
+            self.cluster.revoke(flight.lease, reason="scheduler timeout")
+        self._release_slot(flight)
         flight.timer = None
         self.timeouts += 1
         result = JobResult(
@@ -305,6 +391,15 @@ class JobScheduler:
         self.runner.retry.finalize(result, flight.attempt, flight.crashes)
         if result.status == "quarantined":
             self.quarantined += 1
+            if self.cluster is not None:
+                key = flight.key
+                if key is None:
+                    key = flight.job.dedup_key()
+                if key is not None:
+                    # Poison propagates fleet-wide: every node refuses
+                    # the key, and future submits get the tombstone at
+                    # the door (see :meth:`submit`).
+                    self.cluster.broadcast_quarantine(key)
         self._finish(flight, result)
 
     def _finish(self, flight: _Flight, result: JobResult) -> None:
@@ -418,5 +513,8 @@ class JobScheduler:
             "results_dropped": self.results_dropped,
             "retries": self.retries,
             "quarantined": self.quarantined,
+            "remote_dispatched": self.remote_dispatched,
+            "local_dispatched": self.local_dispatched,
+            "quarantine_blocked": self.quarantine_blocked,
             "draining": self.draining,
         }

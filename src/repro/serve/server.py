@@ -20,6 +20,14 @@ this module owns connection lifecycle and drain:
   waiters, close the pool gracefully (worker ``atexit`` hooks close
   pooled solver sessions), close this process's session pool, and
   checkpoint metrics — then exit 0.
+
+With ``--cluster`` the same listener doubles as the fleet coordinator:
+``register`` / ``heartbeat`` / ``done`` / ``cache_get`` / ``cache_put``
+frames route to a :class:`~repro.cluster.coordinator.ClusterCoordinator`
+and the scheduler prefers ready remote workers, falling through to the
+local pool when none are healthy (degraded mode).  A worker connection
+closing is reported to the coordinator, which revokes its epoch-tagged
+leases so the scheduler re-dispatches them.
 """
 
 from __future__ import annotations
@@ -53,6 +61,10 @@ class ServeConfig:
     max_inflight: Optional[int] = None  # default: runner workers
     single_flight: bool = True
     max_frame_bytes: int = protocol.MAX_FRAME_BYTES
+    # -- cluster coordinator mode (``--cluster``) --------------------------
+    cluster: bool = False
+    heartbeat_s: float = 2.0  # heartbeat interval assigned to workers
+    heartbeat_miss: int = 3  # missed beats before a node is dead
 
 
 class _Connection:
@@ -108,6 +120,7 @@ class ServeServer:
         self.config = config or ServeConfig()
         self.obs_run = obs_run
         self.scheduler: Optional[JobScheduler] = None
+        self.cluster = None  # ClusterCoordinator in --cluster mode
         self.loop: Optional[asyncio.AbstractEventLoop] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: Set[_Connection] = set()
@@ -130,12 +143,28 @@ class ServeServer:
         self._shutdown = asyncio.Event()
         if not self.runner.started:
             self.runner.start(obs_run=self.obs_run)
+        if self.config.cluster:
+            from repro.cluster.coordinator import (
+                ClusterConfig,
+                ClusterCoordinator,
+            )
+
+            self.cluster = ClusterCoordinator(
+                self.loop,
+                ClusterConfig(
+                    heartbeat_s=self.config.heartbeat_s,
+                    heartbeat_miss=self.config.heartbeat_miss,
+                    query_cache=self.runner.config.query_cache,
+                    automata_cache=self.runner.config.automata_cache,
+                ),
+            )
         self.scheduler = JobScheduler(
             self.runner,
             self.loop,
             max_queue=self.config.max_queue,
             max_inflight=self.config.max_inflight,
             single_flight=self.config.single_flight,
+            cluster=self.cluster,
         )
         limit = self.config.max_frame_bytes
         if self.config.socket:
@@ -163,6 +192,8 @@ class ServeServer:
             await self._server.wait_closed()
         self.scheduler.draining = True
         await self.scheduler.wait_idle()
+        if self.cluster is not None:
+            self.cluster.close()
         for connection in list(self._connections):
             connection.close()
         # Let every connection handler flush its outbox and finish —
@@ -239,6 +270,8 @@ class ServeServer:
         metrics.gauge_set(
             "serve_singleflight_coalesced", stats["singleflight_coalesced"]
         )
+        if self.cluster is not None:
+            stats["cluster"] = self.cluster.stats()
         return stats
 
     def health(self) -> dict:
@@ -257,6 +290,11 @@ class ServeServer:
             or pool.get("workers_alive", 0) > 0
         )
         draining = bool(scheduler.get("draining"))
+        # A coordinator with remote capacity is ready even if its own
+        # pool died; one with zero healthy workers is exactly the
+        # single-machine daemon and reports whatever the pool says.
+        if self.cluster is not None and self.cluster.ready_workers() > 0:
+            workers_ok = True
         health = {
             "live": True,
             "ready": bool(not draining and workers_ok),
@@ -268,7 +306,10 @@ class ServeServer:
             "quarantined": scheduler.get("quarantined", 0),
             "session_pool": {"idle_sessions": get_session_pool().idle_count()},
             "breakers": breakers_snapshot(),
+            "stores": obs.store_counters(),
         }
+        if self.cluster is not None:
+            health["cluster"] = self.cluster.snapshot()
         faults_snapshot = faults.snapshot()
         if faults_snapshot:
             health["faults"] = faults_snapshot
@@ -289,6 +330,11 @@ class ServeServer:
             await self._read_loop(reader, connection)
         finally:
             self._connections.discard(connection)
+            if self.cluster is not None:
+                # A worker's socket dying is the fastest failure
+                # signal there is: revoke its leases immediately
+                # rather than waiting out the heartbeat deadline.
+                self.cluster.on_disconnect(connection)
             if self.scheduler is not None:
                 self.scheduler.forget_client(connection.client_id)
             connection.close()
@@ -360,8 +406,34 @@ class ServeServer:
             connection.send(
                 protocol.health_frame(request.request_id, self.health())
             )
+        elif request.op in protocol.CLUSTER_OPS:
+            self._handle_cluster(connection, request)
         else:
             self._handle_submit(connection, request)
+
+    def _handle_cluster(
+        self, connection: _Connection, request: protocol.Request
+    ) -> None:
+        if self.cluster is None:
+            connection.send(
+                protocol.error_frame(
+                    "bad-request",
+                    "cluster mode disabled (start with --cluster)",
+                    request_id=request.request_id,
+                )
+            )
+            return
+        frame = request.frame or {}
+        if request.op == "register":
+            self.cluster.handle_register(connection, frame)
+        elif request.op == "heartbeat":
+            self.cluster.handle_heartbeat(connection, frame)
+        elif request.op == "done":
+            self.cluster.handle_done(connection, frame)
+        elif request.op == "cache_get":
+            self.cluster.handle_cache_get(connection, frame)
+        elif request.op == "cache_put":
+            self.cluster.handle_cache_put(connection, frame)
 
     def _handle_submit(
         self, connection: _Connection, request: protocol.Request

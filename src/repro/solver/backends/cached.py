@@ -35,6 +35,7 @@ import hashlib
 import os
 import pickle
 import threading
+import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
 from time import perf_counter
@@ -51,6 +52,38 @@ from repro.solver.stats import SolverStats
 #: Bump when the on-disk entry layout changes; old entries are ignored.
 QUERY_STORE_VERSION = 1
 _MAGIC = "repro-query"
+
+#: Every live store handle in this process, for the aggregate
+#: corruption/failure counters surfaced by ``obs.snapshot()`` and the
+#: daemon's ``health`` op (weak: a dropped cache must not be pinned by
+#: its diagnostics).
+_OPEN_STORES: "weakref.WeakSet" = weakref.WeakSet()
+
+
+def query_store_counters() -> Dict[str, int]:
+    """Aggregate counters over every live query store in this process.
+
+    ``corrupt_evictions`` is the operator's signal that entries are
+    being scribbled on (bad disk, version skew, a chaos plan): each one
+    was a cache entry evicted by the defensive read path instead of
+    served.
+    """
+    totals = {
+        "open_stores": 0,
+        "loads": 0,
+        "stores": 0,
+        "failures": 0,
+        "evictions": 0,
+        "corrupt_evictions": 0,
+    }
+    for store in list(_OPEN_STORES):
+        totals["open_stores"] += 1
+        totals["loads"] += store.loads
+        totals["stores"] += store.stores
+        totals["failures"] += store.failures
+        totals["evictions"] += store.evictions
+        totals["corrupt_evictions"] += store.corrupt_evictions
+    return totals
 
 
 @dataclass(frozen=True)
@@ -96,6 +129,10 @@ class QueryDiskStore:
         self.stores = 0
         self.failures = 0
         self.evictions = 0
+        #: Entries evicted by the defensive read path specifically —
+        #: truncated/garbled/version-skewed blobs, as opposed to GC.
+        self.corrupt_evictions = 0
+        _OPEN_STORES.add(self)
         #: Entry-count estimate driving GC triggers: seeded by a scan
         #: (only when a cap makes the count matter — uncapped stores
         #: must not pay an O(entries) scan per construction), bumped
@@ -134,6 +171,7 @@ class QueryDiskStore:
             # Truncated write, foreign file, stale format, hash
             # collision: drop and re-solve.
             self.failures += 1
+            self.corrupt_evictions += 1
             try:
                 os.unlink(entry)
             except OSError:
@@ -232,10 +270,16 @@ def _attached_store(
     Re-attaching the same path keeps the existing handle (its counters
     survive across jobs in one process; an explicit ``max_entries``
     still takes effect on it); an unusable path degrades to memory-only
-    caching, never to failure.
+    caching, never to failure.  A non-string ``path`` is taken to *be*
+    a store-shaped object (duck: ``get``/``put``/counters) and used
+    directly — how cluster worker nodes wire a
+    :class:`~repro.cluster.remotestore.RemoteQueryStore` read-through
+    to the coordinator in place of a local directory.
     """
     if path is None:
         return None
+    if not isinstance(path, str):
+        return path
     if current is not None and current.root == path:
         if max_entries is not None and current.max_entries != max_entries:
             # A newly applied (or changed) cap needs a real count: the
@@ -259,6 +303,9 @@ def _disk_counters(
         "disk_stores": store.stores if store else 0,
         "disk_failures": store.failures if store else 0,
         "disk_evictions": store.evictions if store else 0,
+        "disk_corrupt_evictions": (
+            store.corrupt_evictions if store else 0
+        ),
     }
 
 

@@ -93,15 +93,25 @@ def start_daemon(
     max_inflight: Optional[int] = None,
     single_flight: bool = True,
     max_frame_bytes: Optional[int] = None,
+    cluster: bool = False,
+    heartbeat_s: float = 0.2,
+    heartbeat_miss: int = 3,
     **runner_kwargs,
 ):
-    """An in-process daemon on a fresh unix socket; returns (server, path)."""
+    """An in-process daemon on a fresh unix socket; returns (server, path).
+
+    ``cluster=True`` enables coordinator mode with a test-friendly fast
+    heartbeat (0.2s) so dead-node detection fits inside test timeouts.
+    """
     sock = str(tmp_path / f"serve-{time.monotonic_ns()}.sock")
     config = ServeConfig(
         socket=sock,
         max_queue=max_queue,
         max_inflight=max_inflight,
         single_flight=single_flight,
+        cluster=cluster,
+        heartbeat_s=heartbeat_s,
+        heartbeat_miss=heartbeat_miss,
     )
     if max_frame_bytes is not None:
         config.max_frame_bytes = max_frame_bytes
@@ -113,6 +123,59 @@ def start_daemon(
     server = ServeServer(runner, config).start_background()
     _STARTED.append(server)
     return server, sock
+
+
+class _NodeHarness:
+    """One in-process worker node on a daemon thread (tests only)."""
+
+    def __init__(self, node, thread):
+        self.node = node
+        self.thread = thread
+
+    def stop(self, timeout: float = 10.0) -> None:
+        self.node.stop()
+        self.thread.join(timeout=timeout)
+
+
+def start_worker(
+    join: str,
+    capacity: int = 1,
+    worker_id: Optional[str] = None,
+    remote_cache: bool = False,
+    reconnect_attempts: Optional[int] = 3,
+    **runner_kwargs,
+):
+    """An in-process cluster worker node joined to ``join``.
+
+    The node runs on a daemon thread with an inline runner sized to
+    ``capacity`` (same-interpreter execution, so ``GateJob`` gates and
+    monkeypatched job kinds work on the remote side too).  Registered
+    into ``_STARTED`` so the autouse teardown reaps it.
+    """
+    from repro.cluster.worker import WorkerConfig, WorkerNode
+
+    runner_kwargs.setdefault("inline_concurrency", capacity)
+    runner = BatchRunner(RunnerConfig(workers=0, **runner_kwargs))
+    node = WorkerNode(
+        runner,
+        WorkerConfig(
+            join=join,
+            capacity=capacity,
+            worker_id=worker_id,
+            remote_cache=remote_cache,
+            reconnect_attempts=reconnect_attempts,
+            reconnect_backoff_s=0.05,
+        ),
+    )
+    thread = threading.Thread(
+        target=node.run, name="repro-test-worker", daemon=True
+    )
+    thread.start()
+    harness = _NodeHarness(node, thread)
+    _STARTED.append(harness)
+    if not node.connected.wait(timeout=10.0):
+        raise AssertionError(f"worker never registered with {join}")
+    return harness
 
 
 def wait_until(predicate, timeout: float = 10.0, interval: float = 0.01):

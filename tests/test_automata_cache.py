@@ -183,6 +183,7 @@ class TestClearCaches:
             "disk_hits": 0,
             "disk_stores": 0,
             "disk_failures": 0,
+            "disk_corrupt_evictions": 0,
             "memory_size": 0,
         }
         # The disk handle is detached too: a recompile after the clear
