@@ -1,0 +1,215 @@
+"""Conformance-fuzzing throughput + dormant collect-mode overhead.
+
+Two measurements, merged into ``benchmarks/out/BENCH_conformance.json``:
+
+``pairs_per_second``
+    Campaign throughput of the ``fuzz`` job kind through both execution
+    surfaces — the inline batch runner and the serve daemon's socket —
+    over the pinned honest corpus (seed 1909).  Both surfaces must
+    report zero disagreements (the honest stack *is* the trip-wire) and
+    the daemon's per-pair cost must stay within a small factor of the
+    batch runner's (the socket adds framing, not solving).
+
+``collect_mode_dormant_overhead``
+    A portfolio whose members agree never consults the disagreement
+    machinery — ``on_disagreement="collect"`` must therefore be free
+    until the day it fires.  Measured as a paired interleaved loop:
+    each iteration times one raise-mode and one collect-mode query
+    back to back (order alternating), so drift hits both sides
+    equally, and per-mode medians (not totals) discard scheduler
+    spikes; acceptance: the dormant overhead stays under **3%**.
+"""
+
+import statistics
+import time
+
+from conftest import PERF_SMOKE, update_json_result
+
+from repro.serve.client import ServeClient
+from repro.serve.server import ServeConfig, ServeServer
+from repro.service import (
+    BatchRunner,
+    RunnerConfig,
+    fuzz_workload,
+    merge_fuzz,
+)
+
+#: Honest-campaign budget; each pair costs a few pinned solver queries.
+BUDGET = 4 if PERF_SMOKE else 12
+SEED = 1909
+TIMEOUT = 1.0
+
+#: Paired agree-path iterations for the dormant-overhead
+#: microbenchmark; each iteration runs one query per mode.
+OVERHEAD_ITERATIONS = 150 if PERF_SMOKE else 400
+OVERHEAD_WARMUP = 20
+OVERHEAD_TRIALS = 3
+
+
+def _workload():
+    return fuzz_workload(
+        budget=BUDGET,
+        seed=SEED,
+        shards=2,
+        solver_timeout=TIMEOUT,
+    )
+
+
+def _campaign_stats(report):
+    assert all(r.status == "ok" for r in report.results)
+    merged = merge_fuzz(report.of_kind("fuzz"))
+    # The honest stack is the whole point: a disagreement here is a
+    # soundness regression, not a benchmark artifact.
+    assert merged["disagreements"] == 0
+    assert merged["checks"] > 0
+    return merged
+
+
+def test_fuzz_pairs_per_second_batch_vs_serve(
+    benchmark, record_table, tmp_path
+):
+    """Throughput of the fuzz job kind: batch runner vs serve daemon."""
+
+    def run_batch():
+        started = time.perf_counter()
+        report = BatchRunner(RunnerConfig(workers=0)).run(_workload())
+        elapsed = time.perf_counter() - started
+        return _campaign_stats(report), elapsed
+
+    def run_serve():
+        sock = str(tmp_path / "fuzz-bench.sock")
+        server = ServeServer(
+            BatchRunner(RunnerConfig(workers=0)),
+            ServeConfig(socket=sock),
+        ).start_background()
+        try:
+            with ServeClient(socket_path=sock, timeout=300.0) as client:
+                started = time.perf_counter()
+                results = client.run(
+                    [job.to_spec() for job in _workload()]
+                )
+                elapsed = time.perf_counter() - started
+        finally:
+            server.stop()
+        from repro.service import BatchReport
+
+        return _campaign_stats(BatchReport(results=results)), elapsed
+
+    def measure():
+        batch_stats, batch_s = run_batch()
+        serve_stats, serve_s = run_serve()
+        return {
+            "budget": BUDGET,
+            "checks": batch_stats["checks"],
+            "batch_seconds": batch_s,
+            "serve_seconds": serve_s,
+            "batch_pairs_per_s": BUDGET / batch_s,
+            "serve_pairs_per_s": BUDGET / serve_s,
+            "batch_checks_per_s": batch_stats["checks"] / batch_s,
+            "serve_checks_per_s": serve_stats["checks"] / serve_s,
+        }
+
+    data = benchmark.pedantic(measure, rounds=1, iterations=1)
+    record_table(
+        "conformance_throughput.txt",
+        "Conformance fuzzing — pairs/second (honest corpus, seed "
+        f"{SEED})\n"
+        f"budget:            {data['budget']} pairs "
+        f"({data['checks']} oracle checks)\n"
+        f"batch runner:      {data['batch_pairs_per_s']:.2f} pairs/s "
+        f"({data['batch_checks_per_s']:.1f} checks/s)\n"
+        f"serve daemon:      {data['serve_pairs_per_s']:.2f} pairs/s "
+        f"({data['serve_checks_per_s']:.1f} checks/s)",
+    )
+    update_json_result("BENCH_conformance.json", "pairs_per_second", data)
+    # The daemon adds socket framing, not solving: within 2x of batch.
+    assert data["serve_seconds"] < data["batch_seconds"] * 2.0
+
+
+def test_collect_mode_dormant_overhead(benchmark, record_table):
+    """Acceptance: collect mode is free while members agree."""
+    from repro.constraints import Eq, StrConst, StrVar, conj
+    from repro.model.api import SymbolicRegExp
+    from repro.solver.backends.native import NativeBackend
+    from repro.solver.backends.portfolio import PortfolioBackend
+
+    # The fuzz oracle's own query shape: a membership formula pinned to
+    # a concrete word — heavy enough that per-query scheduling jitter
+    # is small relative to the work.
+    var = StrVar("bench")
+    model = SymbolicRegExp("(a|b)+c", "").exec_model(var)
+    formula = conj([model.match_formula, Eq(var, StrConst("abc"))])
+
+    def build(mode):
+        return PortfolioBackend(
+            [NativeBackend(timeout=TIMEOUT), NativeBackend(timeout=TIMEOUT)],
+            on_disagreement=mode,
+        )
+
+    def one_trial():
+        raise_mode = build("raise")
+        collect_mode = build("collect")
+        raise_times, collect_times = [], []
+        try:
+            for _ in range(OVERHEAD_WARMUP):
+                raise_mode.solve(formula)
+                collect_mode.solve(formula)
+            for iteration in range(OVERHEAD_ITERATIONS):
+                # Paired design: one query per mode each iteration,
+                # order alternating, so drift (thermal, allocator
+                # state) hits both sides equally instead of biasing
+                # whichever mode happens to run later.
+                pair = (
+                    (raise_mode, collect_mode)
+                    if iteration % 2 == 0
+                    else (collect_mode, raise_mode)
+                )
+                for backend in pair:
+                    started = time.perf_counter()
+                    backend.solve(formula)
+                    elapsed = time.perf_counter() - started
+                    if backend is raise_mode:
+                        raise_times.append(elapsed)
+                    else:
+                        collect_times.append(elapsed)
+        finally:
+            raise_mode.close()
+            collect_mode.close()
+        # Medians, not totals: a single scheduler spike in a sub-ms
+        # loop would otherwise swing the ratio by several percent.
+        raise_med = statistics.median(raise_times)
+        collect_med = statistics.median(collect_times)
+        return raise_med, collect_med
+
+    def measure():
+        trials = [one_trial() for _ in range(OVERHEAD_TRIALS)]
+        overheads = sorted(
+            100.0 * (collect_med - raise_med) / raise_med
+            for raise_med, collect_med in trials
+        )
+        mid = overheads[len(overheads) // 2]
+        raise_med, collect_med = trials[0]
+        return {
+            "iterations": OVERHEAD_ITERATIONS,
+            "warmup": OVERHEAD_WARMUP,
+            "trials": OVERHEAD_TRIALS,
+            "raise_median_ms": 1000.0 * raise_med,
+            "collect_median_ms": 1000.0 * collect_med,
+            "trial_overheads_pct": overheads,
+            "overhead_pct": mid,
+        }
+
+    data = benchmark.pedantic(measure, rounds=1, iterations=1)
+    record_table(
+        "conformance_collect_overhead.txt",
+        "Collect-mode dormant overhead (agree-path portfolio queries)\n"
+        f"raise mode:   {data['raise_median_ms']:.3f} ms/query median of "
+        f"{data['iterations']} paired queries\n"
+        f"collect mode: {data['collect_median_ms']:.3f} ms/query median\n"
+        f"overhead:     {data['overhead_pct']:+.2f}% "
+        f"(median of {data['trials']} trials)",
+    )
+    update_json_result(
+        "BENCH_conformance.json", "collect_mode_dormant_overhead", data
+    )
+    assert data["overhead_pct"] < 3.0

@@ -330,6 +330,85 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0 if all(r.status == "ok" for r in report.results) else 1
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.conformance import register_planted_backend
+    from repro.service import (
+        BatchRunner,
+        RunnerConfig,
+        format_batch_report,
+        fuzz_workload,
+        merge_fuzz,
+    )
+
+    # The deliberately-unsound test backend must be resolvable before
+    # --oracle-backend specs are validated.
+    register_planted_backend()
+    if _check_backend_spec(args.backend):
+        return 2
+    for spec in args.oracle_backend or []:
+        if _check_backend_spec(spec):
+            return 2
+    if _check_query_cache_flags(args):
+        return 2
+    if args.artifacts_max is not None and args.artifacts is None:
+        print(
+            "error: --artifacts-max requires --artifacts "
+            "(there is no store to cap without one)",
+            file=sys.stderr,
+        )
+        return 2
+    shards = args.shards
+    if shards is None:
+        shards = max(1, args.workers) * 2 if args.workers else 1
+    jobs = fuzz_workload(
+        budget=args.pairs,
+        seed=args.seed,
+        shards=shards,
+        backend=args.backend,
+        oracle_backends=args.oracle_backend or None,
+        solver_timeout=args.solver_timeout,
+        shrink=not args.no_shrink,
+        artifact_dir=args.artifacts,
+        artifact_max=args.artifacts_max,
+        on_disagreement=args.on_disagreement,
+    )
+    fault_plan = None
+    if args.fault_plan:
+        with open(args.fault_plan) as handle:
+            fault_plan = json.load(handle)
+    runner = BatchRunner(
+        RunnerConfig(
+            workers=args.workers,
+            job_timeout=args.job_timeout,
+            automata_cache=args.automata_cache,
+            query_cache=args.query_cache,
+            query_cache_max=args.query_cache_max,
+            trace=args.trace,
+            trace_format=args.trace_format,
+            metrics_json=args.metrics_json,
+            slow_query_ms=args.slow_query_ms,
+            retry_max=args.retry_max,
+            retry_backoff_s=args.retry_backoff_s,
+            quarantine_after=args.quarantine_after,
+            fault_plan=fault_plan,
+        )
+    )
+    report = runner.run(jobs)
+    print(format_batch_report(report))
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report.to_spec(), handle, indent=2)
+        print(f"\nwrote {args.json}")
+    if not all(r.status == "ok" for r in report.results):
+        return 1
+    merged = merge_fuzz(report.of_kind("fuzz"))
+    if args.fail_on_find and merged["disagreements"]:
+        return 3
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve.cli import run_serve
 
@@ -576,6 +655,75 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fault_flags(batch)
     _add_obs_flags(batch)
     batch.set_defaults(fn=_cmd_batch)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="conformance-fuzz the matcher against solver backends",
+    )
+    fuzz.add_argument(
+        "-n", "--pairs", type=int, default=50,
+        help="regex/input pairs to generate (the campaign budget)",
+    )
+    fuzz.add_argument("--seed", type=int, default=1909)
+    fuzz.add_argument("--backend", default=None, help=backend_help)
+    fuzz.add_argument(
+        "--oracle-backend", action="append", default=None,
+        metavar="SPEC",
+        help="a solver decider for the differential oracle (repeat "
+        "for several; default: --backend or native; 'planted:' is the "
+        "deliberately-unsound harness-test backend)",
+    )
+    fuzz.add_argument(
+        "--solver-timeout", type=float, default=2.0,
+        help="per-check solver budget in seconds (UNKNOWN tolerated)",
+    )
+    fuzz.add_argument(
+        "--artifacts", default=None, metavar="DIR",
+        help="persist shrunk disagreement artifacts under DIR "
+        "(deduped by canonical fingerprint)",
+    )
+    fuzz.add_argument(
+        "--artifacts-max", type=int, default=None, metavar="N",
+        help="cap the artifact store at N entries (oldest-mtime GC)",
+    )
+    fuzz.add_argument(
+        "--on-disagreement", default="collect",
+        choices=["collect", "raise"],
+        help="collect: triage the find and keep fuzzing (default); "
+        "raise: fail the job on the first contradiction",
+    )
+    fuzz.add_argument(
+        "--no-shrink", action="store_true",
+        help="skip delta-debug minimization of disagreements",
+    )
+    fuzz.add_argument(
+        "--fail-on-find", action="store_true",
+        help="exit 3 when any disagreement was found (CI gate)",
+    )
+    fuzz.add_argument(
+        "-w", "--workers", type=int, default=0,
+        help="worker processes (0 = run inline)",
+    )
+    fuzz.add_argument(
+        "--shards", type=int, default=None,
+        help="split the budget into this many fuzz jobs "
+        "(default: 2 per worker, 1 inline)",
+    )
+    fuzz.add_argument("--job-timeout", type=float, default=600.0)
+    fuzz.add_argument(
+        "--automata-cache", default=None, help=automata_cache_help
+    )
+    fuzz.add_argument(
+        "--query-cache", default=None, help=query_cache_help
+    )
+    fuzz.add_argument(
+        "--query-cache-max", type=int, default=None,
+        help=query_cache_max_help,
+    )
+    fuzz.add_argument("--json", help="also write the report as JSON")
+    _add_fault_flags(fuzz)
+    _add_obs_flags(fuzz)
+    fuzz.set_defaults(fn=_cmd_fuzz)
 
     serve = sub.add_parser(
         "serve", help="run the long-lived analysis daemon"

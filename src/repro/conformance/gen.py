@@ -1,0 +1,322 @@
+"""Seeded grammar-driven generation of regex/input pairs.
+
+Pairs are deterministic in ``(seed, index)``: each pair derives its own
+``random.Random`` stream, so a disagreement artifact can name the exact
+seed that reproduces it, and sharding a budget across workers changes
+*which process* checks a pair but never *what* is checked.
+
+The grammar is weighted toward the features the oracle exists to
+stress: sticky/unicode flags, named capture groups, backreferences and
+lookaheads all appear far above their corpus base rates.  A slice of
+the budget instead mutates patterns harvested from the survey's
+template pool (:data:`repro.corpus.generator.TEMPLATE_POOL`), so the
+fuzzer also covers real-world idioms the grammar would undersample.
+
+Generation is bounded on purpose: the concrete matcher is a
+backtracking matcher with no step budget, so inputs stay short (the
+``max_input_length`` default keeps worst-case exponential patterns in
+the thousands of steps) and quantifier nesting is capped.  Inputs never
+contain the reserved model meta-characters ``⟨``/``⟩`` — those are
+excluded from the model's input language (§6.1), so a word containing
+one would be rejected by *every* sound backend and read as a false
+disagreement with the matcher.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.model.preprocess import META_END, META_START
+from repro.regex.matcher import RegExp
+
+#: Small alphabets collide: a 6-letter literal pool makes a random
+#: 8-char word hit a random 3-char pattern often enough that both the
+#: match and the no-match branch of every backend see real traffic.
+_LITERALS = "abcq01"
+_INPUT_EXTRAS = " .-xz"
+_CLASSES = ["[ab]", "[^a]", "[a-c]", "[0-9]", r"\d", r"\w", r"\s", "."]
+#: (flags, weight) — sticky and unicode far above their survey base
+#: rates; ``g`` rides along so global/matchAll code paths stay covered.
+_FLAG_POOL: List[Tuple[str, int]] = [
+    ("", 20),
+    ("i", 10),
+    ("m", 6),
+    ("g", 10),
+    ("y", 14),
+    ("u", 12),
+    ("gy", 4),
+    ("iy", 4),
+    ("gu", 4),
+    ("im", 3),
+    ("giu", 2),
+]
+
+
+@dataclass(frozen=True)
+class ConformancePair:
+    """One unit of differential-checking work: a regex plus its words."""
+
+    pattern: str
+    flags: str
+    inputs: Tuple[str, ...]
+    seed: int
+    origin: str = "grammar"  # "grammar" | "corpus"
+
+
+@dataclass
+class GenConfig:
+    """Knobs of the generator; the defaults are the fuzz job's."""
+
+    max_depth: int = 4
+    max_quantifier_nesting: int = 2
+    max_inputs: int = 4
+    max_input_length: int = 10
+    #: Fraction of the budget spent mutating corpus-harvested patterns
+    #: instead of growing grammar trees.
+    corpus_ratio: float = 0.25
+
+
+class _PatternBuilder:
+    """Grows one pattern source string from one seeded rng."""
+
+    def __init__(self, rng: random.Random, config: GenConfig):
+        self.rng = rng
+        self.config = config
+        self.group_count = 0
+        self.group_names: List[str] = []
+
+    def build(self) -> str:
+        return self._disjunction(self.config.max_depth, 0)
+
+    def _disjunction(self, depth: int, quant_depth: int) -> str:
+        terms = [
+            self._term(depth, quant_depth)
+            for _ in range(self.rng.choice((1, 1, 1, 2, 2, 3)))
+        ]
+        return "|".join(terms)
+
+    def _term(self, depth: int, quant_depth: int) -> str:
+        parts = [
+            self._piece(depth, quant_depth)
+            for _ in range(self.rng.choice((1, 1, 2, 2, 3)))
+        ]
+        return "".join(parts)
+
+    def _piece(self, depth: int, quant_depth: int) -> str:
+        # Decide up front whether this piece is quantified so the atom's
+        # own subtree is built under the deeper nesting budget — nested
+        # unbounded quantifiers are where backtracking goes exponential.
+        quantify = (
+            quant_depth < self.config.max_quantifier_nesting
+            and self.rng.random() < 0.35
+        )
+        atom = self._atom(
+            depth, quant_depth + 1 if quantify else quant_depth
+        )
+        if quantify and atom not in ("^", "$", r"\b", r"\B"):
+            atom_q = atom if len(atom) == 1 or atom.startswith(
+                ("[", "(", "\\")
+            ) else f"(?:{atom})"
+            suffix = self.rng.choice(
+                ("*", "+", "?", "{0,2}", "{1,3}", "{2}", "*?", "+?")
+            )
+            return atom_q + suffix
+        return atom
+
+    def _atom(self, depth: int, quant_depth: int) -> str:
+        roll = self.rng.random()
+        if depth <= 0 or roll < 0.35:
+            return self.rng.choice(_LITERALS)
+        if roll < 0.50:
+            return self.rng.choice(_CLASSES)
+        if roll < 0.62:  # capture group, named half the time
+            self.group_count += 1
+            inner = self._disjunction(depth - 1, quant_depth)
+            if self.rng.random() < 0.5:
+                name = f"g{len(self.group_names)}"
+                self.group_names.append(name)
+                return f"(?<{name}>{inner})"
+            return f"({inner})"
+        if roll < 0.70:
+            return f"(?:{self._disjunction(depth - 1, quant_depth)})"
+        if roll < 0.80 and self.group_count:  # backreference
+            if self.group_names and self.rng.random() < 0.5:
+                return f"\\k<{self.rng.choice(self.group_names)}>"
+            return f"\\{self.rng.randint(1, self.group_count)}"
+        if roll < 0.90:  # lookahead
+            op = "?=" if self.rng.random() < 0.6 else "?!"
+            return f"({op}{self._disjunction(depth - 1, quant_depth)})"
+        if roll < 0.96:
+            return self.rng.choice(("^", "$", r"\b", r"\B"))
+        return self.rng.choice(_LITERALS)
+
+
+def _weighted_flags(rng: random.Random) -> str:
+    total = sum(weight for _, weight in _FLAG_POOL)
+    pick = rng.randrange(total)
+    for flags, weight in _FLAG_POOL:
+        pick -= weight
+        if pick < 0:
+            return flags
+    return ""
+
+
+def _literal_chars(pattern: str) -> str:
+    """Characters appearing literally in the pattern — seeding inputs
+    with them makes partial matches (the interesting cases) likely."""
+    chars = []
+    i = 0
+    while i < len(pattern):
+        ch = pattern[i]
+        if ch == "\\":
+            i += 2
+            continue
+        if ch.isalnum() or ch in " .-_":
+            chars.append(ch)
+        i += 1
+    return "".join(chars) or _LITERALS
+
+
+def _make_inputs(
+    rng: random.Random, pattern: str, config: GenConfig
+) -> Tuple[str, ...]:
+    pool = _literal_chars(pattern) + _LITERALS + _INPUT_EXTRAS
+    inputs = []
+    for _ in range(config.max_inputs):
+        length = rng.randint(0, config.max_input_length)
+        word = "".join(rng.choice(pool) for _ in range(length))
+        inputs.append(word)
+    # The reserved meta-characters are outside the model's input
+    # language; a word carrying one is unsolvable by construction.
+    cleaned = tuple(
+        w.replace(META_START, "").replace(META_END, "")
+        for w in dict.fromkeys(inputs)
+    )
+    return cleaned or ("",)
+
+
+def _valid(pattern: str, flags: str) -> bool:
+    """Generated source must survive the real parser (named-backref
+    composition can produce invalid references); unsupported or
+    malformed patterns are regenerated, never shipped to the oracle."""
+    try:
+        RegExp(pattern, flags)
+    except Exception:
+        return False
+    return True
+
+
+def _mutate_corpus_pattern(
+    rng: random.Random,
+) -> Optional[Tuple[str, str]]:
+    from repro.corpus.generator import TEMPLATE_POOL
+
+    pattern, flags, _ = TEMPLATE_POOL[rng.randrange(len(TEMPLATE_POOL))]
+    for _ in range(4):  # a few mutation attempts, first valid one wins
+        mutated, mflags = pattern, flags
+        roll = rng.random()
+        if roll < 0.25 and len(pattern) > 1:  # drop a char
+            i = rng.randrange(len(pattern))
+            mutated = pattern[:i] + pattern[i + 1:]
+        elif roll < 0.45:  # wrap in a (named) capture group
+            name = rng.choice(("", "tag", "v"))
+            mutated = (
+                f"(?<{name}>{pattern})" if name else f"({pattern})"
+            )
+        elif roll < 0.6:  # append a backref to a fresh wrapper group
+            mutated = f"({pattern})\\1"
+        elif roll < 0.75:  # duplicate a char
+            i = rng.randrange(len(pattern))
+            mutated = pattern[:i] + pattern[i] + pattern[i:]
+        else:  # perturb the flags toward sticky/unicode
+            extra = rng.choice("yu")
+            mflags = flags if extra in flags else flags + extra
+        if _valid(mutated, mflags):
+            return mutated, mflags
+    return (pattern, flags) if _valid(pattern, flags) else None
+
+
+def generate_pairs(
+    budget: int,
+    seed: int = 1909,
+    config: Optional[GenConfig] = None,
+    offset: int = 0,
+) -> List[ConformancePair]:
+    """``budget`` regex/input pairs, deterministic in ``(seed, index)``.
+
+    ``offset`` shifts the index range: sharding one campaign across
+    workers as ``(offset=0, budget=k), (offset=k, budget=k), ...``
+    checks exactly the pairs a single ``budget=n*k`` run would, because
+    each pair is seeded by its *global* index.
+    """
+    config = config or GenConfig()
+    pairs: List[ConformancePair] = []
+    for index in range(offset, offset + max(0, budget)):
+        pair_seed = seed * 1_000_003 + index
+        rng = random.Random(pair_seed)
+        origin = (
+            "corpus" if rng.random() < config.corpus_ratio else "grammar"
+        )
+        pattern = flags = None
+        if origin == "corpus":
+            harvested = _mutate_corpus_pattern(rng)
+            if harvested is not None:
+                pattern, flags = harvested
+        if pattern is None:
+            origin = "grammar"
+            for _ in range(8):  # regenerate until the parser accepts
+                candidate = _PatternBuilder(rng, config).build()
+                candidate_flags = _weighted_flags(rng)
+                if _valid(candidate, candidate_flags):
+                    pattern, flags = candidate, candidate_flags
+                    break
+            else:
+                pattern, flags = rng.choice(_LITERALS), ""
+        pairs.append(
+            ConformancePair(
+                pattern=pattern,
+                flags=flags,
+                inputs=_make_inputs(rng, pattern, config),
+                seed=pair_seed,
+                origin=origin,
+            )
+        )
+    return pairs
+
+
+def coverage_summary(pairs: List[ConformancePair]) -> Dict[str, int]:
+    """Feature counts over a pair list — the fuzz payload's evidence
+    that the weighted grammar actually exercised what it claims to."""
+    from repro.regex import ast
+    from repro.regex.flags import Flags
+    from repro.regex.parser import parse_pattern
+
+    counts = {
+        "pairs": len(pairs),
+        "sticky": 0,
+        "unicode": 0,
+        "global": 0,
+        "ignore_case": 0,
+        "named_groups": 0,
+        "captures": 0,
+        "backrefs": 0,
+        "lookaheads": 0,
+        "corpus": 0,
+    }
+    for pair in pairs:
+        flags = Flags.parse(pair.flags)
+        counts["sticky"] += flags.sticky
+        counts["unicode"] += flags.unicode
+        counts["global"] += flags.global_
+        counts["ignore_case"] += flags.ignore_case
+        counts["corpus"] += pair.origin == "corpus"
+        body = parse_pattern(pair.pattern, flags).body
+        counts["captures"] += ast.contains_captures(body)
+        counts["named_groups"] += bool(ast.named_groups(body))
+        counts["backrefs"] += ast.contains_backrefs(body)
+        counts["lookaheads"] += any(
+            isinstance(sub, ast.Lookahead) for sub in ast.walk(body)
+        )
+    return counts

@@ -83,10 +83,18 @@ class Quantifier(Node):
 
 @dataclass(frozen=True)
 class Group(Node):
-    """A numbered capture group ``( ... )``; ``index`` counts from 1."""
+    """A numbered capture group ``( ... )``; ``index`` counts from 1.
+
+    ``name`` carries the ES2018 group name of ``(?<name> ... )`` groups;
+    named groups are ordinary capture groups everywhere downstream (the
+    matcher, the model translation and the automata all key on
+    ``index``), the name only decorates results (``ExecResult.groups``)
+    and the unparser.
+    """
 
     child: Node
     index: int
+    name: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -169,6 +177,15 @@ def groups_in(node: Node) -> Tuple[int, ...]:
     return tuple(
         sub.index for sub in walk(node) if isinstance(sub, Group)
     )
+
+
+def named_groups(node: Node) -> dict:
+    """``{name: index}`` for every named capture group under ``node``."""
+    return {
+        sub.name: sub.index
+        for sub in walk(node)
+        if isinstance(sub, Group) and sub.name is not None
+    }
 
 
 def backrefs_in(node: Node) -> Tuple[int, ...]:

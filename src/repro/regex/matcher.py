@@ -287,14 +287,27 @@ class ExecResult(list):
 
     Indexing yields capture strings (``None`` for undefined groups, i.e.
     JavaScript ``undefined``); ``index`` and ``input`` mirror the JS
-    properties of the match array.
+    properties of the match array.  ``groups`` mirrors the ES2018
+    property: ``None`` when the pattern has no named groups, else a
+    ``{name: capture}`` dict (undefined captures are ``None``).
     """
 
-    def __init__(self, match: MatchResult):
+    def __init__(
+        self,
+        match: MatchResult,
+        group_names: Optional[dict] = None,
+    ):
         super().__init__(match.captures)
         self.index = match.index
         self.input = match.input
         self.end = match.end
+        self.groups: Optional[dict] = None
+        if group_names:
+            captures = match.captures
+            self.groups = {
+                name: captures[index]
+                for name, index in group_names.items()
+            }
 
 
 class RegExp:
@@ -308,6 +321,7 @@ class RegExp:
         self.source = source
         self.flags = flags if isinstance(flags, Flags) else Flags.parse(flags)
         self.pattern = parse_pattern(source, self.flags)
+        self.group_names = ast.named_groups(self.pattern.body)
         self.last_index = 0
 
     @property
@@ -331,7 +345,7 @@ class RegExp:
             return None
         if self.flags.global_ or self.flags.sticky:
             self.last_index = match.end
-        return ExecResult(match)
+        return ExecResult(match, self.group_names)
 
     def test(self, subject: str) -> bool:
         return self.exec(subject) is not None

@@ -3,9 +3,10 @@
 Algorithm 2 covers ``RegExp.exec``/``test``; the paper notes its
 implementation "includes partial models for the remaining functions".
 This module supplies the *concrete* semantics those models bottom out in:
-``match`` (including global match-all), ``search``, ``split`` (with
-capture inclusion and limits) and ``replace`` (with ``$&``/``$n``
-substitution patterns), all per the ES6 specification.
+``match`` (including global match-all), ``match_all`` (the ES2020
+``String.prototype.matchAll``, capture arrays included), ``search``,
+``split`` (with capture inclusion and limits) and ``replace`` (with
+``$&``/``$n`` substitution patterns), all per the specification.
 """
 
 from __future__ import annotations
@@ -36,6 +37,34 @@ def match(regexp: RegExp, subject: str) -> Optional[Union[ExecResult, List[str]]
             regexp.last_index += 1
     regexp.last_index = 0
     return results if results else None
+
+
+def match_all(regexp: RegExp, subject: str) -> List[ExecResult]:
+    """``String.prototype.matchAll`` — every match, captures included.
+
+    Returns the fully-drained iterator as a list of :class:`ExecResult`
+    (each with ``index``/``input``/``groups``, unlike global ``match``
+    which keeps only the whole-match strings).  Per ES2020 semantics the
+    regexp must carry the ``g`` flag (``TypeError`` otherwise), the
+    iteration runs on a clone — the original's ``lastIndex`` is read
+    once and never written — and a zero-length match advances by one so
+    the iterator always terminates.
+    """
+    if not regexp.flags.global_:
+        raise TypeError(
+            "matchAll called with a non-global RegExp argument"
+        )
+    clone = RegExp(regexp.source, regexp.flags)
+    clone.last_index = regexp.last_index
+    results: List[ExecResult] = []
+    while True:
+        found = clone.exec(subject)
+        if found is None:
+            break
+        results.append(found)
+        if found[0] == "":
+            clone.last_index += 1
+    return results
 
 
 def search(regexp: RegExp, subject: str) -> int:

@@ -3,12 +3,16 @@
 Implements the *Pattern* grammar of ECMA-262 6th edition §21.2.1 with the
 Annex B leniencies real engines apply (identity escapes, literal braces
 that do not form a quantifier, legacy octal escapes, quantified
-lookaheads).  The ES2018 additions (named groups, lookbehind, dotAll,
-unicode property escapes) are rejected with a clear error since the paper
-targets ES6.
+lookaheads).  Of the ES2018 additions, named capture groups
+(``(?<name>...)`` with ``\\k<name>`` backreferences) are supported —
+they desugar to ordinary numbered groups, which is exactly their spec
+semantics — while lookbehind, dotAll and unicode property escapes are
+rejected with a clear error since the paper targets ES6.
 """
 
 from __future__ import annotations
+
+import re as _re
 
 from repro.regex import ast
 from repro.regex.charclass import (
@@ -30,9 +34,19 @@ _CONTROL_ESCAPES = {
 }
 
 
-def count_capture_groups(pattern: str) -> int:
-    """Count capturing ``(`` in a pattern (a pre-pass needed to classify
-    ``\\N`` escapes as backreference vs. octal, as real engines do)."""
+_GROUP_NAME_RE = _re.compile(r"[A-Za-z_$][A-Za-z0-9_$]*")
+
+
+def scan_group_names(pattern: str) -> dict:
+    """``{name: index}`` over the pattern's named capture groups.
+
+    A lexical pre-pass in the style of :func:`count_capture_groups`:
+    named groups are capturing, and ``\\k<name>`` may reference a group
+    defined later in the pattern, so the parser needs the full mapping
+    before descending.  Malformed or duplicate names are left for the
+    parser proper to reject (this scan only maps what it can read).
+    """
+    names: dict = {}
     count = 0
     i = 0
     in_class = False
@@ -50,6 +64,46 @@ def count_capture_groups(pattern: str) -> int:
         elif ch == "(":
             if not pattern.startswith("(?", i):
                 count += 1
+            elif pattern.startswith("(?<", i) and pattern[i + 3:i + 4] not in (
+                "=", "!"
+            ):
+                count += 1
+                match = _GROUP_NAME_RE.match(pattern, i + 3)
+                if match is not None and pattern[match.end():match.end() + 1] == ">":
+                    names.setdefault(match.group(), count)
+                    i = match.end() + 1
+                    continue
+        i += 1
+    return names
+
+
+def count_capture_groups(pattern: str) -> int:
+    """Count capturing ``(`` in a pattern (a pre-pass needed to classify
+    ``\\N`` escapes as backreference vs. octal, as real engines do).
+
+    Named groups ``(?<name>...)`` are capturing; every other ``(?``
+    construct is not."""
+    count = 0
+    i = 0
+    in_class = False
+    n = len(pattern)
+    while i < n:
+        ch = pattern[i]
+        if ch == "\\":
+            i += 2
+            continue
+        if in_class:
+            if ch == "]":
+                in_class = False
+        elif ch == "[":
+            in_class = True
+        elif ch == "(":
+            if not pattern.startswith("(?", i):
+                count += 1
+            elif pattern.startswith("(?<", i) and pattern[i + 3:i + 4] not in (
+                "=", "!"
+            ):
+                count += 1
         i += 1
     return count
 
@@ -63,6 +117,8 @@ class _Parser:
         self.pos = 0
         self.group_index = 0
         self.total_groups = count_capture_groups(pattern)
+        self.group_names = scan_group_names(pattern)
+        self.seen_names: set[str] = set()
 
     # -- character cursor --------------------------------------------------
 
@@ -232,7 +288,7 @@ class _Parser:
         if self._peek() == "?" and self._peek(1) == "<":
             if self._peek(2) in ("=", "!"):
                 raise UnsupportedRegexError("lookbehind is not part of ES6")
-            raise UnsupportedRegexError("named groups are not part of ES6")
+            return self._named_group()
         if self._peek() == "?":
             raise self._error("invalid group")
         self.group_index += 1
@@ -240,6 +296,24 @@ class _Parser:
         body = self._disjunction()
         self._expect(")")
         return ast.Group(body, index)
+
+    def _named_group(self) -> ast.Node:
+        """``(?<name> ... )`` — an ES2018 named capture group."""
+        self._expect("?<")
+        match = _GROUP_NAME_RE.match(self.pattern, self.pos)
+        if match is None:
+            raise self._error("invalid capture group name")
+        name = match.group()
+        self.pos = match.end()
+        self._expect(">")
+        if name in self.seen_names:
+            raise self._error(f"duplicate capture group name {name!r}")
+        self.seen_names.add(name)
+        self.group_index += 1
+        index = self.group_index
+        body = self._disjunction()
+        self._expect(")")
+        return ast.Group(body, index, name=name)
 
     # -- escapes -----------------------------------------------------------
 
@@ -251,6 +325,11 @@ class _Parser:
 
         if ch.isdigit() and ch != "0":
             return self._decimal_escape()
+        if ch == "k" and self.group_names:
+            # \k<name>: only a named backreference when the pattern has
+            # named groups at all; otherwise Annex B keeps \k an
+            # identity escape (falls through to _character_escape).
+            return self._named_backreference()
         if ch == "0":
             self.pos += 1
             return ast.CharMatch(self._fold(CharSet.of("\0")), "\\0")
@@ -261,6 +340,20 @@ class _Parser:
         return ast.CharMatch(
             self._fold(CharSet.of_range(cp, cp)), _escape_codepoint(cp)
         )
+
+    def _named_backreference(self) -> ast.Node:
+        self._expect("k")
+        self._expect("<")
+        match = _GROUP_NAME_RE.match(self.pattern, self.pos)
+        if match is None:
+            raise self._error("invalid named backreference")
+        name = match.group()
+        self.pos = match.end()
+        self._expect(">")
+        index = self.group_names.get(name)
+        if index is None:
+            raise self._error(f"backreference to unknown group {name!r}")
+        return ast.Backreference(index)
 
     def _decimal_escape(self) -> ast.Node:
         start = self.pos

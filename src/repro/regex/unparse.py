@@ -36,6 +36,8 @@ def _render(node: ast.Node, context: int) -> str:
     if isinstance(node, ast.WordBoundary):
         return "\\B" if node.negated else "\\b"
     if isinstance(node, ast.Group):
+        if node.name is not None:
+            return f"(?<{node.name}>{_render(node.child, _ALTERNATION)})"
         return f"({_render(node.child, _ALTERNATION)})"
     if isinstance(node, ast.NonCapGroup):
         return f"(?:{_render(node.child, _ALTERNATION)})"

@@ -15,10 +15,12 @@ from repro.service.cache import (
 )
 from repro.service.jobs import (
     AnalyzeJob,
+    FuzzJob,
     JobResult,
     SolveJob,
     SurveyJob,
     analyze_jobs_from_files,
+    fuzz_workload,
     job_from_spec,
     survey_workload,
 )
@@ -29,9 +31,12 @@ from repro.service.report import (
     format_batch_report,
     format_route_table,
     format_session_table,
+    format_soundness_table,
     merge_analyze,
     merge_automata_counters,
     merge_backend_tallies,
+    merge_disagreement_tallies,
+    merge_fuzz,
     merge_route_tallies,
     merge_session_tallies,
     merge_solve,
@@ -45,6 +50,7 @@ __all__ = [
     "BatchRunner",
     "CachedResult",
     "CachedSolver",
+    "FuzzJob",
     "JobResult",
     "QueryCache",
     "QueryDiskStore",
@@ -58,10 +64,14 @@ __all__ = [
     "format_batch_report",
     "format_route_table",
     "format_session_table",
+    "format_soundness_table",
+    "fuzz_workload",
     "job_from_spec",
     "merge_analyze",
     "merge_automata_counters",
     "merge_backend_tallies",
+    "merge_disagreement_tallies",
+    "merge_fuzz",
     "merge_route_tallies",
     "merge_session_tallies",
     "merge_solve",

@@ -9,6 +9,13 @@ Three job kinds mirror the three workloads of the paper's evaluation:
 - :class:`SurveyJob` — extract and classify the regex literals of a
   shard of packages (the §7.1 survey).
 
+A fourth kind turns the paper's *soundness* claim into a workload:
+
+- :class:`FuzzJob` — run a shard of the conformance-fuzzing campaign
+  (:mod:`repro.conformance`): generate seeded regex/input pairs,
+  cross-check the concrete matcher against solver backends, and triage
+  every disagreement into a shrunk, deduped, persisted artifact.
+
 Every job serializes to a JSON-compatible *spec* dict (``to_spec`` /
 :func:`job_from_spec`) so the runner can ship it across process
 boundaries — or, later, across machines — without pickling live
@@ -17,6 +24,7 @@ objects.  Results come back as :class:`JobResult`, also JSON-shaped.
 
 from __future__ import annotations
 
+import threading
 import time
 import traceback
 from dataclasses import asdict, dataclass, field
@@ -25,6 +33,36 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro import obs
 from repro.solver.backends import make_backend
 from repro.solver.stats import SolverStats
+
+_PRELOAD_LOCK = threading.Lock()
+_PRELOADED = False
+
+
+def _preload_job_modules() -> None:
+    """Import the per-job module graph once, under one coarse lock.
+
+    Job kinds import their dependencies lazily inside ``_run`` so a
+    worker process only pays for what it executes — but the serve
+    daemon's inline mode runs jobs on *threads*, and two kinds
+    importing overlapping module graphs in different orders can trip
+    Python's per-module import locks into a spurious circular-import
+    ``ImportError`` (one thread is handed a partially initialized
+    module when the deadlock is broken).  Importing the whole graph
+    here, serially, before the first job runs removes the race; after
+    that the imports are ``sys.modules`` hits.
+    """
+    global _PRELOADED
+    if _PRELOADED:
+        return
+    with _PRELOAD_LOCK:
+        if _PRELOADED:
+            return
+        import repro.conformance  # noqa: F401
+        import repro.corpus.survey  # noqa: F401
+        import repro.dse.engine  # noqa: F401
+        import repro.model.api  # noqa: F401
+
+        _PRELOADED = True
 
 
 #: (pattern, flags, negate) → canonical query-stream fingerprint (or
@@ -79,6 +117,7 @@ def default_solver_factory(
     stats: Optional[SolverStats] = None,
     query_cache: Optional[str] = None,
     query_cache_max: Optional[int] = None,
+    on_disagreement: Optional[str] = None,
     **kwargs,
 ):
     """Build a solver through the backend registry (default: native).
@@ -87,10 +126,14 @@ def default_solver_factory(
     ``stats`` is the per-backend tally sink; ``query_cache`` is the
     persistent query-store directory threaded into any ``cached:`` level
     of the spec, and ``query_cache_max`` caps that store with age-based
-    GC.  Remaining kwargs are native-solver options (backward
-    compatibility with the pre-registry factory) and are passed
-    structurally — they cannot be combined with an explicit ``backend``
-    spec, whose options belong in the spec string itself.
+    GC.  ``on_disagreement`` (``"raise"``/``"collect"``) is threaded
+    into every ``portfolio`` level of the spec — collect mode records
+    the contradiction and resolves with the native-backed member's
+    answer instead of failing the job.  Remaining kwargs are
+    native-solver options (backward compatibility with the pre-registry
+    factory) and are passed structurally — they cannot be combined with
+    an explicit ``backend`` spec, whose options belong in the spec
+    string itself.
     """
     if kwargs:
         if backend is not None:
@@ -108,6 +151,7 @@ def default_solver_factory(
         stats=stats,
         query_cache=query_cache,
         query_cache_max=query_cache_max,
+        on_disagreement=on_disagreement,
     )
     if query_cache and not (
         isinstance(backend, str) and backend.startswith("cached:")
@@ -222,6 +266,7 @@ class _JobBase:
         ``runner.py``); cache hit/miss counts of every solver built for
         this job land on the result.
         """
+        _preload_job_modules()
         factory = _RecordingFactory(solver_factory or default_solver_factory)
         started = time.perf_counter()
         with obs.span(
@@ -317,6 +362,15 @@ class AnalyzeJob(_JobBase):
             **(
                 {"breaker_tallies": result.stats.breaker_summary()}
                 if result.stats.breaker_summary()
+                else {}
+            ),
+            **(
+                {
+                    "disagreement_tallies": (
+                        result.stats.disagreement_summary()
+                    )
+                }
+                if result.stats.disagreement_summary()
                 else {}
             ),
             "automata_cache": result.stats.automata_summary(),
@@ -446,6 +500,11 @@ class SolveJob(_JobBase):
             # Only when a breaker actually transitioned: the common
             # no-trip payload stays byte-identical to earlier releases.
             payload["breaker_tallies"] = breaker_tallies
+        disagreement_tallies = stats.disagreement_summary()
+        if disagreement_tallies:
+            # A collect-mode portfolio caught members contradicting each
+            # other mid-solve; surface it for the batch Soundness table.
+            payload["disagreement_tallies"] = disagreement_tallies
         stats.record_automata(
             counters_delta(automata0, automata_cache_counters())
         )
@@ -518,10 +577,179 @@ class SurveyJob(_JobBase):
         }
 
 
+@dataclass
+class FuzzJob(_JobBase):
+    """One shard of a conformance-fuzzing campaign.
+
+    Generates ``budget`` regex/input pairs (deterministic in
+    ``(seed, offset + i)``), runs each through the differential oracle,
+    and triages every disagreement: shrink by delta debugging, dedupe
+    by canonical fingerprint, persist to ``artifact_dir``.
+
+    ``on_disagreement`` decides the failure mode: ``"collect"``
+    (default) records the artifact and completes the job — a soundness
+    find is the campaign's *product*, not its crash — while ``"raise"``
+    fails the job on the first contradiction, for CI gates that must go
+    red.  ``oracle_backends`` lists the solver deciders (any
+    :func:`make_backend` specs); ``None`` means ``[backend or
+    "native"]``.  ``query_cache``/``query_cache_max`` exist for a
+    uniform spec shape but are *not* threaded into oracle members —
+    a shared query cache would replay one member's answer as another
+    member's verdict (see ``_run``).
+    """
+
+    budget: int = 50
+    seed: int = 1909
+    #: Global pair-index offset — see :func:`fuzz_workload`'s sharding.
+    offset: int = 0
+    oracle_backends: Optional[List[str]] = None
+    solver_timeout: float = 2.0
+    shrink: bool = True
+    artifact_dir: Optional[str] = None
+    artifact_max: Optional[int] = None
+    on_disagreement: str = "collect"
+    backend: Optional[str] = None
+    automata_cache: Optional[str] = None
+    query_cache: Optional[str] = None
+    query_cache_max: Optional[int] = None
+
+    KIND = "fuzz"
+
+    def dedup_key(self) -> Optional[str]:
+        """Fuzzing is deterministic in its spec: exact-field key."""
+        return "|".join(
+            [
+                "fuzz",
+                str(self.budget),
+                str(self.seed),
+                str(self.offset),
+                str(self.oracle_backends),
+                str(self.solver_timeout),
+                str(self.shrink),
+                str(self.artifact_dir),
+                str(self.artifact_max),
+                self.on_disagreement,
+                str(self.backend),
+            ]
+        )
+
+    def _run(self, solver_factory) -> Dict[str, object]:
+        from repro.automata import (
+            automata_cache_counters,
+            configure_automata_cache,
+        )
+        from repro.automata.cache import counters_delta
+        from repro.conformance import (
+            ArtifactStore,
+            DifferentialOracle,
+            TriagePipeline,
+            artifact_fingerprint,
+            coverage_summary,
+            generate_pairs,
+            register_planted_backend,
+        )
+        from repro.solver.backends.base import BackendDisagreement
+
+        if self.on_disagreement not in ("raise", "collect"):
+            raise ValueError(
+                f"on_disagreement must be 'raise' or 'collect', "
+                f"got {self.on_disagreement!r}"
+            )
+        # The ``planted:`` scheme must exist in *this* process before
+        # the factory resolves specs (workers start with a bare registry).
+        register_planted_backend()
+        if self.automata_cache:
+            configure_automata_cache(self.automata_cache)
+        automata0 = automata_cache_counters()
+        stats = SolverStats()
+        specs = [
+            str(spec)
+            for spec in (self.oracle_backends or [self.backend or "native"])
+        ]
+        # Oracle members bypass ``solver_factory`` on purpose: the
+        # runner's seam wraps every solver it builds with the shared
+        # worker query cache, which is keyed on the formula alone — a
+        # cached layer would replay one member's answer as another
+        # member's verdict and the differential check would be vacuous.
+        # Each member decides every pinned query independently.
+        members = [
+            make_backend(spec, timeout=self.solver_timeout, stats=stats)
+            for spec in specs
+        ]
+        oracle = DifferentialOracle(
+            members, timeout=self.solver_timeout, stats=stats
+        )
+        store = (
+            ArtifactStore(self.artifact_dir, max_entries=self.artifact_max)
+            if self.artifact_dir
+            else None
+        )
+        triage = TriagePipeline(oracle, store, shrink=self.shrink)
+        pairs = generate_pairs(
+            self.budget, seed=self.seed, offset=self.offset
+        )
+        artifacts = {"new": 0, "dup": 0, "unstored": 0}
+        fingerprints = set()
+        for pair in pairs:
+            for outcome in oracle.check_pair(pair):
+                disagreement = outcome.disagreement
+                if disagreement is None:
+                    continue
+                if self.on_disagreement == "raise":
+                    raise BackendDisagreement(
+                        f"conformance disagreement on "
+                        f"/{disagreement.pattern}/{disagreement.flags} "
+                        f"with input {disagreement.word!r}: "
+                        f"{disagreement.members[0]} says match, "
+                        f"{disagreement.members[1]} says nomatch",
+                        members=disagreement.members,
+                        statuses=("match", "nomatch"),
+                        fingerprint=artifact_fingerprint(
+                            disagreement.pattern,
+                            disagreement.flags,
+                            disagreement.word,
+                        ),
+                    )
+                result = triage.handle(disagreement)
+                artifacts[result.status] = artifacts.get(result.status, 0) + 1
+                fingerprints.add(result.artifact.fingerprint)
+        counters = dict(oracle.counters)
+        payload: Dict[str, object] = {
+            "backend": self.backend or "native",
+            "oracle_backends": specs,
+            "budget": self.budget,
+            "seed": self.seed,
+            "offset": self.offset,
+            "pairs": len(pairs),
+            "coverage": coverage_summary(pairs),
+            "checks": counters.pop("checks"),
+            "skipped": counters.pop("skipped"),
+            "disagreements": counters.pop("disagreements"),
+            "tolerated_overapprox": counters.pop("tolerated_overapprox"),
+            "verdicts": counters,  # match / nomatch / unknown / error
+            "artifacts_new": artifacts["new"],
+            "artifacts_dup": artifacts["dup"],
+            "artifacts_unstored": artifacts["unstored"],
+            "unique_fingerprints": sorted(fingerprints),
+            "shrink_steps": triage.shrink_steps,
+            "disagreement_tallies": stats.disagreement_summary(),
+            "backend_tallies": stats.backend_summary(),
+        }
+        if store is not None:
+            payload["artifact_dir"] = self.artifact_dir
+            payload["artifact_store"] = store.counters()
+        stats.record_automata(
+            counters_delta(automata0, automata_cache_counters())
+        )
+        payload["automata_cache"] = stats.automata_summary()
+        return payload
+
+
 _JOB_KINDS = {
     AnalyzeJob.KIND: AnalyzeJob,
     SolveJob.KIND: SolveJob,
     SurveyJob.KIND: SurveyJob,
+    FuzzJob.KIND: FuzzJob,
 }
 
 
@@ -590,6 +818,55 @@ def survey_workload(
                     )
                 )
                 count += 1
+    return jobs
+
+
+def fuzz_workload(
+    budget: int = 200,
+    seed: int = 1909,
+    shards: int = 4,
+    backend: Optional[str] = None,
+    oracle_backends: Optional[List[str]] = None,
+    solver_timeout: float = 2.0,
+    shrink: bool = True,
+    artifact_dir: Optional[str] = None,
+    artifact_max: Optional[int] = None,
+    on_disagreement: str = "collect",
+) -> List[FuzzJob]:
+    """Shard one conformance-fuzzing budget into :class:`FuzzJob`\\ s.
+
+    Shards split the budget by *global index range* (``offset``), so
+    the campaign checks exactly the pairs a single unsharded run would
+    — each pair is seeded by its global index, and the shard count only
+    changes which worker checks it.  All shards share ``artifact_dir``;
+    the store's atomic per-entry writes make concurrent dedupe safe.
+    """
+    jobs: List[FuzzJob] = []
+    shards = max(1, min(shards, max(1, budget)))
+    per_shard = (budget + shards - 1) // shards
+    offset = 0
+    for shard in range(shards):
+        chunk = min(per_shard, budget - offset)
+        if chunk <= 0:
+            break
+        jobs.append(
+            FuzzJob(
+                job_id=f"fuzz-{shard:03d}",
+                budget=chunk,
+                seed=seed,
+                offset=offset,
+                backend=backend,
+                oracle_backends=(
+                    list(oracle_backends) if oracle_backends else None
+                ),
+                solver_timeout=solver_timeout,
+                shrink=shrink,
+                artifact_dir=artifact_dir,
+                artifact_max=artifact_max,
+                on_disagreement=on_disagreement,
+            )
+        )
+        offset += chunk
     return jobs
 
 

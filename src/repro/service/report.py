@@ -216,6 +216,82 @@ def merge_solve(results: Sequence[JobResult]) -> dict:
     }
 
 
+# -- fuzz merge ---------------------------------------------------------------
+
+
+def merge_fuzz(results: Sequence[JobResult]) -> dict:
+    """Campaign-level aggregates over conformance-fuzz shards.
+
+    Counts sum; unique artifact fingerprints merge as a set union (two
+    shards tripping the same bug must report one unique find, not two);
+    disagreement tallies merge per contradicting pair.
+    """
+    results = ordered_results(results)
+    ok = [r for r in results if r.status == "ok"]
+    payloads = [r.payload for r in ok]
+    coverage: Dict[str, int] = {}
+    verdicts: Dict[str, int] = {}
+    fingerprints: set = set()
+    for p in payloads:
+        for key, value in (p.get("coverage") or {}).items():
+            coverage[key] = coverage.get(key, 0) + value
+        for key, value in (p.get("verdicts") or {}).items():
+            verdicts[key] = verdicts.get(key, 0) + value
+        fingerprints.update(p.get("unique_fingerprints") or ())
+    return {
+        "jobs": len(results),
+        "failed_jobs": len(results) - len(ok),
+        "pairs": sum(p.get("pairs", 0) for p in payloads),
+        "checks": sum(p.get("checks", 0) for p in payloads),
+        "skipped": sum(p.get("skipped", 0) for p in payloads),
+        "disagreements": sum(
+            p.get("disagreements", 0) for p in payloads
+        ),
+        "tolerated_overapprox": sum(
+            p.get("tolerated_overapprox", 0) for p in payloads
+        ),
+        "artifacts_new": sum(p.get("artifacts_new", 0) for p in payloads),
+        "artifacts_dup": sum(p.get("artifacts_dup", 0) for p in payloads),
+        "artifacts_unstored": sum(
+            p.get("artifacts_unstored", 0) for p in payloads
+        ),
+        "unique_fingerprints": len(fingerprints),
+        "shrink_steps": sum(p.get("shrink_steps", 0) for p in payloads),
+        "coverage": dict(sorted(coverage.items())),
+        "verdicts": dict(sorted(verdicts.items())),
+        "disagreement_tallies": merge_disagreement_tallies(results),
+    }
+
+
+def merge_disagreement_tallies(
+    results: Sequence[JobResult],
+) -> Dict[str, int]:
+    """Sum backend-disagreement counts across *all* job payloads.
+
+    Fuzz jobs always carry ``payload["disagreement_tallies"]``; solve
+    and analyze jobs carry it only when a collect-mode portfolio
+    actually tripped — so a non-empty merge is the batch-level
+    soundness alarm regardless of which workload rang it.
+    """
+    totals: Dict[str, int] = {}
+    for result in ordered_results(results):
+        if result.status != "ok":
+            continue
+        tallies = result.payload.get("disagreement_tallies") or {}
+        for pair, count in tallies.items():
+            totals[pair] = totals.get(pair, 0) + count
+    return dict(sorted(totals.items()))
+
+
+def format_soundness_table(tallies: Dict[str, int]) -> str:
+    """Who contradicted whom, and how often, across the whole batch."""
+    lines = ["Contradicting pair                          Count"]
+    for pair, count in sorted(tallies.items()):
+        shown = pair if len(pair) <= 40 else "..." + pair[-37:]
+        lines.append(f"{shown:<40} {count:>9}")
+    return "\n".join(lines)
+
+
 # -- automata-cache merge -----------------------------------------------------
 
 
@@ -486,6 +562,36 @@ def format_batch_report(report: BatchReport) -> str:
             f"{merged['solver_queries']} solver queries, "
             f"{merged['solver_seconds']:.2f}s"
         )
+
+    fuzz = report.of_kind("fuzz")
+    disagreement_tallies = merge_disagreement_tallies(report.results)
+    if fuzz or disagreement_tallies:
+        lines += ["", "== Soundness (conformance) " + "=" * 37]
+        if fuzz:
+            merged = merge_fuzz(fuzz)
+            cov = merged["coverage"]
+            lines.append(
+                f"{merged['pairs']} pairs, {merged['checks']} checks "
+                f"({merged['skipped']} skipped); coverage: "
+                f"sticky {cov.get('sticky', 0)}, "
+                f"unicode {cov.get('unicode', 0)}, "
+                f"named groups {cov.get('named_groups', 0)}, "
+                f"backrefs {cov.get('backrefs', 0)}, "
+                f"lookaheads {cov.get('lookaheads', 0)}"
+            )
+            lines.append(
+                f"{merged['disagreements']} disagreements "
+                f"({merged['tolerated_overapprox']} tolerated "
+                f"over-approximations); artifacts: "
+                f"{merged['artifacts_new']} new / "
+                f"{merged['artifacts_dup']} dup, "
+                f"{merged['unique_fingerprints']} unique, "
+                f"{merged['shrink_steps']} shrink steps"
+            )
+        if disagreement_tallies:
+            lines.append(format_soundness_table(disagreement_tallies))
+        else:
+            lines.append("no backend disagreements recorded")
 
     backend_tallies = merge_backend_tallies(report.results)
     if backend_tallies:

@@ -17,7 +17,7 @@ overwrites a sink that was set explicitly.
 from __future__ import annotations
 
 import abc
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro import obs
 from repro.constraints.formulas import Formula
@@ -35,7 +35,35 @@ class BackendDisagreement(RuntimeError):
     This is loud by design: SAT vs UNSAT on the same formula means one
     backend is unsound (or the encoding between them is broken), and
     silently picking either answer would poison everything downstream.
+
+    The exception is structured so even a ``raise``-mode crash is
+    actionable: ``members`` names both disagreeing backends,
+    ``statuses`` their verdicts (aligned with ``members``), and
+    ``fingerprint`` is the query's canonical fingerprint — the
+    reproducible key the query cache and the conformance triage
+    pipeline both dedupe on.
     """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        members: Sequence[str] = (),
+        statuses: Sequence[str] = (),
+        fingerprint: Optional[str] = None,
+    ):
+        super().__init__(message)
+        self.members = tuple(members)
+        self.statuses = tuple(statuses)
+        self.fingerprint = fingerprint
+
+    def payload(self) -> dict:
+        """JSON-shaped detail for artifacts / job payloads / events."""
+        return {
+            "members": list(self.members),
+            "statuses": list(self.statuses),
+            "fingerprint": self.fingerprint,
+        }
 
 
 class SolverBackend(abc.ABC):

@@ -16,14 +16,24 @@ rest.  Two invariants are enforced:
   subprocess racing an in-process solver) contributes only to the
   queries it can keep up with — the portfolio's answer is then the
   best among the members that ran, never worse than them.
-- **Disagreeing definitive answers raise loudly.**  If two members
-  observably return SAT and UNSAT for the same formula, that is a
-  soundness bug somewhere and :class:`BackendDisagreement` is raised
-  instead of silently picking a winner.  After the first definitive
-  answer the race only waits ``agreement_grace`` seconds for
-  stragglers — racing would be pointless if it always joined the
-  slowest member — so a disagreement with a much slower member can go
-  unobserved by construction; the grace window is the knob.
+- **Disagreeing definitive answers never pick a silent winner.**  If
+  two members observably return SAT and UNSAT for the same formula,
+  that is a soundness bug somewhere.  Under the default
+  ``on_disagreement="raise"`` a structured
+  :class:`BackendDisagreement` (member names, statuses, canonical
+  fingerprint) is raised.  Under ``on_disagreement="collect"`` the
+  contradiction is *recorded* — a stats tally keyed by the member
+  pair, a ``portfolio:disagreement`` event, and an optional
+  ``disagreement_sink(formula, detail)`` callback (how the
+  conformance triage pipeline captures artifacts) — and the race
+  resolves with the answer from the member backed by the native
+  solver, whose verdicts are validated/bounded by construction, so
+  long fuzzing runs degrade gracefully instead of dying on the first
+  find.  After the first definitive answer the race only waits
+  ``agreement_grace`` seconds for stragglers — racing would be
+  pointless if it always joined the slowest member — so a
+  disagreement with a much slower member can go unobserved by
+  construction; the grace window is the knob.
 """
 
 from __future__ import annotations
@@ -34,6 +44,7 @@ from typing import Optional, Sequence, Tuple
 
 from repro import obs
 from repro.constraints.formulas import Formula
+from repro.constraints.printer import canonical_fingerprint
 from repro.solver.core import SAT, SolverResult, UNKNOWN, UNSAT
 from repro.solver.stats import SolverStats
 
@@ -42,6 +53,11 @@ from repro.solver.backends.base import (
     BackendError,
     SolverBackend,
 )
+
+#: A definitive race outcome: the result plus the member that produced
+#: it (needed to name both sides of a disagreement and to prefer the
+#: native-backed member when resolving one).
+_Pick = Tuple[SolverResult, object]
 
 
 class PortfolioBackend(SolverBackend):
@@ -54,13 +70,27 @@ class PortfolioBackend(SolverBackend):
         timeout: Optional[float] = None,
         agreement_grace: float = 0.05,
         stats: Optional[SolverStats] = None,
+        on_disagreement: str = "raise",
+        disagreement_sink=None,
     ):
         super().__init__(stats)
         self.members = list(members)
         if not self.members:
             raise BackendError("portfolio needs at least one member")
+        if on_disagreement not in ("raise", "collect"):
+            raise BackendError(
+                f"on_disagreement must be 'raise' or 'collect', "
+                f"not {on_disagreement!r}"
+            )
         self.timeout = timeout
         self.agreement_grace = agreement_grace
+        self.on_disagreement = on_disagreement
+        #: Optional ``sink(formula, detail)`` called (collect mode only)
+        #: with the offending formula and the structured
+        #: :class:`BackendDisagreement`; sink errors are swallowed — a
+        #: broken recorder must not turn graceful degradation back into
+        #: a crash.
+        self.disagreement_sink = disagreement_sink
         self.name = "portfolio:" + "+".join(
             getattr(m, "name", type(m).__name__) for m in self.members
         )
@@ -136,7 +166,7 @@ class PortfolioBackend(SolverBackend):
         # Stragglers are abandoned, not joined: they run out their own
         # timeouts on their member's slot and their late results are
         # discarded with the future.
-        definitive = self._await_definitive(futures, deadline)
+        definitive = self._await_definitive(futures, deadline, formula)
         if definitive is None:
             return SolverResult(UNKNOWN)
         return definitive
@@ -185,7 +215,7 @@ class PortfolioBackend(SolverBackend):
             return result
 
     def _await_definitive(
-        self, futures, deadline: Optional[float]
+        self, futures, deadline: Optional[float], formula: Formula
     ) -> Optional[SolverResult]:
         pending = set(futures)
         while pending:
@@ -197,44 +227,110 @@ class PortfolioBackend(SolverBackend):
             )
             if not done:  # overall portfolio timeout
                 return None
-            definitive = self._pick_definitive(done, futures)
-            if definitive is not None:
+            winner = self._pick_definitive(done, futures, formula)
+            if winner is not None:
                 # Grace window: let near-simultaneous members land so a
-                # contradiction is caught rather than raced past.
+                # contradiction is caught rather than raced past.  A
+                # collect-mode resolution during the grace scan can
+                # override the answer (native member preference).
                 done2, _ = wait(pending, timeout=self.agreement_grace)
-                self._pick_definitive(done2, futures, against=definitive)
-                return definitive
+                winner = self._pick_definitive(
+                    done2, futures, formula, against=winner
+                )
+                obs.event(
+                    "portfolio:winner",
+                    portfolio=self.name,
+                    member=getattr(
+                        winner[1], "name", type(winner[1]).__name__
+                    ),
+                    status=winner[0].status,
+                )
+                return winner[0]
         return None
 
     def _pick_definitive(
-        self, done, futures, against: Optional[SolverResult] = None
-    ) -> Optional[SolverResult]:
-        """Scan finished futures; raise on contradiction, return the
-        first definitive result (respecting an earlier ``against``)."""
-        best: Optional[Tuple[SolverResult, object]] = None
-        if against is not None:
-            best = (against, None)
+        self, done, futures, formula: Formula,
+        against: Optional[_Pick] = None,
+    ) -> Optional[_Pick]:
+        """Scan finished futures for a definitive ``(result, member)``.
+
+        A contradiction against the current best is routed through
+        :meth:`_resolve_disagreement` — which raises (default) or
+        returns the resolved pair (collect mode).  With ``against``
+        set (the grace-window scan) the earlier winner is the starting
+        best, so the return value is never ``None``."""
+        best = against
         for future in done:
             result = self._result_of(future)
             if result is None or result.status not in (SAT, UNSAT):
                 continue
             if best is not None and result.status != best[0].status:
-                raise BackendDisagreement(
-                    f"{self.name}: members disagree on the same formula — "
-                    f"{best[0].status} vs {result.status} "
-                    f"(from {getattr(futures[future], 'name', '?')})"
+                best = self._resolve_disagreement(
+                    formula, best, (result, futures[future])
                 )
+                continue
             if best is None:
                 best = (result, futures[future])
-        if best is None or best[1] is None:
-            return None
-        obs.event(
-            "portfolio:winner",
-            portfolio=self.name,
-            member=getattr(best[1], "name", type(best[1]).__name__),
-            status=best[0].status,
+        return best
+
+    def _resolve_disagreement(
+        self, formula: Formula, a: _Pick, b: _Pick
+    ) -> _Pick:
+        """Handle a SAT-vs-UNSAT contradiction between pairs ``a``/``b``.
+
+        Raise mode: raise the structured :class:`BackendDisagreement`.
+        Collect mode: tally the member pair, emit an event, feed the
+        optional sink, and return the pair whose member is backed by
+        the native solver (falling back to ``a``, the first answer).
+        """
+        a_name = getattr(a[1], "name", type(a[1]).__name__)
+        b_name = getattr(b[1], "name", type(b[1]).__name__)
+        try:
+            fingerprint = canonical_fingerprint(formula)[0]
+        except Exception:
+            fingerprint = None  # never let fingerprinting mask the find
+        detail = BackendDisagreement(
+            f"{self.name}: members disagree on the same formula — "
+            f"{a_name} says {a[0].status}, {b_name} says {b[0].status} "
+            f"(fingerprint: {fingerprint!r})",
+            members=(a_name, b_name),
+            statuses=(str(a[0].status), str(b[0].status)),
+            fingerprint=fingerprint,
         )
-        return best[0]
+        if self.on_disagreement != "collect":
+            raise detail
+        if self.stats is not None:
+            self.stats.record_disagreement(f"{a_name}|{b_name}")
+        obs.event(
+            "portfolio:disagreement",
+            portfolio=self.name,
+            **detail.payload(),
+        )
+        if self.disagreement_sink is not None:
+            try:
+                self.disagreement_sink(formula, detail)
+            except Exception:
+                pass  # a broken recorder must not re-crash the race
+        if self._native_backed(b[1]) and not self._native_backed(a[1]):
+            return b
+        return a
+
+    @staticmethod
+    def _native_backed(member) -> bool:
+        """Whether ``member`` is (or wraps) the built-in native solver.
+
+        Decorators expose their inner backend as ``.solver`` (cached
+        wrappers) — follow that chain rather than trusting names alone.
+        """
+        from repro.solver.backends.native import NativeBackend
+
+        seen = set()
+        while member is not None and id(member) not in seen:
+            seen.add(id(member))
+            if isinstance(member, NativeBackend):
+                return True
+            member = getattr(member, "solver", None)
+        return False
 
     @staticmethod
     def _result_of(future: Future) -> Optional[SolverResult]:

@@ -80,6 +80,8 @@ def make_backend(
     stats: Optional[SolverStats] = None,
     query_cache: Optional[str] = None,
     query_cache_max: Optional[int] = None,
+    on_disagreement: Optional[str] = None,
+    disagreement_sink=None,
 ):
     """Resolve ``spec`` into a solver backend.
 
@@ -89,7 +91,11 @@ def make_backend(
     backend in a composite spec.  ``query_cache`` is the directory of
     the persistent query store, picked up by every ``cached:`` level of
     the spec (and ignored by specs without one); ``query_cache_max``
-    caps that store's entry count with age-based GC.
+    caps that store's entry count with age-based GC.  ``on_disagreement``
+    (``"raise"``/``"collect"``) and ``disagreement_sink`` are threaded
+    to every ``portfolio`` level of the spec the same way — there is no
+    spec syntax for portfolio-level options (a trailing ``?...`` binds
+    to the last member), so collect mode is keyword-only.
     """
     if spec is None or spec == "":
         spec = "native"
@@ -115,18 +121,22 @@ def make_backend(
             f"unknown solver backend {scheme!r}; registered schemes: "
             + ", ".join(registered_backends())
         )
-    if query_cache is not None and _accepts_keyword(factory, "query_cache"):
-        kwargs = {"query_cache": query_cache}
-        if query_cache_max is not None and _accepts_keyword(
-            factory, "query_cache_max"
-        ):
-            kwargs["query_cache_max"] = query_cache_max
-        return factory(rest, timeout=timeout, stats=stats, **kwargs)
-    # Factories registered against the pre-query-cache contract
-    # (``factory(rest, timeout=..., stats=...)``) keep working: they
-    # are simply not offered the store directory (only a ``cached:``
-    # level could consume it anyway).
-    return factory(rest, timeout=timeout, stats=stats)
+    # Optional extras are offered only to factories whose signatures
+    # accept them: factories registered against older, narrower
+    # contracts (``factory(rest, timeout=..., stats=...)``) keep
+    # working and simply are not offered what they cannot consume.
+    extras = {
+        "query_cache": query_cache,
+        "query_cache_max": query_cache_max,
+        "on_disagreement": on_disagreement,
+        "disagreement_sink": disagreement_sink,
+    }
+    kwargs = {
+        key: value
+        for key, value in extras.items()
+        if value is not None and _accepts_keyword(factory, key)
+    }
+    return factory(rest, timeout=timeout, stats=stats, **kwargs)
 
 
 def _accepts_keyword(factory: BackendFactory, keyword: str) -> bool:
@@ -241,7 +251,8 @@ def detect_solver_binaries() -> List[str]:
 
 
 def _portfolio_factory(
-    rest, *, timeout=None, stats=None, query_cache=None, query_cache_max=None
+    rest, *, timeout=None, stats=None, query_cache=None,
+    query_cache_max=None, on_disagreement=None, disagreement_sink=None,
 ):
     # Members are full specs (each may carry its own ``?options``), so
     # the body is split on '+' only; there are no portfolio-level query
@@ -275,13 +286,23 @@ def _portfolio_factory(
             stats=stats,
             query_cache=query_cache,
             query_cache_max=query_cache_max,
+            on_disagreement=on_disagreement,
+            disagreement_sink=disagreement_sink,
         )
         for member in member_specs
     ]
-    return PortfolioBackend(members, stats=stats)
+    return PortfolioBackend(
+        members,
+        stats=stats,
+        on_disagreement=on_disagreement or "raise",
+        disagreement_sink=disagreement_sink,
+    )
 
 
-def _route_factory(rest, *, timeout=None, stats=None, query_cache=None):
+def _route_factory(
+    rest, *, timeout=None, stats=None, query_cache=None,
+    on_disagreement=None, disagreement_sink=None,
+):
     command, options = _split_rest(rest)
     unknown = set(options) - {"timeout", "reset_every"}
     if unknown:
@@ -313,13 +334,19 @@ def _route_factory(rest, *, timeout=None, stats=None, query_cache=None):
     return RouterBackend(
         native(),
         session(),
-        PortfolioBackend([native(), session()], stats=stats),
+        PortfolioBackend(
+            [native(), session()],
+            stats=stats,
+            on_disagreement=on_disagreement or "raise",
+            disagreement_sink=disagreement_sink,
+        ),
         stats=stats,
     )
 
 
 def _cached_factory(
-    rest, *, timeout=None, stats=None, query_cache=None, query_cache_max=None
+    rest, *, timeout=None, stats=None, query_cache=None,
+    query_cache_max=None, on_disagreement=None, disagreement_sink=None,
 ):
     if not rest.startswith(":") or len(rest) == 1:
         raise BackendError(
@@ -331,6 +358,8 @@ def _cached_factory(
         stats=stats,
         query_cache=query_cache,
         query_cache_max=query_cache_max,
+        on_disagreement=on_disagreement,
+        disagreement_sink=disagreement_sink,
     )
     return CachedBackend(
         inner,

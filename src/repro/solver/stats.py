@@ -190,6 +190,12 @@ class SolverStats:
     #: ``probe`` / ``short_circuit`` — populated by
     #: ``repro.faults.breaker`` through the session backends).
     breaker_tallies: Dict[str, int] = field(default_factory=dict)
+    #: Soundness trip-wire counters, keyed by the disagreeing member
+    #: pair (``"<member-a>|<member-b>"``) — populated by collect-mode
+    #: portfolios and the conformance oracle when two sound-by-
+    #: construction deciders return contradictory definitive answers.
+    #: Empty on every honest run.
+    disagreement_tallies: Dict[str, int] = field(default_factory=dict)
     #: Automata compilation-cache counters (this run's share of the
     #: process-global interner; populated by the engine and the service
     #: jobs from :func:`repro.automata.automata_cache_counters` deltas).
@@ -290,6 +296,17 @@ class SolverStats:
         with self._tally_lock:
             self.breaker_tallies[key] = self.breaker_tallies.get(key, 0) + 1
 
+    def record_disagreement(self, pair: str) -> None:
+        """Count one backend disagreement for member pair ``pair``
+        (``"<member-a>|<member-b>"``).  Disagreements surface from
+        worker threads (a portfolio's grace window) and from the
+        conformance oracle, so they share the tally lock."""
+        with self._tally_lock:
+            self.disagreement_tallies[pair] = (
+                self.disagreement_tallies.get(pair, 0) + 1
+            )
+        _metrics.count("backend_disagreements_total", pair=pair)
+
     def record_automata(self, delta: Dict[str, int]) -> None:
         """Fold a compilation-cache counters delta into this collector.
 
@@ -347,6 +364,13 @@ class SolverStats:
         empty on the no-trip fast path."""
         with self._tally_lock:
             return dict(sorted(self.breaker_tallies.items()))
+
+    def disagreement_summary(self) -> Dict[str, int]:
+        """JSON-shaped disagreement counts per member pair (for
+        payloads and the report's Soundness table); empty on every
+        honest run."""
+        with self._tally_lock:
+            return dict(sorted(self.disagreement_tallies.items()))
 
     def cache_summary(self) -> dict:
         """Hit/miss counters of the solver query cache, if one was used."""

@@ -131,11 +131,24 @@ class TestGroups:
         with pytest.raises(RegexSyntaxError):
             parse_pattern("a)")
 
-    def test_es2018_syntax_rejected(self):
+    def test_lookbehind_rejected(self):
         with pytest.raises(UnsupportedRegexError):
             parse_pattern("(?<=a)b")
         with pytest.raises(UnsupportedRegexError):
-            parse_pattern("(?<name>a)")
+            parse_pattern("(?<!a)b")
+
+    def test_named_groups(self):
+        node = body("(?<tag>a)")
+        assert isinstance(node, ast.Group)
+        assert node.index == 1 and node.name == "tag"
+        pattern = parse_pattern(r"(?<a>x)(?<b>y)\k<b>")
+        assert pattern.group_count == 2
+        back = pattern.body.parts[-1]
+        assert isinstance(back, ast.Backreference) and back.index == 2
+        with pytest.raises(RegexSyntaxError):
+            parse_pattern("(?<dup>a)(?<dup>b)")
+        with pytest.raises(RegexSyntaxError):
+            parse_pattern(r"(?<a>x)\k<missing>")
 
 
 class TestEscapes:
